@@ -1,0 +1,35 @@
+"""Bench: ablations of RnB design decisions (DESIGN.md section 6)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import ablations
+
+
+def test_ablations(benchmark, archive, bench_profile):
+    results = run_once(
+        benchmark,
+        ablations.run,
+        scale=bench_profile["scale"],
+        n_requests=bench_profile["n_requests"],
+        warmup=bench_profile["warmup_requests"],
+    )
+    archive(results)
+    by_name = {r.name: r for r in results}
+
+    hh = by_name["ablation_hitchhiking"]
+    assert hh.series["TPR"][0] <= hh.series["TPR"][1]  # on <= off
+    assert (
+        hh.series["items transferred/request"][0]
+        > hh.series["items transferred/request"][1]
+    )
+
+    ob = by_name["ablation_overbooking"]
+    tprs = ob.series["TPR"]
+    # the U shape: some overbooking helps, excessive overbooking hurts
+    assert min(tprs[1:-1]) < tprs[0]
+    assert tprs[-1] > min(tprs)
+
+    pl = by_name["ablation_placement"]
+    tpr_lo, tpr_hi = min(pl.series["TPR"]), max(pl.series["TPR"])
+    assert tpr_hi / tpr_lo < 1.1  # placement scheme barely matters for TPR

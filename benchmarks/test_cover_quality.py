@@ -1,0 +1,27 @@
+"""Bench: bundling-algorithm quality and overhead (paper §I-C, §V-B)."""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import run_once
+from repro.experiments import cover_quality
+
+
+def test_cover_quality(benchmark, archive, bench_profile):
+    results = run_once(
+        benchmark, cover_quality.run, n_trials=max(30, bench_profile["mc_trials"] // 5)
+    )
+    archive(results)
+    quality, overhead = results
+    for i, label in enumerate(quality.x_values):
+        opt = quality.series["optimal"][i]
+        grd = quality.series["greedy"][i]
+        ff = quality.series["first-fit"][i]
+        if not math.isnan(opt):
+            # "considerable benefits even with sub-optimal selection":
+            # greedy within 15% of optimal in the mean
+            assert grd / opt < 1.15, label
+        assert grd < ff, label
+    # overhead: greedy under a millisecond everywhere
+    assert all(us < 1000 for us in overhead.series["greedy us"])

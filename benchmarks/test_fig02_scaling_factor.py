@@ -1,0 +1,15 @@
+"""Bench: Fig 2 — analytic TPRPS scaling factor when doubling servers."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig02
+
+
+def test_fig02_scaling_factor(benchmark, archive):
+    results = run_once(benchmark, fig02.run)
+    archive(results)
+    [res] = results
+    # regression pins on the analytic values
+    assert res.series["M=1"][0] == 2.0
+    assert 1.55 < res.series["M=50"][res.x_values.index(64)] < 1.75

@@ -1,0 +1,23 @@
+"""Bench: Fig 3 — relative throughput vs fleet size (the multi-get hole)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig03
+
+
+def test_fig03_multiget_hole(benchmark, archive, bench_profile):
+    results = run_once(
+        benchmark,
+        fig03.run,
+        scale=bench_profile["scale"],
+        n_requests=bench_profile["n_requests"],
+    )
+    archive(results)
+    [res] = results
+    measured = res.series["relative throughput"]
+    ideal = res.series["ideal scaling"]
+    # the hole: at 32 servers, measured throughput is far below ideal
+    assert measured[-1] < 0.5 * ideal[-1]
+    # but still monotone increasing
+    assert all(a <= b for a, b in zip(measured, measured[1:]))

@@ -1,0 +1,18 @@
+"""Bench: Figs 4-5 — degree histograms of the workload graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig04_05
+
+
+def test_fig04_05_degree_histograms(benchmark, archive, bench_profile):
+    results = run_once(benchmark, fig04_05.run, scale=bench_profile["scale"])
+    archive(results)
+    f4, f5 = results
+    assert f4.meta["mean_degree"] == pytest.approx(11.54, rel=0.05)
+    assert f5.meta["mean_degree"] == pytest.approx(6.71, rel=0.05)
+    # heavy tails span at least two decades past the mean
+    assert any("[101," in str(label) or "[100," in str(label) for label in f4.x_values)

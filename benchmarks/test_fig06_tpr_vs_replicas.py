@@ -1,0 +1,23 @@
+"""Bench: Fig 6 — mean TPR vs replication level (16 servers, naive memory)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig06
+
+
+def test_fig06_tpr_vs_replicas(benchmark, archive, bench_profile):
+    results = run_once(
+        benchmark,
+        fig06.run,
+        scale=bench_profile["scale"],
+        n_requests=bench_profile["n_requests"],
+    )
+    archive(results)
+    [res] = results
+    for graph in ("slashdot", "epinions"):
+        tprs = res.series[f"TPR {graph}"]
+        rel = res.series[f"rel {graph}"]
+        assert all(a > b for a, b in zip(tprs, tprs[1:])), "TPR must fall with R"
+        # paper headline: big reduction by 4 replicas (>50% in some cases)
+        assert rel[3] < 0.6

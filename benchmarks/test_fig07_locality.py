@@ -1,0 +1,14 @@
+"""Bench: Fig 7 — the request-locality example (deterministic)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig07
+
+
+def test_fig07_locality(benchmark, archive):
+    results = run_once(benchmark, fig07.run)
+    archive(results)
+    [res] = results
+    assert res.series["server for item 1"] == ["A", "A"]
+    assert res.series["server for item 2"] == ["A", "A"]

@@ -1,0 +1,22 @@
+"""Bench: Fig 9 — the Fig 8 sweep with 2-request merging."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig09
+
+
+def test_fig09_merged_requests(benchmark, archive, bench_profile):
+    results = run_once(
+        benchmark,
+        fig09.run,
+        scale=bench_profile["scale"],
+        n_requests=bench_profile["n_requests"],
+        warmup_requests=bench_profile["warmup_requests"],
+        max_workers=bench_profile["max_workers"],
+    )
+    archive(results)
+    [res] = results
+    r4 = res.series["R=4"]
+    assert r4[-1] < r4[0]  # replication still helps under merging
+    assert res.meta["merge_window"] == 2

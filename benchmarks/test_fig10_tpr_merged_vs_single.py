@@ -1,0 +1,24 @@
+"""Bench: Fig 10 — absolute TPR, merged-2 vs single-request handling."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig10
+
+
+def test_fig10_tpr_merged_vs_single(benchmark, archive, bench_profile):
+    results = run_once(
+        benchmark,
+        fig10.run,
+        scale=bench_profile["scale"],
+        n_requests=bench_profile["n_requests"],
+        warmup_requests=bench_profile["warmup_requests"],
+        max_workers=bench_profile["max_workers"],
+    )
+    archive(results)
+    merged = next(r for r in results if r.meta["merge_window"] == 2)
+    single = next(r for r in results if r.meta["merge_window"] == 1)
+    # merging lowers the whole family of curves, per original request
+    for label in ("R=1", "R=4", "no-repl baseline"):
+        for m, s in zip(merged.series[label], single.series[label]):
+            assert m < s

@@ -1,0 +1,20 @@
+"""Bench: Fig 11 — LIMIT requests without replication (Monte-Carlo)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig11
+
+
+def test_fig11_limit_no_replication(benchmark, archive, bench_profile):
+    results = run_once(benchmark, fig11.run, n_trials=bench_profile["mc_trials"])
+    archive(results)
+    for res in results:
+        t50 = res.series["fetch 50%"]
+        t100 = res.series["fetch 100%"]
+        # halving the required fraction cuts transactions substantially
+        assert all(a < 0.75 * b for a, b in zip(t50, t100))
+        # lower fraction => lower TPR pointwise across all fractions
+        t90, t95 = res.series["fetch 90%"], res.series["fetch 95%"]
+        for i in range(len(t50)):
+            assert t50[i] < t90[i] <= t95[i] <= t100[i] * 1.01

@@ -1,0 +1,26 @@
+"""Bench: Fig 12 — LIMIT requests with replication (Monte-Carlo)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig12
+
+
+def test_fig12_limit_with_replication(benchmark, archive, bench_profile):
+    results = run_once(benchmark, fig12.run, n_trials=bench_profile["mc_trials"])
+    archive(results)
+    for res in results:
+        # replication strictly helps at every fleet size
+        for i in range(len(res.x_values)):
+            assert (
+                res.series["R=5"][i]
+                < res.series["R=3"][i]
+                < res.series["R=1 LIMIT"][i]
+            )
+    # paper headlines at 90%, large fleets: R=5 ~30%, R=2 ~65% of the
+    # R=1 full-fetch TPR
+    res90 = next(r for r in results if r.meta["fraction"] == 0.9)
+    i = res90.x_values.index(64)
+    base = res90.series["R=1 no LIMIT"][i]
+    assert res90.series["R=5"][i] / base < 0.45
+    assert 0.5 < res90.series["R=2"][i] / base < 0.8

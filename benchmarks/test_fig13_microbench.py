@@ -1,0 +1,20 @@
+"""Bench: Fig 13 — single-client calibration micro-benchmark."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13_14
+
+
+def test_fig13_microbench(benchmark, archive):
+    results = run_once(benchmark, fig13_14.run)
+    fig13 = [r for r in results if r.name == "fig13"]
+    archive(fig13)
+    [res] = fig13
+    measured = res.series["measured items/s"]
+    # items/s grows with transaction size: per-txn cost dominates
+    assert measured[-1] > 2 * measured[0]
+    fitted = res.meta["fitted_model"]
+    assert fitted.t_txn > 0
+    # per-transaction overhead exceeds per-item cost (the premise of RnB)
+    assert fitted.t_txn > fitted.t_item

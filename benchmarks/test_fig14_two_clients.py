@@ -1,0 +1,19 @@
+"""Bench: Fig 14 — two concurrent clients against one server."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig13_14
+
+
+def test_fig14_two_clients(benchmark, archive):
+    results = run_once(benchmark, fig13_14.run)
+    fig14 = [r for r in results if r.name == "fig14"]
+    archive(fig14)
+    [res] = fig14
+    two = res.series["two clients items/s"]
+    one = res.series["one client items/s"]
+    # the paper's conclusion: two clients never double the delivered rate
+    assert all(t < 1.9 * s for t, s in zip(two, one))
+    # and large transactions still deliver far more items than small ones
+    assert two[-1] > 1.5 * two[0]

@@ -1,0 +1,40 @@
+"""Bench: future-work experiments — LIMIT memory and single-item bundling."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import limit_memory, single_item
+
+
+def test_limit_memory(benchmark, archive, bench_profile):
+    results = run_once(
+        benchmark,
+        limit_memory.run,
+        scale=bench_profile["scale"],
+        n_requests=max(400, bench_profile["n_requests"] // 2),
+        warmup_requests=max(800, bench_profile["warmup_requests"] // 2),
+    )
+    archive(results)
+    tpr_res, ws_res = results
+    ws = ws_res.series["working set (copies)"]
+    # working set strictly shrinks with the fetch fraction
+    assert ws == sorted(ws, reverse=True)
+    assert ws[-1] < 0.7 * ws[0]
+    # memory helps at every fraction
+    for series in tpr_res.series.values():
+        assert series[-1] < series[0]
+
+
+def test_single_item_cross_request_bundling(benchmark, archive):
+    results = run_once(benchmark, single_item.run)
+    archive(results)
+    [res] = results
+    no_repl = res.series["no replication"]
+    rnb = res.series["RnB R=4"]
+    assert no_repl[0] == pytest.approx(1.0)
+    assert rnb[0] == pytest.approx(1.0)
+    # at window 16, RnB bundling cuts transactions per lookup hard
+    assert rnb[-1] < 0.35
+    assert rnb[-1] < 0.6 * no_repl[-1]

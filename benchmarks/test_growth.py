@@ -1,0 +1,26 @@
+"""Bench: flexible fleet growth — replica churn and TPR continuity."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import growth
+
+
+def test_growth(benchmark, archive):
+    results = run_once(benchmark, growth.run)
+    archive(results)
+    churn, tpr = results
+    ideal = churn.series["ideal churn R/(N+1)"]
+    rch = churn.series["rch churn"]
+    mh = churn.series["multihash churn"]
+    for i in range(len(churn.x_values)):
+        # RCH tracks the consistent-hashing ideal within 30%
+        assert rch[i] == pytest.approx(ideal[i], rel=0.3)
+        # independent multi-hash remaps the majority of the data
+        assert mh[i] > 0.5
+        assert mh[i] > 4 * rch[i]
+    # TPR is continuous across a one-server join (<12% change)
+    for before, after in zip(tpr.series["TPR at N"], tpr.series["TPR at N+1"]):
+        assert abs(after - before) / before < 0.12

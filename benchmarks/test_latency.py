@@ -1,0 +1,28 @@
+"""Bench: structural latency impact of RnB (paper §V-B future work)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import latency
+
+
+def test_latency(benchmark, archive, bench_profile):
+    results = run_once(
+        benchmark,
+        latency.run,
+        scale=bench_profile["scale"],
+        n_requests=bench_profile["n_requests"],
+        warmup_requests=bench_profile["warmup_requests"],
+    )
+    archive(results)
+    [res] = results
+    by = {label: i for i, label in enumerate(res.x_values)}
+    mean = res.series["mean us"]
+    rounds = res.series["2-round %"]
+    tpr = res.series["TPR"]
+    # roomy RnB: latency within 10% of classic, TPR roughly halved
+    assert mean[by["RnB R=4 roomy"]] < 1.1 * mean[by["classic"]]
+    assert tpr[by["RnB R=4 roomy"]] < 0.65 * tpr[by["classic"]]
+    # overbooking pays a two-round tail; hitchhiking does not enlarge it
+    assert rounds[by["RnB R=4 @2x"]] > 0
+    assert rounds[by["RnB R=4 @2x +hh"]] <= rounds[by["RnB R=4 @2x"]] + 1e-9

@@ -1,0 +1,90 @@
+"""Bench: hot-path micro-operations of the library itself.
+
+Unlike the figure benches (one timed round of a whole experiment), these
+use pytest-benchmark's calibrated multi-round timing — they are the
+library's performance regression net: placement lookups, cover solving,
+plan construction, LRU churn and protocol round-trips.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.lru import PinnedLRU
+from repro.core.bundling import Bundler
+from repro.core.setcover import greedy_set_cover
+from repro.hashing.hashring import ConsistentHashRing
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.protocol.memclient import MemcachedConnection
+from repro.protocol.memserver import MemcachedServer
+from repro.protocol.transport import LoopbackTransport
+from repro.types import Request
+from repro.utils.bitset import from_indices
+
+
+@pytest.fixture(scope="module")
+def placer():
+    p = RangedConsistentHashPlacer(16, 4, vnodes=64)
+    for item in range(2000):  # pre-warm the memoisation
+        p.servers_for(item)
+    return p
+
+
+def test_ring_lookup(benchmark):
+    ring = ConsistentHashRing(range(16), vnodes=64)
+    benchmark(lambda: ring.lookup(123456))
+
+
+def test_rch_placement_cold(benchmark):
+    counter = iter(range(10_000_000))
+
+    def place():
+        p = RangedConsistentHashPlacer(16, 4, vnodes=64, cache_size=1)
+        return p.servers_for(next(counter))
+
+    # includes ring construction; measures the truly-uncached path
+    benchmark(place)
+
+
+def test_rch_placement_warm(benchmark, placer):
+    benchmark(lambda: placer.servers_for(777))
+
+
+def test_greedy_cover_m40_n16(benchmark, placer):
+    subsets = {}
+    for idx in range(40):
+        for s in placer.servers_for(idx):
+            subsets[s] = subsets.get(s, 0) | (1 << idx)
+    benchmark(lambda: greedy_set_cover(subsets, 40))
+
+
+def test_bundler_plan_m40(benchmark, placer):
+    bundler = Bundler(placer, hitchhiking=True)
+    request = Request(items=tuple(range(40)))
+    benchmark(lambda: bundler.plan(request))
+
+
+def test_lru_put_touch(benchmark):
+    store = PinnedLRU(replica_capacity=1000)
+    store.pin_all(range(10_000, 10_100))
+    i = iter(range(100_000_000))
+
+    def op():
+        k = next(i) % 2000
+        store.put(k)
+        store.touch(k)
+
+    benchmark(op)
+
+
+def test_bitset_roundtrip(benchmark):
+    benchmark(lambda: from_indices(range(0, 200, 3)).bit_count())
+
+
+def test_protocol_multiget_10keys(benchmark):
+    server = MemcachedServer()
+    conn = MemcachedConnection(LoopbackTransport(server))
+    keys = [f"k{i}" for i in range(10)]
+    for k in keys:
+        conn.set(k, b"x" * 10)
+    benchmark(lambda: conn.get_multi(keys))

@@ -1,0 +1,28 @@
+"""Bench: latency vs offered load with queueing (saturation knee)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import queueing
+
+
+def test_queueing(benchmark, archive, bench_profile):
+    results = run_once(
+        benchmark,
+        queueing.run,
+        scale=bench_profile["scale"],
+        n_requests=max(4000, bench_profile["n_requests"] * 3),
+    )
+    archive(results)
+    [res] = results
+    loads = list(res.x_values)
+    classic = res.series["classic p95 us"]
+    rnb = [v for k, v in res.series.items() if k.startswith("RnB") and k.endswith("p95 us")][0]
+    i_low = loads.index(0.2)
+    i_unit = loads.index(1.0)
+    # equal latency when idle (RTT-bound)
+    assert abs(classic[i_low] - rnb[i_low]) / classic[i_low] < 0.15
+    # at the classic capacity point, classic has exploded and RnB has not
+    assert classic[i_unit] > 4 * rnb[i_unit]
+    # RnB eventually saturates too (no free lunch)
+    assert rnb[-1] > 3 * rnb[i_low]

@@ -1,0 +1,47 @@
+"""Bench: semi-analytic RnB model vs Monte-Carlo (accuracy table)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis.rnb_model import predicted_tpr
+from repro.experiments.base import ExperimentResult
+from repro.sim.montecarlo import mc_tpr
+
+
+def _run(n_trials: int) -> list[ExperimentResult]:
+    labels, model, mc, errs = [], [], [], []
+    for n, m, r in [
+        (16, 20, 2),
+        (16, 40, 3),
+        (16, 100, 4),
+        (32, 40, 2),
+        (32, 100, 4),
+        (64, 100, 5),
+    ]:
+        labels.append(f"N={n} M={m} R={r}")
+        pred = predicted_tpr(n, m, r)
+        truth = mc_tpr(n, m, r, n_trials=n_trials, seed=21).mean_tpr
+        model.append(pred)
+        mc.append(truth)
+        errs.append(abs(pred - truth) / truth)
+    return [
+        ExperimentResult(
+            name="rnb_model",
+            title="Semi-analytic greedy model vs Monte-Carlo TPR",
+            x_label="instance",
+            x_values=labels,
+            series={"model": model, "monte-carlo": mc, "rel err": errs},
+            expectation="model within ~15% everywhere, ~6% in the mean",
+        )
+    ]
+
+
+def test_rnb_model_accuracy(benchmark, archive, bench_profile):
+    results = run_once(benchmark, _run, bench_profile["mc_trials"])
+    archive(results)
+    [res] = results
+    errs = res.series["rel err"]
+    assert max(errs) < 0.2
+    assert float(np.mean(errs)) < 0.10

@@ -1,0 +1,22 @@
+"""Bench: RnB at large fleet sizes (paper §V-B future work)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import scalability
+
+
+def test_scalability(benchmark, archive, bench_profile):
+    results = run_once(
+        benchmark, scalability.run, n_trials=max(60, bench_profile["mc_trials"] // 2)
+    )
+    archive(results)
+    [res] = results
+    saving = dict(zip(res.x_values, res.series["saving (best R)"]))
+    # the saving peaks in the multi-get-hole regime (N ~ M = 100) ...
+    assert saving[64] > 0.5
+    # ... and tapers once N >> M
+    assert saving[4096] < saving[64] / 2
+    # replication ordering holds at every fleet size
+    for i in range(len(res.x_values)):
+        assert res.series["R=4"][i] < res.series["R=2"][i] < res.series["R=1 (analytic)"][i]

@@ -1,0 +1,28 @@
+"""Bench: overbooking gain vs workload affinity strength.
+
+Validates EXPERIMENTS.md's explanation of the Fig 8 quantitative gap:
+stronger ego-network overlap (higher Zipf popularity exponent) must
+lower both the miss rate and the overbooked TPR ratio.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import sensitivity
+
+
+def test_sensitivity_affinity(benchmark, archive, bench_profile):
+    results = run_once(
+        benchmark,
+        sensitivity.run,
+        scale=bench_profile["scale"],
+        n_requests=max(600, bench_profile["n_requests"] // 2),
+        warmup_requests=max(1500, bench_profile["warmup_requests"] // 2),
+    )
+    archive(results)
+    [res] = results
+    ratios = res.series["TPR ratio"]
+    misses = res.series["miss rate"]
+    # strongest-affinity point clearly beats the weakest on both metrics
+    assert ratios[-1] < ratios[0] - 0.05
+    assert misses[-1] < misses[0]

@@ -1,0 +1,35 @@
+"""Bench: section II-A — closed-form urn model vs Monte-Carlo simulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.urn import expected_tpr
+from repro.experiments.base import ExperimentResult
+from repro.sim.montecarlo import mc_tpr
+
+
+def _run(n_trials: int) -> list[ExperimentResult]:
+    ns = [2, 4, 8, 16, 32, 64]
+    m = 20
+    analytic = [expected_tpr(n, m) for n in ns]
+    simulated = [mc_tpr(n, m, 1, n_trials=n_trials, seed=11).mean_tpr for n in ns]
+    return [
+        ExperimentResult(
+            name="urn_model",
+            title=f"Section II-A: analytic W(N,M) vs Monte-Carlo (M={m})",
+            x_label="servers",
+            x_values=ns,
+            series={"analytic TPR": analytic, "simulated TPR": simulated},
+            expectation="the two columns agree to sampling noise",
+        )
+    ]
+
+
+def test_urn_model_vs_simulation(benchmark, archive, bench_profile):
+    results = run_once(benchmark, _run, bench_profile["mc_trials"] * 3)
+    archive(results)
+    [res] = results
+    for a, s in zip(res.series["analytic TPR"], res.series["simulated TPR"]):
+        assert s == pytest.approx(a, rel=0.05)

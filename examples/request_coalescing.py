@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Cross-request coalescing with the batching proxy (paper §III-E).
+
+A busy front-end serves many users concurrently; moxi-style middleware
+holds each user's fetch for a moment and merges temporally-close
+requests into one bundled RnB multi-get.  This demo:
+
+1. runs 200 ego-feed requests through the RnB client one at a time;
+2. replays the identical requests through :class:`BatchingClient` with
+   windows 2 and 8;
+3. reports the transaction savings — and verifies every user still got
+   exactly their own items.
+
+Run:  python examples/request_coalescing.py
+"""
+
+import numpy as np
+
+from repro.core.bundling import Bundler
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.protocol.batching import BatchingClient
+from repro.protocol.memclient import MemcachedConnection
+from repro.protocol.memserver import MemcachedServer
+from repro.protocol.rnbclient import RnBProtocolClient
+from repro.protocol.transport import LoopbackTransport
+from repro.workloads.requests import EgoRequestGenerator
+from repro.workloads.synthetic import make_slashdot_like
+
+N_SERVERS = 8
+REPLICATION = 3
+N_REQUESTS = 200
+
+
+def build_client(graph):
+    placer = RangedConsistentHashPlacer(N_SERVERS, REPLICATION, vnodes=64)
+    servers = {i: MemcachedServer(name=f"m{i}") for i in range(N_SERVERS)}
+    conns = {i: MemcachedConnection(LoopbackTransport(servers[i])) for i in range(N_SERVERS)}
+    client = RnBProtocolClient(conns, placer, bundler=Bundler(placer))
+    for node in range(graph.n_nodes):
+        client.set(f"status:{node}", f"status of user {node}".encode())
+    return client
+
+
+def main() -> None:
+    graph = make_slashdot_like(seed=11, scale=0.01)
+    gen = EgoRequestGenerator(graph, rng=np.random.default_rng(4))
+    feeds = [[f"status:{i}" for i in req.items] for req in gen.stream(N_REQUESTS)]
+    print(f"workload: {N_REQUESTS} feed requests over {graph.n_nodes} users\n")
+
+    # --- one at a time ---
+    client = build_client(graph)
+    solo_txns = 0
+    for keys in feeds:
+        out = client.get_multi(keys)
+        assert len(out.values) == len(keys)
+        solo_txns += out.transactions
+    print(f"unbatched      : {solo_txns} transactions "
+          f"({solo_txns / N_REQUESTS:.2f} per request)")
+
+    # --- batched ---
+    for window in (2, 8):
+        client = build_client(graph)
+        proxy = BatchingClient(client, window=window)
+        tickets = [(keys, proxy.submit(keys)) for keys in feeds]
+        proxy.flush()
+        for keys, ticket in tickets:
+            assert set(ticket.result()) == set(keys), "every user gets their feed"
+        print(
+            f"window {window:2d}      : {proxy.transactions} transactions "
+            f"({proxy.transactions / N_REQUESTS:.2f} per request, "
+            f"saved {1 - proxy.transactions / solo_txns:.0%})"
+        )
+
+    print(
+        "\nCaveat (paper §III-E): merged covers can dilute per-request "
+        "locality under\nmemory pressure — quantified by Figs 9-10 in "
+        "the simulator."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""Analytical models: urn occupancy, cost calibration, throughput.
+
+* :mod:`repro.analysis.urn` — the closed-form multi-get-hole analysis of
+  paper section II-A.
+* :mod:`repro.analysis.calibration` — the micro-benchmark cost model of
+  the paper's appendix (per-transaction + per-item time, bandwidth cap)
+  and the least-squares fit that calibrates it from measurements.
+* :mod:`repro.analysis.throughput` — converting simulated transaction
+  histograms into system throughput estimates (Fig 3 methodology).
+"""
+
+from repro.analysis.calibration import (
+    DEFAULT_MEMCACHED_MODEL,
+    CostModel,
+    fit_cost_model,
+)
+from repro.analysis.latency import LatencyModel, latency_profile
+from repro.analysis.rnb_model import predicted_tpr, required_replication
+from repro.analysis.throughput import (
+    relative_throughput_curve,
+    system_throughput,
+    work_per_request,
+)
+from repro.analysis.urn import (
+    expected_tpr,
+    expected_tprps,
+    occupancy_pmf,
+    prob_server_contacted,
+    tprps_scaling_factor,
+)
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_MEMCACHED_MODEL",
+    "LatencyModel",
+    "latency_profile",
+    "predicted_tpr",
+    "required_replication",
+    "expected_tpr",
+    "expected_tprps",
+    "fit_cost_model",
+    "occupancy_pmf",
+    "prob_server_contacted",
+    "relative_throughput_curve",
+    "system_throughput",
+    "tprps_scaling_factor",
+    "work_per_request",
+]

@@ -1,0 +1,76 @@
+"""Histogram presentation helpers (degree histograms, Figs 4–5).
+
+Degree distributions span four orders of magnitude, so the paper plots
+them on log axes; the text analogue is logarithmic binning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.histogram import Histogram
+
+
+def log_bin_edges(max_value: int, bins_per_decade: int = 3) -> list[int]:
+    """Integer bin edges spaced geometrically: 1, 2, 5, 10, 22, 46, ...
+
+    Starts at 1 (degree-0 nodes are reported separately) and ends just
+    above ``max_value``.
+    """
+    if max_value < 1:
+        raise ValueError("max_value must be >= 1")
+    if bins_per_decade < 1:
+        raise ValueError("bins_per_decade must be >= 1")
+    edges = [1]
+    x = 1.0
+    ratio = 10.0 ** (1.0 / bins_per_decade)
+    while edges[-1] <= max_value:
+        x *= ratio
+        edge = int(np.ceil(x))
+        if edge > edges[-1]:
+            edges.append(edge)
+    return edges
+
+
+def degree_histogram_rows(
+    hist: Histogram, *, bins_per_decade: int = 3
+) -> list[tuple[str, int, float]]:
+    """(bin label, node count, fraction) rows for a degree histogram.
+
+    Degree-0 nodes get their own row; positive degrees are log-binned.
+    """
+    total = hist.total
+    if total == 0:
+        raise ValueError("empty histogram")
+    zero = hist.counts.get(0, 0)
+    positive = Histogram({k: v for k, v in hist.counts.items() if k > 0})
+    rows: list[tuple[str, int, float]] = []
+    if zero:
+        rows.append(("0", zero, zero / total))
+    if len(positive):
+        edges = log_bin_edges(positive.max, bins_per_decade)
+        for label, count in positive.binned(edges):
+            if count:
+                rows.append((label, count, count / total))
+    return rows
+
+
+def tail_exponent_estimate(hist: Histogram, *, xmin: int = 10) -> float:
+    """Maximum-likelihood power-law exponent of the histogram tail.
+
+    Uses the discrete Hill/Clauset estimator
+    ``alpha = 1 + n / sum(ln(x_i / (xmin - 0.5)))`` over observations
+    ``>= xmin``; a quick heavy-tailedness check for synthetic-vs-paper
+    comparisons, not a rigorous fit.
+    """
+    if xmin < 1:
+        raise ValueError("xmin must be >= 1")
+    n = 0
+    log_sum = 0.0
+    for value, count in hist.counts.items():
+        if value >= xmin:
+            n += count
+            log_sum += count * np.log(value / (xmin - 0.5))
+    if n == 0 or log_sum == 0.0:
+        raise ValueError(f"no observations at or above xmin={xmin}")
+    return 1.0 + n / log_sum

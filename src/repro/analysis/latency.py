@@ -1,0 +1,82 @@
+"""A simple latency model for RnB reads (paper section V-B future work).
+
+"Additional future work includes measuring the impact of RnB on the
+latency ... of real and simulated systems."
+
+Model: a client issues a round's transactions in parallel; the round
+completes when its slowest transaction returns.  A transaction to a
+server costs one network RTT plus the server-side service time from the
+calibrated :class:`CostModel`.  A request's latency is the sum of its
+rounds (RnB has at most two: the planned fetch and the miss repair).
+
+This deliberately ignores queueing (like the paper's simulator) — it
+isolates the *structural* latency effect of RnB: fewer transactions do
+not speed up a request (rounds are parallel), and second rounds under
+overbooking add a full RTT.  RnB buys throughput, not latency; the model
+makes that trade-off measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.calibration import CostModel
+from repro.types import FetchResult
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyModel:
+    """Round-trip + service-time latency of bundled fetches."""
+
+    cost_model: CostModel
+    rtt: float = 200e-6  # one intra-datacenter round trip (200us)
+
+    def __post_init__(self) -> None:
+        if self.rtt < 0:
+            raise ValueError("rtt must be non-negative")
+
+    def transaction_latency(self, n_items: int) -> float:
+        """Latency of one transaction: RTT + service time."""
+        return self.rtt + self.cost_model.txn_time(n_items)
+
+    def round_latency(self, txn_sizes: Sequence[int]) -> float:
+        """A round of parallel transactions finishes with its slowest."""
+        if not txn_sizes:
+            return 0.0
+        return max(self.transaction_latency(m) for m in txn_sizes)
+
+    def request_latency(self, result: FetchResult) -> float:
+        """Latency of one executed request (1 or 2 rounds).
+
+        ``result.txn_sizes`` lists round-one transactions first, then the
+        second-round transactions (this is the order
+        :class:`repro.core.client.RnBClient` records them in).
+        """
+        n_second = result.second_round_transactions
+        sizes = list(result.txn_sizes)
+        if n_second == 0:
+            return self.round_latency(sizes)
+        first, second = sizes[: len(sizes) - n_second], sizes[len(sizes) - n_second :]
+        return self.round_latency(first) + self.round_latency(second)
+
+
+def latency_profile(
+    results: Iterable[FetchResult], model: LatencyModel
+) -> dict[str, float]:
+    """Mean / p50 / p95 / p99 request latency (seconds) over a run."""
+    results = list(results)
+    latencies = np.array([model.request_latency(r) for r in results])
+    if len(latencies) == 0:
+        raise ValueError("no results to profile")
+    return {
+        "mean": float(latencies.mean()),
+        "p50": float(np.percentile(latencies, 50)),
+        "p95": float(np.percentile(latencies, 95)),
+        "p99": float(np.percentile(latencies, 99)),
+        "two_round_fraction": float(
+            np.mean([r.second_round_transactions > 0 for r in results])
+        ),
+    }

@@ -1,0 +1,73 @@
+"""System throughput from simulated transaction histograms (Fig 3 method).
+
+"The simulator produced a histogram of the number of items in each
+transaction and, based on this histogram, we estimated the maximum
+throughput of the system" (paper section III-B).  With per-transaction
+cost ``t(m)`` from the calibrated :class:`CostModel`, the mean server
+work per end-user request is
+
+    E[work] = (1 / n_requests) * sum over transactions of t(m_txn)
+
+and, assuming the pseudo-random placement spreads work evenly over the N
+servers (verified by the load-balance tests), the request-handling
+capacity of the whole fleet is
+
+    throughput = N / E[work]   requests/second.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.calibration import CostModel
+from repro.utils.histogram import Histogram
+
+
+def work_per_request(
+    txn_size_histogram: "Histogram | Mapping[int, int]",
+    n_requests: int,
+    cost_model: CostModel,
+) -> float:
+    """Mean server CPU-seconds consumed per end-user request."""
+    if n_requests <= 0:
+        raise ValueError("n_requests must be positive")
+    counts = (
+        txn_size_histogram.counts
+        if isinstance(txn_size_histogram, Histogram)
+        else txn_size_histogram
+    )
+    total = 0.0
+    for size, count in counts.items():
+        total += count * cost_model.txn_time(size)
+    return total / n_requests
+
+
+def system_throughput(
+    txn_size_histogram: "Histogram | Mapping[int, int]",
+    n_requests: int,
+    n_servers: int,
+    cost_model: CostModel,
+) -> float:
+    """Maximum request-handling rate of the fleet (requests/second)."""
+    if n_servers <= 0:
+        raise ValueError("n_servers must be positive")
+    work = work_per_request(txn_size_histogram, n_requests, cost_model)
+    if work == 0.0:
+        raise ValueError("no transactions recorded; throughput undefined")
+    return n_servers / work
+
+
+def relative_throughput_curve(
+    throughputs: Sequence[float],
+) -> list[float]:
+    """Normalise a throughput-vs-N series to the first (single-server) point.
+
+    This is the paper's Fig 3 y-axis: "throughput with a varying number of
+    servers, relative to the throughput of a single server system".
+    """
+    if not throughputs:
+        raise ValueError("empty throughput series")
+    base = throughputs[0]
+    if base <= 0:
+        raise ValueError("baseline throughput must be positive")
+    return [t / base for t in throughputs]

@@ -1,0 +1,136 @@
+"""Command-line interface: ``rnb`` / ``python -m repro``.
+
+Subcommands
+-----------
+``rnb list``
+    List available experiments.
+``rnb run fig08 [--scale 0.1] [--seed 2013] [--n-requests 1200]``
+    Run one experiment (or ``all``) and print its figure tables.
+``rnb calibrate``
+    Run the in-process micro-benchmark and print the fitted cost model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro._version import __version__
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rnb",
+        description="Replicate and Bundle (RnB) reproduction harness",
+    )
+    parser.add_argument("--version", action="version", version=f"rnb {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run an experiment and print its tables")
+    run_p.add_argument(
+        "experiment",
+        help="experiment name (see 'rnb list') or 'all'",
+    )
+    run_p.add_argument("--scale", type=float, default=None, help="graph scale (0-1]")
+    run_p.add_argument("--seed", type=int, default=None)
+    run_p.add_argument("--n-requests", type=int, default=None, dest="n_requests")
+    run_p.add_argument(
+        "--format",
+        choices=("table", "json", "csv"),
+        default="table",
+        help="output format for the figure data",
+    )
+    run_p.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also write one <figure>.<format> file per result into DIR",
+    )
+
+    sub.add_parser("calibrate", help="fit a cost model from the in-process server")
+    return parser
+
+
+def _run_one(name: str, args) -> None:
+    kwargs = {}
+    fn = EXPERIMENTS[name]
+    import inspect
+
+    accepted = inspect.signature(fn).parameters
+    for attr in ("scale", "seed", "n_requests"):
+        value = getattr(args, attr, None)
+        if value is not None and attr in accepted:
+            kwargs[attr] = value
+    start = time.perf_counter()
+    results = run_experiment(name, **kwargs)
+    elapsed = time.perf_counter() - start
+
+    fmt = getattr(args, "format", "table")
+    render = {
+        "table": lambda r: r.table(),
+        "json": lambda r: r.to_json(),
+        "csv": lambda r: r.to_csv(),
+    }[fmt]
+    for res in results:
+        print(render(res))
+        print()
+
+    out_dir = getattr(args, "out", None)
+    if out_dir is not None:
+        from pathlib import Path
+
+        path = Path(out_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        suffix = {"table": "txt", "json": "json", "csv": "csv"}[fmt]
+        for res in results:
+            (path / f"{res.name}.{suffix}").write_text(render(res) + "\n")
+    print(f"[{name}: {elapsed:.1f}s]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            doc = (sys.modules[EXPERIMENTS[name].__module__].__doc__ or "").strip()
+            headline = doc.splitlines()[0] if doc else ""
+            print(f"{name:12s} {headline}")
+        return 0
+
+    if args.command == "run":
+        names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+        for name in names:
+            if name not in EXPERIMENTS:
+                print(
+                    f"unknown experiment {name!r}; try 'rnb list'", file=sys.stderr
+                )
+                return 2
+            _run_one(name, args)
+        return 0
+
+    if args.command == "calibrate":
+        from repro.analysis.calibration import fit_cost_model
+        from repro.protocol.microbench import measure_items_per_second
+
+        points = measure_items_per_second([1, 2, 5, 10, 20, 50])
+        model = fit_cost_model(
+            [p.txn_size for p in points], [p.items_per_s for p in points]
+        )
+        print("txn_size  txns/s      items/s")
+        for p in points:
+            print(f"{p.txn_size:8d}  {p.transactions_per_s:10.0f}  {p.items_per_s:10.0f}")
+        print(
+            f"fitted: t_txn={model.t_txn:.3g}s  t_item={model.t_item:.3g}s  "
+            f"cap={model.bandwidth_items_per_s}"
+        )
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces valid commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Simulated memcached fleet: LRU stores, servers, placement, cluster.
+
+The cluster model captures exactly what the paper's simulator needed
+(section III-B): per-server transaction counts, per-transaction item
+counts, and — for the limited-memory experiments (section III-D) — LRU
+eviction with pinned *distinguished copies*.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.lru import (
+    LRUCache,
+    PartitionedLRU,
+    PinnedLRU,
+    PriorityClassStore,
+    PriorityLRU,
+)
+from repro.cluster.placement import (
+    FullReplicationPlacer,
+    ReplicaPlacer,
+    SingleHashPlacer,
+    make_placer,
+)
+from repro.cluster.server import Server
+
+__all__ = [
+    "Cluster",
+    "FullReplicationPlacer",
+    "LRUCache",
+    "PartitionedLRU",
+    "PinnedLRU",
+    "PriorityClassStore",
+    "PriorityLRU",
+    "ReplicaPlacer",
+    "Server",
+    "SingleHashPlacer",
+    "make_placer",
+]

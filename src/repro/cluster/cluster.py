@@ -1,0 +1,141 @@
+"""The server fleet: placement + memory budgeting + provisioning.
+
+A :class:`Cluster` ties together a replica placer and N servers, and
+implements the paper's memory accounting (section III-D):
+
+* the *distinguished copy* of every item is pinned on its home server,
+  consuming exactly the memory a no-replication deployment would use;
+* the *additional* memory — ``(memory_factor - 1) x n_items`` item units,
+  split evenly across servers — backs each server's replica LRU;
+* ``memory_factor=None`` models unlimited memory (naive allocation,
+  Fig 6), where every logical replica is physically resident.
+
+``memory_factor`` is the paper's Fig 8 x-axis: 1.0 is "exactly enough
+memory to store one copy of the data".
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.cluster.lru import PinnedLRU, PriorityClassStore
+from repro.cluster.placement import ReplicaPlacer
+from repro.cluster.server import Server
+from repro.errors import CapacityError, ConfigurationError
+from repro.types import ItemId
+
+
+class Cluster:
+    """A fleet of simulated memcached servers behind one placer."""
+
+    def __init__(
+        self,
+        placer: ReplicaPlacer,
+        items: Iterable[ItemId],
+        *,
+        memory_factor: float | None = None,
+        lru_policy: str = "pinned",
+    ) -> None:
+        self.placer = placer
+        self.items: tuple[ItemId, ...] = tuple(items)
+        if not self.items:
+            raise ConfigurationError("a cluster must store at least one item")
+        if memory_factor is not None and memory_factor < 1.0:
+            raise CapacityError(
+                "memory_factor below 1.0 cannot hold the distinguished copies "
+                f"(got {memory_factor})"
+            )
+        if lru_policy not in ("pinned", "priority"):
+            raise ConfigurationError(
+                f"lru_policy must be 'pinned' or 'priority'; got {lru_policy!r}"
+            )
+        self.memory_factor = memory_factor
+        self.lru_policy = lru_policy
+        self.n_servers = placer.n_servers
+
+        homes: dict[int, list[ItemId]] = defaultdict(list)
+        for item in self.items:
+            homes[placer.distinguished_for(item)].append(item)
+
+        self.servers: list[Server] = []
+        for sid in range(self.n_servers):
+            if memory_factor is None:
+                store = PinnedLRU(None) if lru_policy == "pinned" else PriorityClassStore(None)
+            elif lru_policy == "pinned":
+                # fixed reserve: distinguished copies outside the LRU, the
+                # extra memory split evenly as replica space (paper III-D)
+                extra_total = (memory_factor - 1.0) * len(self.items)
+                store = PinnedLRU(int(round(extra_total / self.n_servers)))
+            else:
+                # shared budget: one capacity for both classes; replicas
+                # always evicted first.  Clamped so every server can hold
+                # its distinguished copies even under placement imbalance.
+                budget = int(round(memory_factor * len(self.items) / self.n_servers))
+                store = PriorityClassStore(max(budget, len(homes.get(sid, ()))))
+            self.servers.append(Server(sid, store=store))
+
+        for sid, pinned in homes.items():
+            self.servers[sid].pin_distinguished(pinned)
+
+        # Initial data load: a write in RnB goes to every logical replica
+        # (section III-G), so all replicas are inserted at load time; with
+        # limited memory the per-server LRUs immediately trim the overflow,
+        # and the warmup phase then re-orders survivors by actual use.
+        # With memory_factor=None (naive allocation) everything stays
+        # resident, giving exactly Fig 6's setting.
+        for item in self.items:
+            for sid in placer.servers_for(item)[1:]:
+                self.servers[sid].store.put(item)
+
+    # -- access -----------------------------------------------------------
+
+    def server(self, sid: int) -> Server:
+        return self.servers[sid]
+
+    def __len__(self) -> int:
+        return self.n_servers
+
+    def __iter__(self):
+        return iter(self.servers)
+
+    # -- memory introspection ----------------------------------------------
+
+    @property
+    def replica_capacity_per_server(self) -> int | None:
+        return self.servers[0].store.replica_capacity
+
+    def total_resident_items(self) -> int:
+        """Physically resident copies across the fleet (pinned + replicas)."""
+        return sum(s.resident_items for s in self.servers)
+
+    def effective_memory_factor(self) -> float:
+        """Resident copies relative to one full copy of the data.
+
+        For limited-memory runs this converges to ``memory_factor`` once
+        the LRUs fill; for unlimited memory it equals the replication
+        level.
+        """
+        return self.total_resident_items() / len(self.items)
+
+    # -- counters -----------------------------------------------------------
+
+    def reset_counters(self) -> None:
+        """Clear per-server work counters (used between warmup and measure)."""
+        for s in self.servers:
+            s.reset_counters()
+
+    def total_transactions(self) -> int:
+        return sum(s.counters.transactions for s in self.servers)
+
+    def per_server_transactions(self) -> list[int]:
+        return [s.counters.transactions for s in self.servers]
+
+    def txn_size_histogram(self):
+        """Fleet-wide histogram of items per transaction."""
+        from repro.utils.histogram import Histogram
+
+        h = Histogram()
+        for s in self.servers:
+            h.merge(s.counters.txn_sizes)
+        return h

@@ -1,0 +1,149 @@
+"""A simulated memcached server.
+
+The server model tracks exactly what the paper's metrics need: every
+multi-get counts one *transaction*; per-transaction item counts feed the
+throughput calibration; hits/misses come from a two-class LRU when memory
+is limited (sections III-B to III-D).
+
+Items are presence-only (all items are the same size, section III-B); a
+server therefore stores keys, not values.  The live key-value protocol
+implementation lives in :mod:`repro.protocol` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.cluster.lru import PinnedLRU
+from repro.types import ItemId
+from repro.utils.histogram import Histogram
+
+
+@dataclass(slots=True)
+class ServerCounters:
+    """Work counters for one server (reset between warmup and measure)."""
+
+    transactions: int = 0
+    items_requested: int = 0
+    items_returned: int = 0
+    hits: int = 0
+    misses: int = 0
+    hitchhiker_hits: int = 0
+    hitchhiker_misses: int = 0
+    writes: int = 0
+    txn_sizes: Histogram = field(default_factory=Histogram)
+
+    def reset(self) -> None:
+        self.transactions = 0
+        self.items_requested = 0
+        self.items_returned = 0
+        self.hits = 0
+        self.misses = 0
+        self.hitchhiker_hits = 0
+        self.hitchhiker_misses = 0
+        self.writes = 0
+        self.txn_sizes = Histogram()
+
+
+class Server:
+    """One storage node.
+
+    Parameters
+    ----------
+    server_id:
+        Id within the cluster.
+    replica_capacity:
+        LRU capacity (item units) for *replica* copies; distinguished
+        copies are pinned separately and never evicted.  ``None`` means
+        unlimited (the naive allocation of Fig 6, where physical memory
+        equals replication level times the item count).
+    """
+
+    def __init__(
+        self,
+        server_id: int,
+        replica_capacity: int | None = None,
+        *,
+        store=None,
+    ) -> None:
+        self.server_id = server_id
+        # any PinnedLRU-compatible two-class store may be injected (e.g.
+        # PriorityClassStore for the shared-budget policy ablation)
+        self.store = store if store is not None else PinnedLRU(replica_capacity)
+        self.counters = ServerCounters()
+
+    # -- provisioning ---------------------------------------------------
+
+    def pin_distinguished(self, items: Iterable[ItemId]) -> None:
+        """Install the distinguished copies this server is home to."""
+        self.store.pin_all(items)
+
+    def preload_replicas(self, items: Iterable[ItemId]) -> None:
+        """Warm the replica LRU (used by memory-rich experiments)."""
+        for item in items:
+            self.store.put(item)
+
+    # -- the transaction ------------------------------------------------
+
+    def multi_get(
+        self,
+        primary: Sequence[ItemId],
+        hitchhikers: Sequence[ItemId] = (),
+    ) -> tuple[list[ItemId], list[ItemId], list[ItemId]]:
+        """Serve one multi-get transaction.
+
+        Returns ``(hits, misses, hitchhiker_hits)`` over the primary and
+        hitchhiker item lists.  Per the paper's policy (section III-C2)
+        the LRU is updated for primary hits and for hitchhiker *hits*,
+        never for hitchhiker misses.
+        """
+        if not primary and not hitchhikers:
+            raise ValueError("a transaction must request at least one item")
+        hits: list[ItemId] = []
+        misses: list[ItemId] = []
+        hh_hits: list[ItemId] = []
+        for item in primary:
+            if self.store.touch(item):
+                hits.append(item)
+            else:
+                misses.append(item)
+        for item in hitchhikers:
+            if self.store.touch(item):
+                hh_hits.append(item)
+            else:
+                self.counters.hitchhiker_misses += 1
+        c = self.counters
+        c.transactions += 1
+        n_req = len(primary) + len(hitchhikers)
+        c.items_requested += n_req
+        c.items_returned += len(hits) + len(hh_hits)
+        c.hits += len(hits)
+        c.misses += len(misses)
+        c.hitchhiker_hits += len(hh_hits)
+        c.txn_sizes.add(n_req)
+        return hits, misses, hh_hits
+
+    def write_back(self, item: ItemId) -> None:
+        """Insert a replica copy after a DB fetch (miss path)."""
+        self.store.put(item)
+        self.counters.writes += 1
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def resident_items(self) -> int:
+        return len(self.store)
+
+    @property
+    def pinned_items(self) -> int:
+        return self.store.n_pinned
+
+    def reset_counters(self) -> None:
+        self.counters.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Server(id={self.server_id}, pinned={self.store.n_pinned}, "
+            f"replicas={self.store.n_replicas}, txns={self.counters.transactions})"
+        )

@@ -1,0 +1,164 @@
+"""The Bundler: request + placement → fetch plan.
+
+Bundling is the "B" of RnB (paper section III-A): compute the replica
+locations of every requested item, pick a small group of servers that
+jointly possess (enough of) the request set via greedy set cover, and
+bundle all items assigned to a server into one transaction.
+
+Two refinements from the paper are applied after the cover:
+
+* **Single-item rule** (section III-C1): "whenever an item is not
+  bundled, we access its distinguished copy in order not to pollute other
+  server caches with its copies."  Any transaction left with exactly one
+  item is redirected to that item's distinguished server; redirected
+  items headed for the same distinguished server are re-bundled together,
+  and items whose plan already includes a transaction to their
+  distinguished server simply join it.
+* **Hitchhiking** (section III-C2): every transaction additionally
+  carries, as redundant *hitchhikers*, all other requested items that
+  have a logical replica on that server.  Hitchhikers cost traffic but no
+  transactions, and rescue first-round misses under overbooking.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+import numpy as np
+
+from repro.cluster.placement import ReplicaPlacer
+from repro.core.setcover import greedy_partial_cover
+from repro.types import FetchPlan, ItemId, Request, Transaction
+from repro.utils.bitset import iter_bits
+
+
+class Bundler:
+    """Builds :class:`FetchPlan` objects for requests.
+
+    Parameters
+    ----------
+    placer:
+        The replica placement in force.
+    hitchhiking:
+        Enable the hitchhiker enhancement.
+    single_item_rule:
+        Apply the single-item → distinguished-copy redirection.
+    tie_break:
+        Greedy tie-breaking policy (see :mod:`repro.core.setcover`).
+    rng:
+        Required when ``tie_break="random"``.
+    """
+
+    def __init__(
+        self,
+        placer: ReplicaPlacer,
+        *,
+        hitchhiking: bool = False,
+        single_item_rule: bool = True,
+        tie_break="lowest",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.placer = placer
+        self.hitchhiking = hitchhiking
+        self.single_item_rule = single_item_rule
+        self.tie_break = tie_break
+        self.rng = rng
+
+    # -- plan construction -------------------------------------------------
+
+    def plan(self, request: Request) -> FetchPlan:
+        """Compute the first-round transactions for ``request``."""
+        items: Sequence[ItemId] = request.items
+        n = len(items)
+        if n == 0:
+            return FetchPlan(request=request, transactions=())
+
+        replica_sets = [self.placer.servers_for(item) for item in items]
+
+        # Build per-server bitmasks over request-local item indices.
+        subsets: dict[int, int] = {}
+        for idx, servers in enumerate(replica_sets):
+            bit = 1 << idx
+            for s in servers:
+                subsets[s] = subsets.get(s, 0) | bit
+
+        cover = greedy_partial_cover(
+            subsets,
+            n,
+            request.required_items,
+            tie_break=self.tie_break,
+            rng=self.rng,
+        )
+
+        # server -> list of request-local indices assigned to it
+        assigned: dict[int, list[int]] = {
+            server: list(iter_bits(mask)) for server, mask in cover.assignment.items()
+        }
+
+        if self.single_item_rule:
+            assigned = self._apply_single_item_rule(assigned, replica_sets)
+
+        transactions = []
+        for server in sorted(assigned):
+            idxs = assigned[server]
+            if not idxs:
+                continue
+            primary = tuple(items[i] for i in idxs)
+            hitchhikers: tuple[ItemId, ...] = ()
+            if self.hitchhiking:
+                hitchhikers = self._hitchhikers_for(server, idxs, items, replica_sets)
+            transactions.append(
+                Transaction(server=server, primary=primary, hitchhikers=hitchhikers)
+            )
+        return FetchPlan(request=request, transactions=tuple(transactions))
+
+    # -- enhancements --------------------------------------------------------
+
+    def _apply_single_item_rule(
+        self,
+        assigned: dict[int, list[int]],
+        replica_sets: Sequence[Sequence[int]],
+    ) -> dict[int, list[int]]:
+        """Redirect un-bundled (single-item) transactions to distinguished copies.
+
+        Done as a single pass: first collect all singletons, then place
+        each on its item's distinguished server.  Collecting first means
+        two singletons that share a distinguished server merge into one
+        two-item transaction rather than being processed order-dependently.
+        A redirected item never *misses* (distinguished copies are pinned),
+        so the redirection can only reduce LRU pollution.
+        """
+        singles: list[int] = []
+        kept: dict[int, list[int]] = {}
+        for server, idxs in assigned.items():
+            if len(idxs) == 1:
+                singles.append(idxs[0])
+            else:
+                kept[server] = list(idxs)
+        if not singles:
+            return assigned
+        moved = defaultdict(list, kept)
+        for idx in singles:
+            home = replica_sets[idx][0]
+            moved[home].append(idx)
+        # keep item order stable within each transaction
+        return {s: sorted(v) for s, v in moved.items()}
+
+    def _hitchhikers_for(
+        self,
+        server: int,
+        primary_idxs: Sequence[int],
+        items: Sequence[ItemId],
+        replica_sets: Sequence[Sequence[int]],
+    ) -> tuple[ItemId, ...]:
+        """Requested items with a logical replica on ``server`` not already
+        assigned to it."""
+        primary_set = set(primary_idxs)
+        out: list[ItemId] = []
+        for idx, servers in enumerate(replica_sets):
+            if idx in primary_set:
+                continue
+            if server in servers:
+                out.append(items[idx])
+        return tuple(out)

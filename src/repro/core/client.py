@@ -1,0 +1,140 @@
+"""The RnB client: executes fetch plans against a cluster.
+
+Implements the full read path of paper sections III-A/C/D:
+
+1. **Round one** — issue the plan's transactions (cover + hitchhikers).
+2. **Miss handling** — items that missed (their replica was evicted under
+   overbooking) and were not rescued by a hitchhiker hit elsewhere are
+   fetched in a **second round** from their *distinguished copies*, which
+   are pinned and never miss.  Second-round fetches are bundled by
+   distinguished server, "so the penalty is not exactly a transaction per
+   miss" (section III-D).
+3. **Write-back** — a missed item is written "only to the replica that
+   was the first to be picked by the greedy set cover algorithm"
+   (section III-C2), i.e. the server where the planned fetch missed.
+
+LIMIT requests (section III-F) stop the second round as soon as the
+required item count has been reached, and skip it entirely when round one
+already returned enough.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.cluster.cluster import Cluster
+from repro.core.bundling import Bundler
+from repro.errors import ConfigurationError
+from repro.types import FetchPlan, FetchResult, ItemId, Request
+
+
+class RnBClient:
+    """Stateless front-end client executing RnB reads.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated fleet to read from.
+    bundler:
+        Plan builder; its placer must be the cluster's placer, otherwise
+        the client would look for replicas where none were provisioned.
+    write_back:
+        Write missed items back to the first-picked replica (paper
+        policy).  Disable for ablation.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        bundler: Bundler,
+        *,
+        write_back: bool = True,
+    ) -> None:
+        if bundler.placer is not cluster.placer:
+            raise ConfigurationError(
+                "bundler and cluster must share the same placer instance"
+            )
+        self.cluster = cluster
+        self.bundler = bundler
+        self.write_back = write_back
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(self, request: Request) -> FetchResult:
+        """Serve one end-user request; returns per-request metrics."""
+        plan = self.bundler.plan(request)
+        return self.execute_plan(plan)
+
+    def execute_plan(self, plan: FetchPlan) -> FetchResult:
+        request = plan.request
+        obtained: set[ItemId] = set()
+        missed: dict[ItemId, int] = {}  # item -> planned (first-picked) server
+        servers_contacted: list[int] = []
+        txn_sizes: list[int] = []
+        items_transferred = 0
+
+        # ---- round one ----
+        for txn in plan.transactions:
+            server = self.cluster.server(txn.server)
+            hits, misses, hh_hits = server.multi_get(txn.primary, txn.hitchhikers)
+            obtained.update(hits)
+            obtained.update(hh_hits)
+            for item in misses:
+                missed[item] = txn.server
+            servers_contacted.append(txn.server)
+            txn_sizes.append(txn.n_items)
+            items_transferred += len(hits) + len(hh_hits)
+
+        # hitchhikers elsewhere may have rescued a miss
+        still_missing = [i for i in missed if i not in obtained]
+
+        # ---- write-back of missed items (DB fetch side effect) ----
+        if self.write_back:
+            for item in missed:
+                if item not in obtained:
+                    self.cluster.server(missed[item]).write_back(item)
+
+        # ---- round two: distinguished copies ----
+        second_round = 0
+        required = request.required_items
+        if still_missing and len(obtained) < required:
+            groups: dict[int, list[ItemId]] = defaultdict(list)
+            for item in still_missing:
+                groups[self.bundler.placer.distinguished_for(item)].append(item)
+            for server_id, group in self._second_round_order(groups):
+                need = required - len(obtained)
+                if need <= 0:
+                    break
+                fetch = group[:need] if request.limit_fraction is not None else group
+                server = self.cluster.server(server_id)
+                hits, misses2, _ = server.multi_get(fetch)
+                # distinguished copies are pinned; a miss here means the
+                # cluster was mis-provisioned
+                if misses2:  # pragma: no cover - invariant guard
+                    raise ConfigurationError(
+                        f"distinguished copies missing on server {server_id}: {misses2}"
+                    )
+                obtained.update(hits)
+                servers_contacted.append(server_id)
+                txn_sizes.append(len(fetch))
+                items_transferred += len(hits)
+                second_round += 1
+
+        return FetchResult(
+            request=request,
+            transactions=len(plan.transactions) + second_round,
+            items_fetched=len(obtained),
+            items_transferred=items_transferred,
+            misses=len(missed),
+            second_round_transactions=second_round,
+            servers_contacted=tuple(servers_contacted),
+            txn_sizes=tuple(txn_sizes),
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def _second_round_order(groups: dict[int, list[ItemId]]):
+        """Largest groups first so LIMIT second rounds use fewest transactions;
+        ties break on lowest server id for determinism."""
+        return sorted(groups.items(), key=lambda kv: (-len(kv[1]), kv[0]))

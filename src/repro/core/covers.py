@@ -1,0 +1,175 @@
+"""Alternative cover strategies: quality/overhead companions to greedy.
+
+The paper uses the greedy heuristic and notes that "considerable benefits
+are obtained even with sub-optimal server selection" (section I-C), and
+its future work asks about "the quality and overhead of the bundling
+algorithms" at scale (section V-B).  This module provides the comparison
+points:
+
+* :func:`exact_min_cover` — optimal cover by branch-and-bound over
+  bitmasks; exponential worst case, fine for request-sized instances
+  (the quality yardstick).
+* :func:`first_fit_cover` — the cheapest conceivable heuristic: walk the
+  items in order, send each to its first replica already in use, else
+  open its distinguished server.  O(M·R), no coverage counting at all.
+* :func:`random_cover` — pick random useful servers until covered; the
+  lower bound on cleverness.
+
+All return :class:`repro.core.setcover.CoverResult`, so
+:mod:`repro.experiments.cover_quality` can sweep them interchangeably
+with :func:`repro.core.setcover.greedy_set_cover`.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.setcover import CoverResult
+from repro.errors import CoverError
+from repro.utils.rng import ensure_rng
+
+
+def _validate(subsets: Mapping[int, int], n_elements: int) -> int:
+    union = 0
+    for mask in subsets.values():
+        union |= mask
+    if union != (1 << n_elements) - 1:
+        raise CoverError("instance is infeasible: union does not cover universe")
+    return union
+
+
+def _assignment_from_selection(
+    subsets: Mapping[int, int], selection: Sequence[int], n_elements: int
+) -> CoverResult:
+    """Assign every element to the first selected set containing it."""
+    uncovered = (1 << n_elements) - 1
+    assignment: dict[int, int] = {}
+    kept: list[int] = []
+    for key in selection:
+        newly = subsets[key] & uncovered
+        if newly:
+            assignment[key] = newly
+            kept.append(key)
+            uncovered &= ~newly
+    return CoverResult(
+        selected=tuple(kept),
+        assignment=assignment,
+        covered=(1 << n_elements) - 1 - uncovered,
+        n_elements=n_elements,
+    )
+
+
+def exact_min_cover(subsets: Mapping[int, int], n_elements: int) -> CoverResult:
+    """Optimal minimum set cover via branch-and-bound.
+
+    Branches on the lowest uncovered element (it must be covered by one
+    of the sets containing it), pruning with the best size found so far
+    and a trivial ceil(remaining / max-set-size) lower bound.  Worst-case
+    exponential; practical for the M <= ~200, N <= ~64 instances RnB
+    requests produce.
+    """
+    if n_elements == 0:
+        return CoverResult(selected=(), assignment={}, covered=0, n_elements=0)
+    _validate(subsets, n_elements)
+    keys = sorted(subsets, key=lambda k: -subsets[k].bit_count())
+    masks = {k: subsets[k] for k in keys}
+    max_size = max(m.bit_count() for m in masks.values())
+    universe = (1 << n_elements) - 1
+
+    best: list[int] | None = None
+
+    def search(uncovered: int, chosen: list[int]) -> None:
+        nonlocal best
+        if uncovered == 0:
+            if best is None or len(chosen) < len(best):
+                best = list(chosen)
+            return
+        if best is not None:
+            remaining = uncovered.bit_count()
+            lower = len(chosen) + -(-remaining // max_size)
+            if lower >= len(best):
+                return
+        target = uncovered & -uncovered  # lowest uncovered element
+        for key in keys:
+            if masks[key] & target:
+                chosen.append(key)
+                search(uncovered & ~masks[key], chosen)
+                chosen.pop()
+
+    search(universe, [])
+    assert best is not None  # feasibility checked above
+    return _assignment_from_selection(subsets, best, n_elements)
+
+
+def first_fit_cover(
+    replica_lists: Sequence[Sequence[int]],
+) -> CoverResult:
+    """O(M·R) cover with zero coverage counting.
+
+    For each item in request order: if any of its replicas is a server we
+    already opened, bundle it there (first such replica wins); otherwise
+    open its distinguished server (replica 0).  This is the natural
+    "streaming" client implementation and the floor the greedy cover is
+    judged against.
+    """
+    subsets: dict[int, int] = {}
+    for i, servers in enumerate(replica_lists):
+        if not servers:
+            raise CoverError(f"element {i} has an empty replica list")
+        for s in servers:
+            subsets[s] = subsets.get(s, 0) | (1 << i)
+
+    opened: list[int] = []
+    opened_set: set[int] = set()
+    assignment: dict[int, int] = {}
+    for i, servers in enumerate(replica_lists):
+        chosen = next((s for s in servers if s in opened_set), None)
+        if chosen is None:
+            chosen = servers[0]
+            opened.append(chosen)
+            opened_set.add(chosen)
+        assignment[chosen] = assignment.get(chosen, 0) | (1 << i)
+
+    covered = 0
+    for mask in assignment.values():
+        covered |= mask
+    return CoverResult(
+        selected=tuple(opened),
+        assignment=assignment,
+        covered=covered,
+        n_elements=len(replica_lists),
+    )
+
+
+def random_cover(
+    subsets: Mapping[int, int],
+    n_elements: int,
+    *,
+    rng=None,
+) -> CoverResult:
+    """Pick uniformly random *useful* servers until everything is covered.
+
+    A useful server covers at least one uncovered element.  This is the
+    "no bundling intelligence at all" reference point.
+    """
+    if n_elements == 0:
+        return CoverResult(selected=(), assignment={}, covered=0, n_elements=0)
+    _validate(subsets, n_elements)
+    rng = ensure_rng(rng)
+    uncovered = (1 << n_elements) - 1
+    selected: list[int] = []
+    assignment: dict[int, int] = {}
+    remaining = dict(subsets)
+    while uncovered:
+        useful = [k for k, m in remaining.items() if m & uncovered]
+        choice = useful[int(rng.integers(len(useful)))]
+        newly = remaining.pop(choice) & uncovered
+        assignment[choice] = newly
+        selected.append(choice)
+        uncovered &= ~newly
+    return CoverResult(
+        selected=tuple(selected),
+        assignment=assignment,
+        covered=(1 << n_elements) - 1,
+        n_elements=n_elements,
+    )

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the RnB reproduction library.
+
+Every error raised deliberately by this package derives from
+:class:`RnBError` so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class RnBError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(RnBError):
+    """A simulation / cluster / client configuration is invalid.
+
+    Raised eagerly at construction time (fail fast), e.g. a replication
+    level larger than the number of servers, or a memory budget too small
+    to pin the distinguished copies.
+    """
+
+
+class PlacementError(RnBError):
+    """A placement policy could not produce a valid replica set."""
+
+
+class CapacityError(RnBError):
+    """A server or cluster was asked to hold more pinned data than fits."""
+
+
+class ProtocolError(RnBError):
+    """Malformed message or illegal state transition in the wire protocol."""
+
+
+class WorkloadError(RnBError):
+    """A workload/dataset could not be generated or loaded."""
+
+
+class CoverError(RnBError):
+    """The set-cover solver was given an infeasible instance.
+
+    For RnB this happens only when some requested item has an empty
+    replica set (it is stored nowhere), which indicates a placement bug
+    or a request for an unknown key.
+    """

@@ -1,0 +1,117 @@
+"""Bundling-algorithm quality and overhead (paper sections I-C, V-B).
+
+The paper asserts that "considerable benefits are obtained even with
+sub-optimal server selection" and that greedy's mean-case quality is what
+matters.  This experiment quantifies both claims on RnB-shaped instances
+(M random items, R uniformly random distinct replicas each, N servers):
+
+* **quality** — mean transactions used by exact optimum, greedy,
+  first-fit and random selection;
+* **overhead** — wall-clock microseconds per request for each solver
+  (exact excluded from the largest instances).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.covers import exact_min_cover, first_fit_cover, random_cover
+from repro.core.setcover import greedy_set_cover
+from repro.experiments.base import ExperimentResult
+from repro.utils.rng import derive_rng
+
+DEFAULT_CASES = ((16, 20, 3), (16, 40, 3), (32, 40, 3), (32, 80, 4), (64, 100, 4))
+
+
+def _instance(n_servers: int, request_size: int, replication: int, rng):
+    """One RnB instance: per-item replica lists and per-server bitmasks."""
+    replica_lists = []
+    subsets: dict[int, int] = {}
+    for i in range(request_size):
+        servers = rng.choice(n_servers, size=replication, replace=False)
+        replica_lists.append(tuple(int(s) for s in servers))
+        for s in replica_lists[-1]:
+            subsets[s] = subsets.get(s, 0) | (1 << i)
+    return replica_lists, subsets
+
+
+def run(
+    *,
+    cases=DEFAULT_CASES,
+    n_trials: int = 60,
+    exact_limit: int = 48,
+    seed: int = 2013,
+) -> list[ExperimentResult]:
+    labels = []
+    quality: dict[str, list[float]] = {
+        "optimal": [],
+        "greedy": [],
+        "first-fit": [],
+        "random": [],
+    }
+    overhead: dict[str, list[float]] = {
+        "greedy us": [],
+        "first-fit us": [],
+        "random us": [],
+    }
+    for n_servers, request_size, replication in cases:
+        rng = derive_rng(seed, n_servers, request_size, replication)
+        labels.append(f"N={n_servers} M={request_size} R={replication}")
+        sums = {k: 0.0 for k in quality}
+        times = {k: 0.0 for k in overhead}
+        exact_ok = request_size <= exact_limit
+        for _ in range(n_trials):
+            replica_lists, subsets = _instance(
+                n_servers, request_size, replication, rng
+            )
+            t0 = time.perf_counter()
+            g = greedy_set_cover(subsets, request_size)
+            times["greedy us"] += time.perf_counter() - t0
+            sums["greedy"] += g.n_selected
+
+            t0 = time.perf_counter()
+            ff = first_fit_cover(replica_lists)
+            times["first-fit us"] += time.perf_counter() - t0
+            sums["first-fit"] += ff.n_selected
+
+            t0 = time.perf_counter()
+            rnd = random_cover(subsets, request_size, rng=rng)
+            times["random us"] += time.perf_counter() - t0
+            sums["random"] += rnd.n_selected
+
+            if exact_ok:
+                sums["optimal"] += exact_min_cover(subsets, request_size).n_selected
+        for key in quality:
+            if key == "optimal" and not exact_ok:
+                quality[key].append(float("nan"))
+            else:
+                quality[key].append(sums[key] / n_trials)
+        for key in overhead:
+            overhead[key].append(times[key] / n_trials * 1e6)
+
+    return [
+        ExperimentResult(
+            name="cover_quality",
+            title="Bundling quality: mean transactions per request by solver",
+            x_label="instance",
+            x_values=labels,
+            series=quality,
+            expectation=(
+                "greedy within a few percent of optimal in the mean; first-fit "
+                "clearly worse; random worst"
+            ),
+            meta={"n_trials": n_trials},
+        ),
+        ExperimentResult(
+            name="cover_overhead",
+            title="Bundling overhead: mean microseconds per request by solver",
+            x_label="instance",
+            x_values=labels,
+            series=overhead,
+            expectation=(
+                "greedy stays in the tens-of-microseconds range even at "
+                "N=64, M=100 — negligible next to a network round trip"
+            ),
+            meta={"n_trials": n_trials},
+        ),
+    ]

@@ -1,0 +1,38 @@
+"""Fig 2 — TPRPS scaling factor when doubling the server count.
+
+Pure closed-form reproduction of paper section II-A: for request sizes
+M in {1, 10, 50, 100}, plot ``W(N,M)/W(2N,M)`` against the initial number
+of servers N.  Ideal scaling is 2.0 (attained for M=1); the multi-get
+hole is the collapse toward 1.0 while N <~ M, with ~1.5 at N = M.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.urn import tprps_scaling_factor
+from repro.experiments.base import ExperimentResult
+
+DEFAULT_REQUEST_SIZES = (1, 10, 50, 100)
+DEFAULT_SERVER_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def run(
+    request_sizes=DEFAULT_REQUEST_SIZES,
+    server_counts=DEFAULT_SERVER_COUNTS,
+) -> list[ExperimentResult]:
+    series = {
+        f"M={m}": [tprps_scaling_factor(n, m) for n in server_counts]
+        for m in request_sizes
+    }
+    return [
+        ExperimentResult(
+            name="fig02",
+            title="Fig 2: TPRPS scaling factor when doubling servers (larger is better)",
+            x_label="initial N",
+            x_values=list(server_counts),
+            series=series,
+            expectation=(
+                "factor==2 for M=1 at any N; ~1.5 at N==M; approaches 1 when "
+                "N << M and 2 when N >> M"
+            ),
+        )
+    ]

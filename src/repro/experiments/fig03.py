@@ -1,0 +1,65 @@
+"""Fig 3 — quantifying the multi-get hole.
+
+Simulated relative throughput of a plain (no replication) memcached fleet
+versus fleet size, on the social-graph workload, against the theoretical
+ideal (linear) scaling.  Methodology per paper section III-B: simulate
+the transaction-size histogram, convert to throughput via the calibrated
+cost model, normalise to the single-server system.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.calibration import DEFAULT_MEMCACHED_MODEL, CostModel
+from repro.analysis.throughput import relative_throughput_curve
+from repro.experiments.base import ExperimentResult
+from repro.sim.config import ClientConfig, ClusterConfig, SimConfig
+from repro.sim.engine import run_simulation
+from repro.workloads.graphs import SocialGraph
+from repro.workloads.synthetic import make_slashdot_like
+
+DEFAULT_SERVER_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def run(
+    graph: SocialGraph | None = None,
+    *,
+    server_counts=DEFAULT_SERVER_COUNTS,
+    scale: float = 0.1,
+    n_requests: int = 1500,
+    seed: int = 2013,
+    cost_model: CostModel = DEFAULT_MEMCACHED_MODEL,
+) -> list[ExperimentResult]:
+    graph = graph or make_slashdot_like(seed=seed, scale=scale)
+    throughputs = []
+    tprs = []
+    for n in server_counts:
+        cfg = SimConfig(
+            cluster=ClusterConfig(n_servers=n, replication=1, memory_factor=1.0),
+            client=ClientConfig(mode="noreplication"),
+            n_requests=n_requests,
+            warmup_requests=0,  # no replica LRUs to warm without replication
+            seed=seed,
+        )
+        res = run_simulation(graph, cfg)
+        throughputs.append(res.throughput(cost_model))
+        tprs.append(res.tpr)
+    relative = relative_throughput_curve(throughputs)
+    ideal = [n / server_counts[0] for n in server_counts]
+    return [
+        ExperimentResult(
+            name="fig03",
+            title="Fig 3: relative throughput vs number of servers (multi-get hole)",
+            x_label="servers",
+            x_values=list(server_counts),
+            series={
+                "relative throughput": relative,
+                "ideal scaling": ideal,
+                "TPR": tprs,
+            },
+            expectation=(
+                "measured curve falls increasingly below the ideal line as N "
+                "approaches the mean request size; TPR grows toward min(N, M)"
+            ),
+            meta={"graph": graph.name, "cost_model": cost_model},
+        )
+    ]

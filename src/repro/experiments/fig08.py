@@ -1,0 +1,149 @@
+"""Fig 8 — TPR reduction vs available memory under overbooking.
+
+For a 16-server fleet with all enhancements on (overbooking with a
+distinguished copy, hitchhiking, miss write-back), sweep the total memory
+from 1.0x to 4.0x one copy of the data and the declared ("logical")
+replication level over 1–4.  The y value is TPR relative to the
+no-replication baseline on the same request pattern.
+
+Paper headlines to check (section III-D):
+* ~50% TPR reduction at ~2.5x memory (vs needing 4x with naive allocation);
+* ~25% reduction "for free" at 2.0x (a disaster-recovery copy repurposed);
+* replication level 1 stays flat at 1.0;
+* excessive overbooking with little memory can *increase* TPR.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.sim.config import ClientConfig, ClusterConfig, SimConfig
+from repro.sim.engine import run_simulation
+from repro.workloads.graphs import SocialGraph
+from repro.workloads.synthetic import make_slashdot_like
+
+DEFAULT_MEMORY_FACTORS = (1.0, 1.25, 1.5, 2.0, 2.5, 3.0, 4.0)
+DEFAULT_REPLICATIONS = (1, 2, 3, 4)
+
+
+def _rnb_point(
+    replication: int,
+    memory_factor: float,
+    *,
+    graph: SocialGraph,
+    n_servers: int,
+    merge_window: int,
+    n_requests: int,
+    warmup_requests: int,
+    seed: int,
+) -> float:
+    """One overbooked-RnB sweep point (module level so it pickles for
+    process-parallel sweeps)."""
+    cfg = SimConfig(
+        cluster=ClusterConfig(
+            n_servers=n_servers, replication=replication, memory_factor=memory_factor
+        ),
+        client=ClientConfig(mode="rnb", hitchhiking=True, merge_window=merge_window),
+        n_requests=n_requests,
+        warmup_requests=warmup_requests,
+        seed=seed,
+    )
+    return run_simulation(graph, cfg).tpr
+
+
+def sweep_tpr(
+    graph: SocialGraph,
+    *,
+    n_servers: int,
+    replications,
+    memory_factors,
+    merge_window: int,
+    n_requests: int,
+    warmup_requests: int,
+    seed: int,
+    max_workers: int = 1,
+) -> tuple[dict[str, list[float]], list[float]]:
+    """Shared Fig 8/9/10 sweep.
+
+    Returns (series of absolute TPR per replication level, baseline TPR
+    list aligned with memory_factors).  The baseline is the
+    no-replication client on the identical (possibly merged) request
+    pattern; it does not depend on the memory factor, but is returned per
+    point for convenient ratio computation.  ``max_workers > 1`` fans the
+    grid out over processes (each point is an independent simulation).
+    """
+    from repro.sim.sweep import sweep_grid
+
+    base_cfg = SimConfig(
+        cluster=ClusterConfig(n_servers=n_servers, replication=1, memory_factor=1.0),
+        client=ClientConfig(mode="noreplication", merge_window=merge_window),
+        n_requests=n_requests,
+        warmup_requests=warmup_requests,
+        seed=seed,
+    )
+    baseline_tpr = run_simulation(graph, base_cfg).tpr
+
+    points = sweep_grid(
+        _rnb_point,
+        {"replication": list(replications), "memory_factor": list(memory_factors)},
+        common={
+            "graph": graph,
+            "n_servers": n_servers,
+            "merge_window": merge_window,
+            "n_requests": n_requests,
+            "warmup_requests": warmup_requests,
+            "seed": seed,
+        },
+        max_workers=max_workers,
+    )
+    series: dict[str, list[float]] = {f"R={r}": [] for r in replications}
+    for point, tpr in points:
+        series[f"R={point['replication']}"].append(tpr)
+    return series, [baseline_tpr] * len(memory_factors)
+
+
+def run(
+    graph: SocialGraph | None = None,
+    *,
+    n_servers: int = 16,
+    replications=DEFAULT_REPLICATIONS,
+    memory_factors=DEFAULT_MEMORY_FACTORS,
+    scale: float = 0.1,
+    n_requests: int = 1200,
+    warmup_requests: int = 2500,
+    seed: int = 2013,
+    max_workers: int = 1,
+) -> list[ExperimentResult]:
+    graph = graph or make_slashdot_like(seed=seed, scale=scale)
+    tpr_series, baseline = sweep_tpr(
+        graph,
+        n_servers=n_servers,
+        replications=replications,
+        memory_factors=memory_factors,
+        merge_window=1,
+        n_requests=n_requests,
+        warmup_requests=warmup_requests,
+        seed=seed,
+        max_workers=max_workers,
+    )
+    ratio_series = {
+        label: [t / b for t, b in zip(tprs, baseline)]
+        for label, tprs in tpr_series.items()
+    }
+    return [
+        ExperimentResult(
+            name="fig08",
+            title=(
+                f"Fig 8: TPR relative to no replication vs memory factor "
+                f"({n_servers} servers, overbooking + hitchhiking)"
+            ),
+            x_label="memory",
+            x_values=list(memory_factors),
+            series=ratio_series,
+            expectation=(
+                "R=1 flat at 1.0; higher logical replication + more memory => "
+                "lower ratio; ~0.75 at 2.0x and ~0.5 near 2.5x for R=4; "
+                "aggressive overbooking at 1.0x memory can exceed 1.0"
+            ),
+            meta={"graph": graph.name, "baseline_tpr": baseline[0]},
+        )
+    ]

@@ -1,0 +1,65 @@
+"""Fig 10 — absolute TPR vs memory: merged-2 vs single-request handling.
+
+The companion view to Figs 8–9: the *absolute* TPR per original end-user
+request, for logical replication levels 1–4, both when handling one
+request at a time and when merging two.  Merging lowers the whole family
+of curves ("the TPRPS for the no-replication baseline is also much lower
+... resulting in a lower TPRPS for all of the replication levels").
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.fig08 import (
+    DEFAULT_MEMORY_FACTORS,
+    DEFAULT_REPLICATIONS,
+    sweep_tpr,
+)
+from repro.workloads.graphs import SocialGraph
+from repro.workloads.synthetic import make_slashdot_like
+
+
+def run(
+    graph: SocialGraph | None = None,
+    *,
+    n_servers: int = 16,
+    replications=DEFAULT_REPLICATIONS,
+    memory_factors=DEFAULT_MEMORY_FACTORS,
+    scale: float = 0.1,
+    n_requests: int = 1200,
+    warmup_requests: int = 2500,
+    seed: int = 2013,
+    max_workers: int = 1,
+) -> list[ExperimentResult]:
+    graph = graph or make_slashdot_like(seed=seed, scale=scale)
+    results = []
+    for window, label in ((2, "merging 2 requests"), (1, "single requests")):
+        tpr_series, baseline = sweep_tpr(
+            graph,
+            n_servers=n_servers,
+            replications=replications,
+            memory_factors=memory_factors,
+            merge_window=window,
+            n_requests=n_requests,
+            warmup_requests=warmup_requests,
+            seed=seed,
+            max_workers=max_workers,
+        )
+        series = dict(tpr_series)
+        series["no-repl baseline"] = baseline
+        results.append(
+            ExperimentResult(
+                name=f"fig10_merge{window}",
+                title=f"Fig 10 ({label}): TPR per original request vs memory factor",
+                x_label="memory",
+                x_values=list(memory_factors),
+                series=series,
+                expectation=(
+                    "merged curves sit below the single-request curves at every "
+                    "replication level; within each panel TPR decreases with "
+                    "memory and replication"
+                ),
+                meta={"graph": graph.name, "merge_window": window},
+            )
+        )
+    return results

@@ -1,0 +1,59 @@
+"""Fig 11 — LIMIT requests without replication (Monte-Carlo).
+
+"Fetch me at least X items out of the following list": even with a single
+copy per item, the client can skip the servers contributing fewest items
+and stop once the fraction is covered.  Monte-Carlo over random
+independent requests (the paper's simplified simulator), TPR vs the
+number of servers for fetched fractions 50%, 90%, 95% and 100%, for two
+request-set sizes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.sim.montecarlo import mc_tpr
+from repro.utils.rng import derive_rng
+
+DEFAULT_SERVER_COUNTS = (2, 4, 8, 16, 32, 64)
+DEFAULT_REQUEST_SIZES = (20, 100)
+DEFAULT_FRACTIONS = (0.95, 0.9, 0.5, 1.0)
+
+
+def run(
+    *,
+    server_counts=DEFAULT_SERVER_COUNTS,
+    request_sizes=DEFAULT_REQUEST_SIZES,
+    fractions=DEFAULT_FRACTIONS,
+    n_trials: int = 400,
+    seed: int = 2013,
+) -> list[ExperimentResult]:
+    results = []
+    for m in request_sizes:
+        series: dict[str, list[float]] = {}
+        for frac in fractions:
+            rng = derive_rng(seed, m, int(frac * 100))
+            series[f"fetch {frac:.0%}"] = [
+                mc_tpr(
+                    n, m, 1, limit_fraction=frac, n_trials=n_trials, rng=rng
+                ).mean_tpr
+                for n in server_counts
+            ]
+        results.append(
+            ExperimentResult(
+                name=f"fig11_M{m}",
+                title=(
+                    f"Fig 11 (request size {m}): TPR for LIMIT requests, "
+                    "no replication"
+                ),
+                x_label="servers",
+                x_values=list(server_counts),
+                series=series,
+                expectation=(
+                    "lower fetch fraction => fewer transactions at every N; "
+                    "50% needs roughly half the transactions of the full set "
+                    "once N is large"
+                ),
+                meta={"request_size": m, "n_trials": n_trials},
+            )
+        )
+    return results

@@ -1,0 +1,82 @@
+"""Figs 13 & 14 — memcached micro-benchmarks and calibration.
+
+Fig 13: items fetched per second vs items per transaction, one client.
+Fig 14: the same with two concurrent clients (which the paper found
+*slower* — contention — while still showing that bigger transactions
+deliver more items).
+
+The paper ran memaslap against real memcached over 1GbE; we run the
+in-process protocol server (DESIGN.md, Substitutions).  Each panel
+reports the measured rates, the affine cost model fitted from them
+(the paper's calibration step), and the paper-shaped default model's
+prediction for reference.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.calibration import DEFAULT_MEMCACHED_MODEL, fit_cost_model
+from repro.experiments.base import ExperimentResult
+from repro.protocol.microbench import (
+    measure_items_per_second,
+    two_client_items_per_second,
+)
+
+DEFAULT_TXN_SIZES = (1, 2, 5, 10, 20, 50, 100)
+
+
+def run(
+    *,
+    txn_sizes=DEFAULT_TXN_SIZES,
+    n_keys: int = 2000,
+    target_transactions: int = 1500,
+) -> list[ExperimentResult]:
+    sizes = list(txn_sizes)
+
+    single = measure_items_per_second(
+        sizes, n_keys=n_keys, target_transactions=target_transactions
+    )
+    fitted = fit_cost_model(sizes, [p.items_per_s for p in single])
+    fig13 = ExperimentResult(
+        name="fig13",
+        title="Fig 13: items fetched/s vs items per transaction (one client)",
+        x_label="items/txn",
+        x_values=sizes,
+        series={
+            "measured items/s": [p.items_per_s for p in single],
+            "measured txns/s": [p.transactions_per_s for p in single],
+            "fitted model items/s": [fitted.items_per_second(m) for m in sizes],
+            "paper-shaped model items/s": [
+                DEFAULT_MEMCACHED_MODEL.items_per_second(m) for m in sizes
+            ],
+        },
+        expectation=(
+            "items/s grows ~linearly with transaction size (per-transaction "
+            "cost dominates) until a bandwidth/itemwork bound flattens it"
+        ),
+        notes=(
+            f"fitted cost model: t_txn={fitted.t_txn:.3g}s, "
+            f"t_item={fitted.t_item:.3g}s, cap={fitted.bandwidth_items_per_s}"
+        ),
+        meta={"fitted_model": fitted},
+    )
+
+    double = two_client_items_per_second(
+        sizes, n_keys=n_keys, target_transactions=target_transactions
+    )
+    fig14 = ExperimentResult(
+        name="fig14",
+        title="Fig 14: items fetched/s vs items per transaction (two clients)",
+        x_label="items/txn",
+        x_values=sizes,
+        series={
+            "two clients items/s": [p.items_per_s for p in double],
+            "one client items/s": [p.items_per_s for p in single],
+        },
+        expectation=(
+            "two clients do NOT double throughput (the paper measured them "
+            "lower than one client at small sizes); larger transactions still "
+            "deliver far more items/s than small ones"
+        ),
+        meta={},
+    )
+    return [fig13, fig14]

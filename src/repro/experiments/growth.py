@@ -1,0 +1,120 @@
+"""Flexible fleet growth (paper sections II-C and V).
+
+Two of the paper's deployment claims about RnB vs full-system
+replication have no figure but are load-bearing:
+
+* "the third solution [full-system replication] only permits system
+  enlargement in relatively large strides" — to grow at all you must add
+  a whole bank (another complete copy of the fleet);
+* RnB "supports smooth scalability and is relatively easy to incorporate
+  in existing systems" — consistent hashing moves only ~R/(N+1) of the
+  replica assignments when one server joins.
+
+This experiment grows a fleet one server at a time and measures, for RCH
+and multi-hash placement:
+
+* **churn** — the fraction of (item, replica) assignments that move when
+  server N+1 joins (data that must be re-copied);
+* **TPR continuity** — mean TPR before and after the join.
+
+For contrast it also reports the *minimum growth stride* of full-system
+replication: a k-bank fleet of N servers can only grow by N/k servers at
+a time, a constant fraction of the installed base.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.placement import make_placer
+from repro.core.setcover import cover_from_replica_lists
+from repro.experiments.base import ExperimentResult
+from repro.utils.rng import derive_rng
+
+DEFAULT_FLEET_SIZES = (8, 16, 32, 64)
+
+
+def _churn(kind: str, n_servers: int, replication: int, n_items: int) -> float:
+    """Fraction of replica assignments that move when one server joins."""
+    before = make_placer(kind, n_servers, replication, seed=0)
+    after = make_placer(kind, n_servers + 1, replication, seed=0)
+    moved = 0
+    total = n_items * replication
+    for item in range(n_items):
+        old = before.servers_for(item)
+        new = after.servers_for(item)
+        moved += len(set(old) - set(new))
+    return moved / total
+
+
+def _tpr(kind: str, n_servers: int, replication: int, n_items: int, rng, m: int, trials: int) -> float:
+    placer = make_placer(kind, n_servers, replication, seed=0)
+    tprs = []
+    for _ in range(trials):
+        items = rng.choice(n_items, size=m, replace=False)
+        cover = cover_from_replica_lists(
+            [placer.servers_for(int(i)) for i in items]
+        )
+        tprs.append(cover.n_selected)
+    return float(np.mean(tprs))
+
+
+def run(
+    *,
+    fleet_sizes=DEFAULT_FLEET_SIZES,
+    replication: int = 3,
+    n_items: int = 4000,
+    request_size: int = 30,
+    n_trials: int = 150,
+    seed: int = 2013,
+) -> list[ExperimentResult]:
+    churn_series: dict[str, list[float]] = {}
+    for kind in ("rch", "multihash"):
+        churn_series[f"{kind} churn"] = [
+            _churn(kind, n, replication, n_items) for n in fleet_sizes
+        ]
+    churn_series["ideal churn R/(N+1)"] = [
+        replication / (n + 1) / replication for n in fleet_sizes
+    ]
+    # full replication cannot grow by one server at all; its minimum
+    # stride is one whole bank = N/k servers (k = replication banks)
+    churn_series["full-repl min stride (servers)"] = [
+        n / replication for n in fleet_sizes
+    ]
+
+    tpr_before: list[float] = []
+    tpr_after: list[float] = []
+    for n in fleet_sizes:
+        rng = derive_rng(seed, n)
+        tpr_before.append(_tpr("rch", n, replication, n_items, rng, request_size, n_trials))
+        tpr_after.append(_tpr("rch", n + 1, replication, n_items, rng, request_size, n_trials))
+
+    return [
+        ExperimentResult(
+            name="growth_churn",
+            title=(
+                f"Fleet growth N -> N+1: replica churn (R={replication}, "
+                f"{n_items} items)"
+            ),
+            x_label="N",
+            x_values=list(fleet_sizes),
+            series=churn_series,
+            expectation=(
+                "RCH churn tracks the consistent-hashing ideal ~1/(N+1); "
+                "multi-hash remaps a larger share; full replication cannot "
+                "grow by one server at all (stride = N/banks)"
+            ),
+        ),
+        ExperimentResult(
+            name="growth_tpr",
+            title="Fleet growth N -> N+1: TPR continuity under RCH",
+            x_label="N",
+            x_values=list(fleet_sizes),
+            series={"TPR at N": tpr_before, "TPR at N+1": tpr_after},
+            expectation=(
+                "TPR changes only marginally across a single-server join — "
+                "growth is smooth, no cliff"
+            ),
+            meta={"request_size": request_size},
+        ),
+    ]

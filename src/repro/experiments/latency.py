@@ -1,0 +1,108 @@
+"""Latency impact of RnB (paper section V-B future work).
+
+Replays the social workload through three deployments and profiles the
+structural request latency under the round model of
+:mod:`repro.analysis.latency`:
+
+* classic no-replication (always one round),
+* RnB with generous memory (one round, same latency — bundling does not
+  slow reads down),
+* RnB overbooked into 2x memory (a fraction of requests pays a second
+  round for miss repair).
+
+Expected outcome: RnB trades a bounded latency tail (the two-round
+fraction) for a large cut in server work; with hitchhiking the tail
+shrinks because rescued misses skip the second round.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.calibration import DEFAULT_MEMCACHED_MODEL
+from repro.analysis.latency import LatencyModel, latency_profile
+from repro.experiments.base import ExperimentResult
+from repro.sim.config import ClientConfig, ClusterConfig, SimConfig
+from repro.sim.engine import build_client, build_cluster, _request_stream
+from repro.workloads.graphs import SocialGraph
+from repro.workloads.synthetic import make_slashdot_like
+
+
+def _profile(graph: SocialGraph, config: SimConfig, model: LatencyModel):
+    cluster = build_cluster(config, graph.n_nodes)
+    client = build_client(config, cluster)
+    stream = iter(_request_stream(graph, config, 0))
+    for _ in range(config.warmup_requests):
+        client.execute(next(stream))
+    results = [client.execute(next(stream)) for _ in range(config.n_requests)]
+    prof = latency_profile(results, model)
+    prof["tpr"] = sum(r.transactions for r in results) / len(results)
+    return prof
+
+
+def run(
+    graph: SocialGraph | None = None,
+    *,
+    n_servers: int = 16,
+    scale: float = 0.1,
+    n_requests: int = 1000,
+    warmup_requests: int = 2000,
+    seed: int = 2013,
+    rtt: float = 200e-6,
+) -> list[ExperimentResult]:
+    graph = graph or make_slashdot_like(seed=seed, scale=scale)
+    model = LatencyModel(DEFAULT_MEMCACHED_MODEL, rtt=rtt)
+
+    deployments = {
+        "classic": SimConfig(
+            cluster=ClusterConfig(n_servers=n_servers, replication=1, memory_factor=1.0),
+            client=ClientConfig(mode="noreplication"),
+            n_requests=n_requests,
+            warmup_requests=0,
+            seed=seed,
+        ),
+        "RnB R=4 roomy": SimConfig(
+            cluster=ClusterConfig(n_servers=n_servers, replication=4),
+            client=ClientConfig(mode="rnb"),
+            n_requests=n_requests,
+            warmup_requests=0,
+            seed=seed,
+        ),
+        "RnB R=4 @2x": SimConfig(
+            cluster=ClusterConfig(n_servers=n_servers, replication=4, memory_factor=2.0),
+            client=ClientConfig(mode="rnb", hitchhiking=False),
+            n_requests=n_requests,
+            warmup_requests=warmup_requests,
+            seed=seed,
+        ),
+        "RnB R=4 @2x +hh": SimConfig(
+            cluster=ClusterConfig(n_servers=n_servers, replication=4, memory_factor=2.0),
+            client=ClientConfig(mode="rnb", hitchhiking=True),
+            n_requests=n_requests,
+            warmup_requests=warmup_requests,
+            seed=seed,
+        ),
+    }
+
+    labels = list(deployments)
+    profiles = [_profile(graph, cfg, model) for cfg in deployments.values()]
+    series = {
+        "mean us": [p["mean"] * 1e6 for p in profiles],
+        "p95 us": [p["p95"] * 1e6 for p in profiles],
+        "p99 us": [p["p99"] * 1e6 for p in profiles],
+        "2-round %": [100 * p["two_round_fraction"] for p in profiles],
+        "TPR": [p["tpr"] for p in profiles],
+    }
+    return [
+        ExperimentResult(
+            name="latency",
+            title="Latency impact of RnB (structural round model, no queueing)",
+            x_label="deployment",
+            x_values=labels,
+            series=series,
+            expectation=(
+                "roomy RnB matches classic latency while cutting TPR; "
+                "overbooking adds a bounded two-round tail; hitchhiking "
+                "shrinks that tail"
+            ),
+            meta={"rtt_us": rtt * 1e6, "graph": graph.name},
+        )
+    ]

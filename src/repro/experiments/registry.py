@@ -1,0 +1,67 @@
+"""Name -> experiment driver registry (used by the CLI and benches)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablations,
+    cover_quality,
+    fig02,
+    fig03,
+    fig04_05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13_14,
+    growth,
+    latency,
+    limit_memory,
+    queueing,
+    scalability,
+    sensitivity,
+    single_item,
+)
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENTS: dict[str, Callable[..., list[ExperimentResult]]] = {
+    "fig02": fig02.run,
+    "fig03": fig03.run,
+    "fig04_05": fig04_05.run,
+    "fig06": fig06.run,
+    "fig07": fig07.run,
+    "fig08": fig08.run,
+    "fig09": fig09.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13_14": fig13_14.run,
+    "ablations": ablations.run,
+    "cover_quality": cover_quality.run,
+    "scalability": scalability.run,
+    "latency": latency.run,
+    "limit_memory": limit_memory.run,
+    "single_item": single_item.run,
+    "growth": growth.run,
+    "queueing": queueing.run,
+    "sensitivity": sensitivity.run,
+}
+
+
+def get_experiment(name: str) -> Callable[..., list[ExperimentResult]]:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+
+
+def run_experiment(name: str, **kwargs) -> list[ExperimentResult]:
+    """Run one experiment by name and return its result tables."""
+    return get_experiment(name)(**kwargs)

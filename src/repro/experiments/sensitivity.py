@@ -1,0 +1,92 @@
+"""Sensitivity of the overbooking gain to workload affinity strength.
+
+EXPERIMENTS.md attributes the one quantitative gap of this reproduction
+(Fig 8's 50%-at-2.5x headline landing at ~29%) to the synthetic graphs
+having weaker affinity structure than the real Slashdot graph.  This
+experiment makes that explanation testable: it sweeps the synthetic
+generator's Zipf popularity exponent — the knob that controls how much
+ego networks overlap — and measures the overbooked-RnB TPR ratio at a
+fixed memory budget.
+
+Higher exponent ⇒ more shared friends between requests ⇒ the sticky
+greedy cover concentrates traffic on fewer replicas ⇒ the LRUs keep the
+hot replicas resident ⇒ lower miss rate and a bigger TPR cut at the same
+memory.  If the ratio improves monotonically with the exponent, the
+Fig 8 gap is a workload-structure artifact, not a mechanism bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.base import ExperimentResult
+from repro.sim.config import ClientConfig, ClusterConfig, SimConfig
+from repro.sim.engine import run_simulation
+from repro.workloads.synthetic import DATASETS, synthesize_graph
+
+DEFAULT_EXPONENTS = (0.4, 0.8, 1.0, 1.2)
+
+
+def run(
+    *,
+    exponents=DEFAULT_EXPONENTS,
+    n_servers: int = 16,
+    replication: int = 4,
+    memory_factor: float = 2.5,
+    scale: float = 0.1,
+    n_requests: int = 800,
+    warmup_requests: int = 2000,
+    seed: int = 2013,
+) -> list[ExperimentResult]:
+    ratios = []
+    miss_rates = []
+    for exponent in exponents:
+        spec = replace(DATASETS["slashdot"], popularity_exponent=exponent)
+        graph = synthesize_graph(spec, seed=seed, scale=scale)
+        base = run_simulation(
+            graph,
+            SimConfig(
+                cluster=ClusterConfig(
+                    n_servers=n_servers, replication=1, memory_factor=1.0
+                ),
+                client=ClientConfig(mode="noreplication"),
+                n_requests=n_requests,
+                warmup_requests=0,
+                seed=seed,
+            ),
+        )
+        rnb = run_simulation(
+            graph,
+            SimConfig(
+                cluster=ClusterConfig(
+                    n_servers=n_servers,
+                    replication=replication,
+                    memory_factor=memory_factor,
+                ),
+                client=ClientConfig(mode="rnb", hitchhiking=True),
+                n_requests=n_requests,
+                warmup_requests=warmup_requests,
+                seed=seed,
+            ),
+        )
+        ratios.append(rnb.tpr / base.tpr)
+        miss_rates.append(rnb.miss_rate)
+
+    return [
+        ExperimentResult(
+            name="sensitivity_affinity",
+            title=(
+                f"Overbooking gain vs workload affinity "
+                f"(R={replication}, memory {memory_factor}x, {n_servers} servers)"
+            ),
+            x_label="popularity exponent",
+            x_values=list(exponents),
+            series={"TPR ratio": ratios, "miss rate": miss_rates},
+            expectation=(
+                "stronger affinity (larger exponent) => lower miss rate and "
+                "lower TPR ratio at fixed memory — the Fig 8 headline gap "
+                "closes as the workload approaches real-graph overlap"
+            ),
+            meta={"memory_factor": memory_factor, "replication": replication},
+        )
+    ]

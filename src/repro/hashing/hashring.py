@@ -1,0 +1,156 @@
+"""Consistent hash ring with virtual nodes.
+
+This is the placement scheme memcached clients use (Karger et al., STOC
+1997, cited as [1] in the paper): each server is hashed to ``vnodes``
+points on a ring; a key is stored on the server owning the first point at
+or after the key's own ring position.  Adding or removing one server only
+remaps ~1/N of the keys.
+
+The ring also exposes :meth:`walk`, the primitive Ranged Consistent
+Hashing needs: iterate ring points clockwise from a key's position.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Hashable, Iterator
+
+from repro.errors import ConfigurationError, PlacementError
+from repro.hashing.hashfns import stable_hash64
+
+
+class ConsistentHashRing:
+    """A consistent-hash ring mapping keys to server ids.
+
+    Parameters
+    ----------
+    servers:
+        Initial server ids (any hashable, typically ints).
+    vnodes:
+        Virtual nodes per server.  More vnodes give a more uniform share
+        of the key space per server at the cost of a larger ring; 64–256
+        is the practical sweet spot (tested in ``tests/hashing``).
+    seed:
+        Seed of the hash function used for both server points and keys,
+        so distinct rings can be built over the same servers.
+    """
+
+    def __init__(self, servers=(), vnodes: int = 128, seed: int = 0) -> None:
+        if vnodes <= 0:
+            raise ConfigurationError("vnodes must be positive")
+        self._vnodes = vnodes
+        self._seed = seed
+        self._points: list[int] = []  # sorted ring positions
+        self._owners: list[Hashable] = []  # owner of each position
+        self._servers: set[Hashable] = set()
+        for s in servers:
+            self.add_server(s)
+
+    # -- membership ---------------------------------------------------
+
+    @property
+    def servers(self) -> frozenset:
+        return frozenset(self._servers)
+
+    @property
+    def n_servers(self) -> int:
+        return len(self._servers)
+
+    @property
+    def vnodes(self) -> int:
+        return self._vnodes
+
+    def _server_points(self, server: Hashable) -> list[int]:
+        return [
+            stable_hash64((repr(server), v), seed=self._seed)
+            for v in range(self._vnodes)
+        ]
+
+    def add_server(self, server: Hashable) -> None:
+        """Add a server's virtual nodes to the ring."""
+        if server in self._servers:
+            raise ConfigurationError(f"server {server!r} already on the ring")
+        self._servers.add(server)
+        for p in self._server_points(server):
+            idx = bisect.bisect_left(self._points, p)
+            # hash collisions on a 64-bit ring are ~impossible, but break
+            # ties deterministically by keeping first-inserted ownership
+            self._points.insert(idx, p)
+            self._owners.insert(idx, server)
+
+    def remove_server(self, server: Hashable) -> None:
+        """Remove a server and all its virtual nodes."""
+        if server not in self._servers:
+            raise ConfigurationError(f"server {server!r} not on the ring")
+        self._servers.remove(server)
+        keep_points: list[int] = []
+        keep_owners: list[Hashable] = []
+        for p, o in zip(self._points, self._owners):
+            if o != server:
+                keep_points.append(p)
+                keep_owners.append(o)
+        self._points = keep_points
+        self._owners = keep_owners
+
+    # -- lookups ------------------------------------------------------
+
+    def key_position(self, key) -> int:
+        """Ring coordinate of a key."""
+        return stable_hash64(key, seed=self._seed ^ 0x5BD1E995)
+
+    def lookup(self, key) -> Hashable:
+        """Owner server of ``key`` (the classic single-copy mapping)."""
+        if not self._points:
+            raise PlacementError("cannot look up a key on an empty ring")
+        idx = bisect.bisect_right(self._points, self.key_position(key))
+        if idx == len(self._points):
+            idx = 0
+        return self._owners[idx]
+
+    def walk(self, key) -> Iterator[Hashable]:
+        """Iterate ring-point owners clockwise from the key's position.
+
+        Owners repeat (each server has many vnodes); the caller filters
+        for distinctness.  Yields exactly ``len(points)`` owners, i.e. one
+        full revolution.
+        """
+        if not self._points:
+            raise PlacementError("cannot walk an empty ring")
+        start = bisect.bisect_right(self._points, self.key_position(key))
+        n = len(self._points)
+        for off in range(n):
+            yield self._owners[(start + off) % n]
+
+    def distinct_successors(self, key, k: int) -> tuple:
+        """The first ``k`` *distinct* servers clockwise from the key.
+
+        This is the core operation of Ranged Consistent Hashing: "traveling
+        along the consistent hashing continuum, gathering servers until
+        there are enough unique ones" (paper section IV).
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if k > len(self._servers):
+            raise PlacementError(
+                f"requested {k} distinct servers but ring only has {len(self._servers)}"
+            )
+        out: list[Hashable] = []
+        seen: set[Hashable] = set()
+        for owner in self.walk(key):
+            if owner not in seen:
+                seen.add(owner)
+                out.append(owner)
+                if len(out) == k:
+                    return tuple(out)
+        raise PlacementError("ring walk exhausted before finding k distinct servers")
+
+    def load_share(self, samples: int = 100_000, seed: int = 1) -> dict:
+        """Empirical fraction of the key space owned by each server.
+
+        Diagnostic used by tests and the ablation bench to check ring
+        uniformity for a given vnode count.
+        """
+        counts: dict[Hashable, int] = {s: 0 for s in self._servers}
+        for i in range(samples):
+            counts[self.lookup(("load-share-probe", seed, i))] += 1
+        return {s: c / samples for s, c in counts.items()}

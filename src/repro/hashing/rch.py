@@ -1,0 +1,82 @@
+"""Ranged Consistent Hashing (RCH) — the paper's placement extension.
+
+RCH selects, for each item, the group of servers that host its replicas
+by walking the consistent-hashing continuum clockwise from the item's
+position and collecting servers until ``replication`` *unique* ones have
+been found (paper section IV).  Compared with using one independent hash
+function per replica it:
+
+* guarantees distinct servers without re-probing,
+* preserves consistent hashing's smooth rebalancing when servers join or
+  leave (an item's replica set changes by at most the servers adjacent to
+  its arc), and
+* keeps the replica load of every server balanced (each server appears in
+  a ~R/N fraction of replica sets; verified by tests).
+
+The first server collected is the item's **distinguished copy** — it is
+exactly the server classic consistent hashing would pick, so an RnB
+deployment is a strict superset of the plain memcached mapping.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import ConfigurationError
+from repro.hashing.hashring import ConsistentHashRing
+from repro.types import ReplicaSet
+
+
+class RangedConsistentHashPlacer:
+    """Replica placement via Ranged Consistent Hashing.
+
+    Implements the ``ReplicaPlacer`` protocol used across the library:
+    ``replicas_for(item) -> ReplicaSet`` plus ``n_servers``/``replication``
+    attributes.
+
+    Parameters
+    ----------
+    n_servers:
+        Servers are the ids ``0 .. n_servers-1``.
+    replication:
+        Number of distinct replica servers per item (``R``).
+    vnodes, seed:
+        Forwarded to the underlying :class:`ConsistentHashRing`.
+    """
+
+    def __init__(
+        self,
+        n_servers: int,
+        replication: int,
+        *,
+        vnodes: int = 128,
+        seed: int = 0,
+        cache_size: int = 1 << 20,
+    ) -> None:
+        if n_servers <= 0:
+            raise ConfigurationError("n_servers must be positive")
+        if not (1 <= replication <= n_servers):
+            raise ConfigurationError(
+                f"replication must be in [1, n_servers]; got {replication} for "
+                f"{n_servers} servers"
+            )
+        self.n_servers = n_servers
+        self.replication = replication
+        self.ring = ConsistentHashRing(range(n_servers), vnodes=vnodes, seed=seed)
+        # Placement is a pure function of the item id, so memoise it: the
+        # simulator looks up the same hot items millions of times.
+        self._servers_for = lru_cache(maxsize=cache_size)(self._compute)
+
+    def _compute(self, item) -> tuple:
+        return self.ring.distinct_successors(item, self.replication)
+
+    def replicas_for(self, item) -> ReplicaSet:
+        """Ordered replica set; index 0 is the distinguished copy."""
+        return ReplicaSet(item=item, servers=self._servers_for(item))
+
+    def servers_for(self, item) -> tuple:
+        """Like :meth:`replicas_for` but returns the bare server tuple."""
+        return self._servers_for(item)
+
+    def distinguished_for(self, item) -> int:
+        return self._servers_for(item)[0]

@@ -1,0 +1,307 @@
+"""Memcached ASCII protocol subset: parsing and formatting.
+
+Implements the commands RnB needs — ``get``/``gets`` (multi-key),
+``set``, ``cas``, ``delete``, ``flush_all``, ``stats``, ``version`` —
+with the wire format of the original memcached text protocol:
+
+* commands are CRLF-terminated lines; storage commands are followed by a
+  data block of the declared length plus CRLF;
+* ``get`` responses are zero or more ``VALUE <key> <flags> <bytes>
+  [<cas>]`` blocks terminated by ``END``.
+
+The codec is shared by the server (parse requests, format responses) and
+the client (format requests, parse responses), so a round-trip property
+test pins the two against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+
+CRLF = b"\r\n"
+MAX_KEY_LEN = 250
+STORAGE_COMMANDS = frozenset({"set", "add", "replace", "append", "prepend", "cas"})
+RETRIEVAL_COMMANDS = frozenset({"get", "gets"})
+COUNTER_COMMANDS = frozenset({"incr", "decr"})
+SIMPLE_COMMANDS = frozenset({"delete", "touch", "flush_all", "stats", "version"})
+
+
+@dataclass(frozen=True, slots=True)
+class Command:
+    """One parsed client command."""
+
+    name: str
+    keys: tuple[str, ...] = ()
+    flags: int = 0
+    exptime: int = 0
+    data: bytes = b""
+    cas: int | None = None
+    noreply: bool = False
+    delta: int = 0  # incr/decr amount
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    """One parsed server response.
+
+    ``status`` is the terminal line (``END``, ``STORED`` ...);
+    ``values`` maps key -> (flags, data, cas-or-None) for retrievals.
+    """
+
+    status: str
+    values: dict[str, tuple[int, bytes, int | None]] = field(default_factory=dict)
+    stats: dict[str, str] = field(default_factory=dict)
+
+
+def _validate_key(key: str) -> None:
+    if not key or len(key) > MAX_KEY_LEN:
+        raise ProtocolError(f"invalid key length: {len(key)}")
+    if any(c <= " " or c == "\x7f" for c in key):
+        raise ProtocolError(f"key contains control characters or spaces: {key!r}")
+
+
+# ---------------------------------------------------------------------------
+# client side: encode commands / parse responses
+# ---------------------------------------------------------------------------
+
+
+def encode_command(cmd: Command) -> bytes:
+    """Serialise a command to wire bytes."""
+    name = cmd.name
+    if name in RETRIEVAL_COMMANDS:
+        if not cmd.keys:
+            raise ProtocolError(f"{name} needs at least one key")
+        for k in cmd.keys:
+            _validate_key(k)
+        return (name + " " + " ".join(cmd.keys)).encode() + CRLF
+    if name in STORAGE_COMMANDS:
+        if len(cmd.keys) != 1:
+            raise ProtocolError(f"{name} takes exactly one key")
+        _validate_key(cmd.keys[0])
+        parts = [name, cmd.keys[0], str(cmd.flags), str(cmd.exptime), str(len(cmd.data))]
+        if name == "cas":
+            if cmd.cas is None:
+                raise ProtocolError("cas command requires a cas id")
+            parts.append(str(cmd.cas))
+        if cmd.noreply:
+            parts.append("noreply")
+        return " ".join(parts).encode() + CRLF + cmd.data + CRLF
+    if name == "delete":
+        if len(cmd.keys) != 1:
+            raise ProtocolError("delete takes exactly one key")
+        _validate_key(cmd.keys[0])
+        suffix = " noreply" if cmd.noreply else ""
+        return f"delete {cmd.keys[0]}{suffix}".encode() + CRLF
+    if name == "touch":
+        if len(cmd.keys) != 1:
+            raise ProtocolError("touch takes exactly one key")
+        _validate_key(cmd.keys[0])
+        suffix = " noreply" if cmd.noreply else ""
+        return f"touch {cmd.keys[0]} {cmd.exptime}{suffix}".encode() + CRLF
+    if name in COUNTER_COMMANDS:
+        if len(cmd.keys) != 1:
+            raise ProtocolError(f"{name} takes exactly one key")
+        _validate_key(cmd.keys[0])
+        if cmd.delta < 0:
+            raise ProtocolError(f"{name} delta must be non-negative")
+        suffix = " noreply" if cmd.noreply else ""
+        return f"{name} {cmd.keys[0]} {cmd.delta}{suffix}".encode() + CRLF
+    if name in ("flush_all", "stats", "version"):
+        return name.encode() + CRLF
+    raise ProtocolError(f"unknown command {name!r}")
+
+
+def parse_response(data: bytes) -> tuple[Response, bytes]:
+    """Parse one complete response from a byte buffer.
+
+    Returns (response, remaining bytes).  Raises ``ProtocolError`` on
+    malformed input and ``IncompleteResponse`` (a ``ProtocolError``
+    subclass via ``need_more``) when more bytes are required.
+    """
+    values: dict[str, tuple[int, bytes, int | None]] = {}
+    stats: dict[str, str] = {}
+    buf = data
+    while True:
+        line, sep, rest = buf.partition(CRLF)
+        if not sep:
+            raise IncompleteResponse("response line incomplete")
+        text = line.decode("utf-8", errors="replace")
+        token = text.split(" ", 1)[0]
+        if token == "VALUE":
+            parts = text.split()
+            if len(parts) not in (4, 5):
+                raise ProtocolError(f"malformed VALUE line: {text!r}")
+            key, flags, nbytes = parts[1], int(parts[2]), int(parts[3])
+            cas = int(parts[4]) if len(parts) == 5 else None
+            if len(rest) < nbytes + 2:
+                raise IncompleteResponse("value data incomplete")
+            payload, rest = rest[:nbytes], rest[nbytes:]
+            if rest[:2] != CRLF:
+                raise ProtocolError("value data not CRLF-terminated")
+            rest = rest[2:]
+            values[key] = (flags, payload, cas)
+            buf = rest
+            continue
+        if token == "STAT":
+            parts = text.split(" ", 2)
+            if len(parts) != 3:
+                raise ProtocolError(f"malformed STAT line: {text!r}")
+            stats[parts[1]] = parts[2]
+            buf = rest
+            continue
+        if token.isdigit():
+            # incr/decr reply: the new counter value as a bare number
+            return Response(status=text, values=values, stats=stats), rest
+        if token in (
+            "END",
+            "STORED",
+            "NOT_STORED",
+            "EXISTS",
+            "NOT_FOUND",
+            "DELETED",
+            "TOUCHED",
+            "OK",
+            "ERROR",
+            "VERSION",
+        ) or token in ("CLIENT_ERROR", "SERVER_ERROR"):
+            status = text if token in ("CLIENT_ERROR", "SERVER_ERROR", "VERSION") else token
+            return Response(status=status, values=values, stats=stats), rest
+        raise ProtocolError(f"unexpected response line: {text!r}")
+
+
+class IncompleteResponse(ProtocolError):
+    """More bytes are needed to complete parsing."""
+
+
+# ---------------------------------------------------------------------------
+# server side: parse commands / format responses
+# ---------------------------------------------------------------------------
+
+
+def parse_command_stream(data: bytes) -> tuple[list[Command], bytes]:
+    """Parse as many complete (possibly pipelined) commands as available.
+
+    Returns (commands, unconsumed tail).
+    """
+    commands: list[Command] = []
+    buf = data
+    while True:
+        line, sep, rest = buf.partition(CRLF)
+        if not sep:
+            return commands, buf
+        text = line.decode("utf-8", errors="replace")
+        if not text.strip():
+            buf = rest
+            continue
+        parts = text.split()
+        name = parts[0]
+        if name in RETRIEVAL_COMMANDS:
+            keys = tuple(parts[1:])
+            if not keys:
+                raise ProtocolError(f"{name} without keys")
+            for k in keys:
+                _validate_key(k)
+            commands.append(Command(name=name, keys=keys))
+            buf = rest
+            continue
+        if name in STORAGE_COMMANDS:
+            want = 6 if name == "cas" else 5
+            noreply = parts[-1] == "noreply"
+            body = parts[: want + (1 if noreply else 0)]
+            if len(parts) != len(body) or len(parts) < want:
+                raise ProtocolError(f"malformed {name} command: {text!r}")
+            key = parts[1]
+            _validate_key(key)
+            flags, exptime, nbytes = int(parts[2]), int(parts[3]), int(parts[4])
+            cas = int(parts[5]) if name == "cas" else None
+            if nbytes < 0:
+                raise ProtocolError("negative data length")
+            if len(rest) < nbytes + 2:
+                return commands, buf  # wait for the data block
+            payload, rest2 = rest[:nbytes], rest[nbytes:]
+            if rest2[:2] != CRLF:
+                raise ProtocolError("storage data not CRLF-terminated")
+            commands.append(
+                Command(
+                    name=name,
+                    keys=(key,),
+                    flags=flags,
+                    exptime=exptime,
+                    data=payload,
+                    cas=cas,
+                    noreply=noreply,
+                )
+            )
+            buf = rest2[2:]
+            continue
+        if name == "delete":
+            if len(parts) < 2:
+                raise ProtocolError("delete without key")
+            _validate_key(parts[1])
+            commands.append(
+                Command(name="delete", keys=(parts[1],), noreply=parts[-1] == "noreply")
+            )
+            buf = rest
+            continue
+        if name == "touch":
+            if len(parts) < 3:
+                raise ProtocolError("touch needs a key and an exptime")
+            _validate_key(parts[1])
+            commands.append(
+                Command(
+                    name="touch",
+                    keys=(parts[1],),
+                    exptime=int(parts[2]),
+                    noreply=parts[-1] == "noreply",
+                )
+            )
+            buf = rest
+            continue
+        if name in COUNTER_COMMANDS:
+            if len(parts) < 3:
+                raise ProtocolError(f"{name} needs a key and a delta")
+            _validate_key(parts[1])
+            delta = int(parts[2])
+            if delta < 0:
+                raise ProtocolError(f"{name} delta must be non-negative")
+            commands.append(
+                Command(
+                    name=name,
+                    keys=(parts[1],),
+                    delta=delta,
+                    noreply=parts[-1] == "noreply",
+                )
+            )
+            buf = rest
+            continue
+        if name in ("flush_all", "stats", "version"):
+            commands.append(Command(name=name))
+            buf = rest
+            continue
+        raise ProtocolError(f"unknown command: {text!r}")
+
+
+def format_values(items: list[tuple[str, int, bytes, int | None]], with_cas: bool) -> bytes:
+    """Format a retrieval response (VALUE blocks + END)."""
+    out = bytearray()
+    for key, flags, payload, cas in items:
+        header = f"VALUE {key} {flags} {len(payload)}"
+        if with_cas:
+            header += f" {cas}"
+        out += header.encode() + CRLF + payload + CRLF
+    out += b"END" + CRLF
+    return bytes(out)
+
+
+def format_status(status: str) -> bytes:
+    return status.encode() + CRLF
+
+
+def format_stats(stats: dict[str, object]) -> bytes:
+    out = bytearray()
+    for k, v in stats.items():
+        out += f"STAT {k} {v}".encode() + CRLF
+    out += b"END" + CRLF
+    return bytes(out)

@@ -1,0 +1,94 @@
+"""Consistency and atomic operations over replicas (paper section IV).
+
+Replication makes read-modify-write racy: two clients updating different
+replicas of the same item would diverge.  The paper's scheme: "remove all
+but the distinguished copies of an item before modifying it, then let
+RnB-memcached create the new copies on demand, after the atomic operation
+completes."
+
+:func:`atomic_update` implements that protocol on top of the live
+protocol client:
+
+1. delete every non-distinguished replica (readers now fall back to the
+   distinguished copy via the normal miss-repair path);
+2. ``gets`` + ``cas`` loop on the distinguished copy until the
+   compare-and-swap wins;
+3. leave replica re-creation to demand (the RnB client's write-back after
+   a miss repopulates the first-picked replica), or eagerly re-replicate
+   when ``repopulate=True``.
+
+The resulting guarantee matches the paper's claim: no worse than plain
+memcached — the distinguished copy is always the single linearisation
+point, and stale replicas are removed before the point of update.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ProtocolError
+from repro.protocol.rnbclient import RnBProtocolClient
+
+
+def atomic_update(
+    client: RnBProtocolClient,
+    key: str,
+    update: Callable[[bytes | None], bytes],
+    *,
+    max_retries: int = 16,
+    repopulate: bool = False,
+) -> bytes:
+    """Atomically transform the value of ``key``; returns the new value.
+
+    ``update`` receives the current value (``None`` if absent) and
+    returns the replacement.  Retries on CAS conflicts up to
+    ``max_retries`` times.
+    """
+    placer = client.placer
+    distinguished = placer.distinguished_for(key)
+    conn = client.connections[distinguished]
+
+    # 1. strip non-distinguished replicas so no reader can observe a
+    #    stale copy after the update commits
+    for sid in placer.servers_for(key)[1:]:
+        client.connections[sid].delete(key)
+
+    # 2. CAS loop on the distinguished copy
+    for _ in range(max_retries):
+        current = conn.get_multi([key], with_cas=True).get(key)
+        if current is None:
+            # absent: plain set is the creation path; a concurrent creator
+            # may win, in which case loop again via cas
+            new_value = update(None)
+            if conn.set(key, new_value):
+                break
+            continue  # pragma: no cover - set on our server cannot fail
+        value, cas_id = current
+        new_value = update(value)
+        status = conn.cas(key, new_value, cas_id)
+        if status == "STORED":
+            break
+        # EXISTS (lost the race) or NOT_FOUND (concurrent delete): retry
+    else:
+        raise ProtocolError(f"atomic update of {key!r} exceeded {max_retries} retries")
+
+    # 3. optionally re-create replicas eagerly
+    if repopulate:
+        for sid in placer.servers_for(key)[1:]:
+            client.connections[sid].set(key, new_value)
+    return new_value
+
+
+def read_repair(client: RnBProtocolClient, key: str) -> bytes | None:
+    """Re-replicate ``key`` from its distinguished copy to all replicas.
+
+    Returns the value, or ``None`` if the item does not exist.  Useful
+    after ``atomic_update(..., repopulate=False)`` when read traffic is
+    too low to repopulate on demand.
+    """
+    value = client.get(key)
+    if value is None:
+        return None
+    for sid in client.placer.servers_for(key)[1:]:
+        client.connections[sid].set(key, value)
+    return value

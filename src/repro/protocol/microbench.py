@@ -1,0 +1,164 @@
+"""Calibration micro-benchmarks (paper appendix, Figs 13–14).
+
+The paper measures a real memcached server with memaslap: items fetched
+per second as a function of the number of items per ``get`` transaction,
+with tiny (10-byte) values, plus one ``set`` per 1000 ``get`` items.  The
+observed shape — items/s linear in transaction size until the wire
+saturates — is what justifies modelling server cost as
+``t_txn + t_item * m``.
+
+These functions run the same experiment against our in-process
+:class:`MemcachedServer` over a loopback transport.  The absolute rates
+are Python-speed, not memcached-speed, but the *shape* (affine cost,
+per-transaction overhead dominating small multi-gets) is the same, so
+:func:`repro.analysis.calibration.fit_cost_model` on this output
+exercises the paper's calibration path end to end.
+
+``two_client_items_per_second`` reproduces the two-client setup of
+Fig 14: two threads hammer one server concurrently; the shared server
+lock (like the real benchmark's congestion) makes combined throughput
+*lower* than a single client at small transaction sizes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.protocol.memclient import MemcachedConnection
+from repro.protocol.memserver import MemcachedServer
+from repro.protocol.transport import LoopbackTransport
+
+
+@dataclass(frozen=True, slots=True)
+class MicrobenchPoint:
+    """One measured point: transaction size -> observed rates."""
+
+    txn_size: int
+    transactions_per_s: float
+    items_per_s: float
+    n_transactions: int
+
+
+def populate(server: MemcachedServer, n_keys: int, *, value_size: int = 10) -> list[str]:
+    """Install ``n_keys`` small items (paper uses 10-byte values)."""
+    conn = MemcachedConnection(LoopbackTransport(server))
+    keys = [f"k{i:08d}" for i in range(n_keys)]
+    payload = b"x" * value_size
+    for key in keys:
+        conn.set(key, payload)
+    return keys
+
+
+def _run_client(
+    conn: MemcachedConnection,
+    keys: list[str],
+    txn_size: int,
+    n_transactions: int,
+    set_every_items: int,
+) -> int:
+    """Issue ``n_transactions`` multi-gets (plus the paper's 1-per-1000-items
+    set traffic); returns items fetched."""
+    fetched = 0
+    items_since_set = 0
+    n_keys = len(keys)
+    pos = 0
+    payload = b"y" * 10
+    for _ in range(n_transactions):
+        batch = [keys[(pos + j) % n_keys] for j in range(txn_size)]
+        pos = (pos + txn_size) % n_keys
+        got = conn.get_multi(batch)
+        fetched += len(got)
+        items_since_set += txn_size
+        if set_every_items and items_since_set >= set_every_items:
+            conn.set(batch[0], payload)
+            items_since_set = 0
+    return fetched
+
+
+def measure_items_per_second(
+    txn_sizes: list[int],
+    *,
+    n_keys: int = 2000,
+    target_transactions: int = 2000,
+    min_transactions: int = 50,
+    set_every_items: int = 1000,
+    server: MemcachedServer | None = None,
+) -> list[MicrobenchPoint]:
+    """Single-client micro-benchmark across transaction sizes (Fig 13).
+
+    ``target_transactions`` is scaled down for large transactions so each
+    point costs comparable wall time.
+    """
+    server = server or MemcachedServer()
+    keys = populate(server, n_keys)
+    conn = MemcachedConnection(LoopbackTransport(server))
+    points: list[MicrobenchPoint] = []
+    for m in txn_sizes:
+        if not (1 <= m <= n_keys):
+            raise ValueError(f"txn_size {m} out of range [1, {n_keys}]")
+        n_txn = max(min_transactions, target_transactions // max(1, m // 4))
+        _run_client(conn, keys, m, n_txn // 10 + 1, set_every_items)  # warmup
+        start = time.perf_counter()
+        fetched = _run_client(conn, keys, m, n_txn, set_every_items)
+        elapsed = time.perf_counter() - start
+        points.append(
+            MicrobenchPoint(
+                txn_size=m,
+                transactions_per_s=n_txn / elapsed,
+                items_per_s=fetched / elapsed,
+                n_transactions=n_txn,
+            )
+        )
+    return points
+
+
+def two_client_items_per_second(
+    txn_sizes: list[int],
+    *,
+    n_keys: int = 2000,
+    target_transactions: int = 2000,
+    min_transactions: int = 50,
+    set_every_items: int = 1000,
+    server: MemcachedServer | None = None,
+) -> list[MicrobenchPoint]:
+    """Two concurrent clients against one server (Fig 14).
+
+    Both clients run the same schedule in separate threads; reported
+    rates are the *summed* items over the joint wall time, matching the
+    paper's methodology ("we summed up the number of transactions that
+    each of the benchmarking clients counted").
+    """
+    server = server or MemcachedServer()
+    keys = populate(server, n_keys)
+    conns = [
+        MemcachedConnection(LoopbackTransport(server)),
+        MemcachedConnection(LoopbackTransport(server)),
+    ]
+    points: list[MicrobenchPoint] = []
+    for m in txn_sizes:
+        if not (1 <= m <= n_keys):
+            raise ValueError(f"txn_size {m} out of range [1, {n_keys}]")
+        n_txn = max(min_transactions, target_transactions // max(1, m // 4))
+        results = [0, 0]
+
+        def worker(idx: int) -> None:
+            results[idx] = _run_client(conns[idx], keys, m, n_txn, set_every_items)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(2)]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        points.append(
+            MicrobenchPoint(
+                txn_size=m,
+                transactions_per_s=2 * n_txn / elapsed,
+                items_per_s=sum(results) / elapsed,
+                n_transactions=2 * n_txn,
+            )
+        )
+    return points

@@ -1,0 +1,210 @@
+"""RnB over the real protocol: the proof-of-concept client (paper §IV).
+
+:class:`RnBProtocolClient` is the protocol-level twin of the simulator's
+:class:`repro.core.client.RnBClient`:
+
+* **writes** go to all R replica servers chosen by Ranged Consistent
+  Hashing (or, in ``lazy`` mode, only to the distinguished copy, letting
+  replicas materialise on demand — the paper's atomic-operation scheme);
+* **multi-gets** are bundled by greedy set cover and executed one
+  transaction per chosen server;
+* **misses** (an evicted replica) are repaired from the distinguished
+  copy in a bundled second round and written back to the first-picked
+  replica server, exactly like the simulator's miss path;
+* **server failures** degrade gracefully: a transaction to a dead server
+  is treated as a full miss, and the affected items are re-fetched from
+  their surviving replicas — the "replication already exists for
+  reliability" dividend the paper points at (sections I-C, III-B).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.cluster.placement import ReplicaPlacer
+from repro.core.bundling import Bundler
+from repro.errors import ConfigurationError, ProtocolError
+from repro.protocol.memclient import MemcachedConnection
+from repro.types import Request
+
+#: transport/socket errors treated as a server being down
+FAILOVER_ERRORS = (ProtocolError, ConnectionError, OSError)
+
+
+@dataclass(slots=True)
+class MultiGetOutcome:
+    """Result of one RnB multi-get."""
+
+    values: dict[str, bytes] = field(default_factory=dict)
+    transactions: int = 0
+    second_round_transactions: int = 0
+    misses_repaired: int = 0
+    missing: tuple[str, ...] = ()
+    failed_servers: tuple[int, ...] = ()
+
+
+class RnBProtocolClient:
+    """Replicate-and-Bundle client over live memcached connections."""
+
+    def __init__(
+        self,
+        connections: dict[int, MemcachedConnection],
+        placer: ReplicaPlacer,
+        *,
+        bundler: Bundler | None = None,
+        write_back: bool = True,
+    ) -> None:
+        if set(connections) != set(range(placer.n_servers)):
+            raise ConfigurationError(
+                "connections must cover server ids 0..n_servers-1 of the placer"
+            )
+        self.connections = dict(connections)
+        self.placer = placer
+        self.bundler = bundler or Bundler(placer)
+        if self.bundler.placer is not placer:
+            raise ConfigurationError("bundler must share the client's placer")
+        self.write_back = write_back
+
+    # -- write path --------------------------------------------------------
+
+    def set(self, key: str, value: bytes, *, replicate: bool = True) -> None:
+        """Store ``key`` on all replica servers (or distinguished only)."""
+        servers = self.placer.servers_for(key) if replicate else (
+            self.placer.distinguished_for(key),
+        )
+        for sid in servers:
+            if not self.connections[sid].set(key, value):
+                raise ProtocolError(f"set of {key!r} failed on server {sid}")
+
+    def delete(self, key: str) -> None:
+        """Remove every replica of ``key`` (missing replicas are fine)."""
+        for sid in self.placer.servers_for(key):
+            self.connections[sid].delete(key)
+
+    # -- read path -----------------------------------------------------------
+
+    def get_multi(self, keys, *, limit_fraction: float | None = None) -> MultiGetOutcome:
+        """Bundled multi-get with miss repair.
+
+        ``limit_fraction`` turns this into a LIMIT-style fetch: at least
+        ``ceil(fraction * len(keys))`` values are returned, any subset.
+        """
+        keys = tuple(dict.fromkeys(keys))  # dedupe, keep order
+        if not keys:
+            return MultiGetOutcome()
+        request = Request(items=keys, limit_fraction=limit_fraction)
+        plan = self.bundler.plan(request)
+
+        outcome = MultiGetOutcome()
+        failed: set[int] = set()
+        missed_primary: dict[str, int] = {}
+        for txn in plan.transactions:
+            conn = self.connections[txn.server]
+            asked = (*txn.primary, *txn.hitchhikers)
+            try:
+                got = conn.get_multi(asked)
+            except FAILOVER_ERRORS:
+                # dead server: every primary becomes a miss to repair from
+                # the item's surviving replicas
+                failed.add(txn.server)
+                for key in txn.primary:
+                    missed_primary[key] = txn.server
+                continue
+            outcome.transactions += 1
+            outcome.values.update(got)
+            for key in txn.primary:
+                if key not in got:
+                    missed_primary[key] = txn.server
+
+        # Repair waves: fetch still-missing items from their remaining
+        # replicas — the distinguished copy first, then (only if servers
+        # have failed or evicted) the other replicas.  Each wave bundles
+        # by server; a key is given up only once every live replica has
+        # been tried.
+        required = request.required_items
+        pending = {k for k in missed_primary if k not in outcome.values}
+        tried: dict[str, set[int]] = {
+            k: {missed_primary[k]} for k in pending
+        }
+        # LIMIT plans cover only `required` items; if failures leave the
+        # quota unreachable from the planned set, recruit the unplanned
+        # request keys as substitutes (any subset satisfies a LIMIT)
+        unplanned = [
+            k for k in keys if k not in outcome.values and k not in missed_primary
+        ]
+        while len(outcome.values) < required:
+            groups: dict[int, list[str]] = defaultdict(list)
+            for key in list(pending):
+                candidates = [
+                    s
+                    for s in self.placer.servers_for(key)
+                    if s not in failed and s not in tried[key]
+                ]
+                if not candidates:
+                    pending.discard(key)  # exhausted: genuinely missing
+                    continue
+                groups[candidates[0]].append(key)
+            if not groups:
+                if unplanned:
+                    for key in unplanned:
+                        pending.add(key)
+                        tried[key] = set()
+                    unplanned = []
+                    continue
+                break
+            for sid, group in sorted(groups.items(), key=lambda kv: (-len(kv[1]), kv[0])):
+                if len(outcome.values) >= required:
+                    break
+                if request.limit_fraction is not None:
+                    group = group[: required - len(outcome.values)]
+                try:
+                    got = self.connections[sid].get_multi(group)
+                except FAILOVER_ERRORS:
+                    failed.add(sid)
+                    continue
+                outcome.transactions += 1
+                outcome.second_round_transactions += 1
+                for key in group:
+                    tried[key].add(sid)
+                outcome.values.update(got)
+                outcome.misses_repaired += len(got)
+                for key in got:
+                    pending.discard(key)
+                if self.write_back:
+                    for key, value in got.items():
+                        target = missed_primary.get(key)
+                        if target is not None and target not in failed:
+                            try:
+                                self.connections[target].set(key, value)
+                            except FAILOVER_ERRORS:
+                                failed.add(target)
+
+        outcome.missing = tuple(k for k in keys if k not in outcome.values)
+        outcome.failed_servers = tuple(sorted(failed))
+        return outcome
+
+    def get(self, key: str) -> bytes | None:
+        """Single-item get — from the distinguished copy (paper section
+        III-C1: unbundled accesses must not pollute replica LRUs), falling
+        back to the other replicas only if its server is unreachable."""
+        last_error: Exception | None = None
+        reached_any = False
+        for sid in self.placer.servers_for(key):
+            try:
+                value = self.connections[sid].get(key)
+            except FAILOVER_ERRORS as exc:
+                last_error = exc
+                continue
+            reached_any = True
+            if value is not None:
+                return value
+            if sid == self.placer.distinguished_for(key):
+                # the distinguished copy is authoritative: a clean miss
+                # there is final; an evicted replica is not
+                return None
+        if not reached_any and last_error is not None:
+            raise ProtocolError(
+                f"all replicas of {key!r} unreachable"
+            ) from last_error
+        return None

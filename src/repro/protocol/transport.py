@@ -1,0 +1,73 @@
+"""Byte transports connecting protocol clients to servers.
+
+* :class:`LoopbackTransport` — direct in-process call into a
+  :class:`repro.protocol.memserver.MemcachedServer`; zero copies, used by
+  the calibration micro-benchmarks and the test suite.
+* :class:`TCPTransport` — a real socket to any memcached-speaking
+  server (ours or the original), used by ``examples/live_cluster.py``.
+
+A transport exchanges one request for one complete response.  Response
+completeness is protocol-dependent, so the caller passes the number of
+responses expected and the transport reads until the parser is satisfied
+— see :meth:`TCPTransport.exchange`.
+"""
+
+from __future__ import annotations
+
+import socket
+
+from repro.errors import ProtocolError
+from repro.protocol import codec
+from repro.protocol.codec import IncompleteResponse, Response
+from repro.protocol.memserver import MemcachedServer
+
+
+class LoopbackTransport:
+    """In-process transport: requests are served synchronously."""
+
+    def __init__(self, server: MemcachedServer):
+        self.server = server
+
+    def exchange(self, request: bytes, n_responses: int = 1) -> list[Response]:
+        raw = self.server.handle(request)
+        responses: list[Response] = []
+        buf = raw
+        for _ in range(n_responses):
+            resp, buf = codec.parse_response(buf)
+            responses.append(resp)
+        if buf:
+            raise ProtocolError(f"unexpected trailing response bytes: {buf[:40]!r}")
+        return responses
+
+    def close(self) -> None:  # symmetric API with TCPTransport
+        pass
+
+
+class TCPTransport:
+    """Blocking TCP transport with incremental response parsing."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 5.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._buf = b""
+
+    def exchange(self, request: bytes, n_responses: int = 1) -> list[Response]:
+        self._sock.sendall(request)
+        responses: list[Response] = []
+        while len(responses) < n_responses:
+            try:
+                resp, self._buf = codec.parse_response(self._buf)
+                responses.append(resp)
+                continue
+            except IncompleteResponse:
+                pass
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                raise ProtocolError("connection closed mid-response")
+            self._buf += chunk
+        return responses
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass

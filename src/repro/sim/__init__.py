@@ -1,0 +1,28 @@
+"""Simulation drivers.
+
+* :mod:`repro.sim.config` — declarative configuration dataclasses.
+* :mod:`repro.sim.engine` — the full stateful simulator (graph workloads,
+  LRU memory, warmup + measurement phases; paper sections III-B/D/E).
+* :mod:`repro.sim.montecarlo` — the *simplified* simulator for LIMIT
+  experiments (random independent requests, no misses; section III-F).
+* :mod:`repro.sim.sweep` — parameter-grid sweeps.
+"""
+
+from repro.sim.config import ClientConfig, ClusterConfig, SimConfig
+from repro.sim.engine import build_client, build_cluster, run_simulation
+from repro.sim.montecarlo import MonteCarloResult, mc_tpr
+from repro.sim.results import SimResult
+from repro.sim.sweep import sweep_grid
+
+__all__ = [
+    "ClientConfig",
+    "ClusterConfig",
+    "MonteCarloResult",
+    "SimConfig",
+    "SimResult",
+    "build_client",
+    "build_cluster",
+    "mc_tpr",
+    "run_simulation",
+    "sweep_grid",
+]

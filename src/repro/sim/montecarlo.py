@@ -1,0 +1,129 @@
+"""The simplified Monte-Carlo simulator for LIMIT experiments.
+
+Paper section III-F: "The simplified simulator performed Monte Carlo
+style simulation.  It assumed that the servers have enough memory to
+completely avoid misses, and that the set of items in each request is
+random and independent of the previous request."
+
+Under those assumptions there is no state at all: each trial draws, for
+every requested item, a uniformly random set of ``replication`` distinct
+servers, and runs the greedy (partial) cover.  The implementation is
+vectorised with NumPy boolean matrices — one greedy step is a masked
+column sum + argmax — so thousands of trials per sweep point are cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True, slots=True)
+class MonteCarloResult:
+    """Mean/stderr TPR over the trials of one parameter point."""
+
+    n_servers: int
+    request_size: int
+    replication: int
+    limit_fraction: float | None
+    n_trials: int
+    mean_tpr: float
+    std_tpr: float
+    mean_items_fetched: float
+
+    @property
+    def stderr_tpr(self) -> float:
+        return self.std_tpr / np.sqrt(self.n_trials)
+
+
+def _greedy_cover_trial(
+    presence: np.ndarray, required: int
+) -> tuple[int, int]:
+    """Greedy (partial) cover on one trial's M x N presence matrix.
+
+    Returns (transactions, items_covered).  Ties break toward the lowest
+    server id (argmax's first-match rule), matching the bit-set solver.
+    """
+    m, _ = presence.shape
+    uncovered = np.ones(m, dtype=bool)
+    covered = 0
+    txns = 0
+    while covered < required:
+        coverage = presence[uncovered].sum(axis=0)
+        server = int(np.argmax(coverage))
+        gain = int(coverage[server])
+        if gain == 0:  # pragma: no cover - impossible: every item has a server
+            raise RuntimeError("greedy stalled")
+        newly = uncovered & presence[:, server]
+        need = required - covered
+        if gain > need:
+            # LIMIT trimming: only `need` of the newly covered items count;
+            # which ones is irrelevant for TPR, so clear the first `need`.
+            idx = np.nonzero(newly)[0][:need]
+            uncovered[idx] = False
+            covered += need
+        else:
+            uncovered[newly] = False
+            covered += gain
+        txns += 1
+    return txns, covered
+
+
+def mc_tpr(
+    n_servers: int,
+    request_size: int,
+    replication: int,
+    *,
+    limit_fraction: float | None = None,
+    n_trials: int = 400,
+    rng=None,
+    seed: int | None = None,
+) -> MonteCarloResult:
+    """Monte-Carlo estimate of TPR for random independent requests.
+
+    Parameters mirror the sweep axes of paper Figs 11–12: fleet size,
+    request size, replication level and the LIMIT fetch fraction
+    (``None`` or 1.0 = fetch the full set; note the two differ in *plan
+    flexibility* only for the stateful simulator — here a 1.0 limit is
+    identical to no limit).
+    """
+    if not (1 <= replication <= n_servers):
+        raise ValueError("replication must be in [1, n_servers]")
+    if request_size < 1:
+        raise ValueError("request_size must be >= 1")
+    if n_trials < 1:
+        raise ValueError("n_trials must be >= 1")
+    if limit_fraction is not None and not (0.0 < limit_fraction <= 1.0):
+        raise ValueError("limit_fraction must be in (0, 1]")
+    rng = ensure_rng(seed if rng is None else rng)
+
+    if limit_fraction is None:
+        required = request_size
+    else:
+        required = max(1, min(request_size, int(np.ceil(limit_fraction * request_size - 1e-9))))
+
+    tprs = np.empty(n_trials, dtype=np.float64)
+    items = np.empty(n_trials, dtype=np.float64)
+    for t in range(n_trials):
+        # replica sets: for each item the first `replication` entries of a
+        # random permutation of servers — uniform over distinct sets
+        scores = rng.random((request_size, n_servers))
+        replicas = np.argpartition(scores, replication - 1, axis=1)[:, :replication]
+        presence = np.zeros((request_size, n_servers), dtype=bool)
+        presence[np.arange(request_size)[:, None], replicas] = True
+        txns, covered = _greedy_cover_trial(presence, required)
+        tprs[t] = txns
+        items[t] = covered
+    return MonteCarloResult(
+        n_servers=n_servers,
+        request_size=request_size,
+        replication=replication,
+        limit_fraction=limit_fraction,
+        n_trials=n_trials,
+        mean_tpr=float(tprs.mean()),
+        std_tpr=float(tprs.std(ddof=1)) if n_trials > 1 else 0.0,
+        mean_items_fetched=float(items.mean()),
+    )

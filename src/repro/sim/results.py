@@ -1,0 +1,76 @@
+"""Simulation results container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.calibration import CostModel
+from repro.analysis.throughput import system_throughput
+from repro.types import ClusterStats
+from repro.utils.histogram import Histogram
+
+
+@dataclass(slots=True)
+class SimResult:
+    """Aggregated outcome of one simulation run.
+
+    ``n_original_requests`` differs from ``stats.requests`` when requests
+    were merged: merging window w turns w end-user requests into one
+    simulated request, and the paper reports TPR *per original end-user
+    request* so merged and unmerged runs are comparable (Figs 9–10).
+    """
+
+    n_servers: int
+    stats: ClusterStats
+    n_original_requests: int
+    merge_window: int = 1
+    txn_histogram: Histogram = field(default_factory=Histogram)
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def tpr(self) -> float:
+        """Transactions per *original* end-user request."""
+        if self.n_original_requests == 0:
+            return 0.0
+        return self.stats.transactions / self.n_original_requests
+
+    @property
+    def tpr_per_merged_request(self) -> float:
+        """Transactions per simulated (possibly merged) request."""
+        return self.stats.tpr
+
+    @property
+    def tprps(self) -> float:
+        return self.tpr / self.n_servers
+
+    @property
+    def miss_rate(self) -> float:
+        return self.stats.miss_rate
+
+    @property
+    def mean_txn_size(self) -> float:
+        return self.txn_histogram.mean
+
+    def throughput(self, cost_model: CostModel) -> float:
+        """Fleet capacity in original end-user requests/second."""
+        return system_throughput(
+            self.txn_histogram, self.n_original_requests, self.n_servers, cost_model
+        )
+
+    def to_dict(self) -> dict:
+        """Flat summary for tables / JSON export."""
+        return {
+            "n_servers": self.n_servers,
+            "n_original_requests": self.n_original_requests,
+            "merge_window": self.merge_window,
+            "tpr": self.tpr,
+            "tprps": self.tprps,
+            "transactions": self.stats.transactions,
+            "misses": self.stats.misses,
+            "miss_rate": self.miss_rate,
+            "second_round_transactions": self.stats.second_round_transactions,
+            "items_fetched": self.stats.items_fetched,
+            "items_transferred": self.stats.items_transferred,
+            "mean_txn_size": self.mean_txn_size,
+            **self.meta,
+        }

@@ -1,0 +1,219 @@
+"""Core value types shared across the library.
+
+The simulator identifies items by small integers (``ItemId``) for speed;
+the protocol layer uses string keys.  ``Request`` carries the item set of
+one end-user request, plus an optional LIMIT clause (paper section III-F).
+
+Terminology follows the paper (section I-B):
+
+* an end user sends a *request* for a set of *items* to the web service;
+* the web server (the memcached *client*) translates it into
+  *transactions*, one per storage server contacted;
+* *TPR* is the mean number of transactions per request and *TPRPS* is TPR
+  divided by the number of servers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+ItemId = int
+ServerId = int
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One end-user request.
+
+    Parameters
+    ----------
+    items:
+        The request set — distinct item ids that the user needs.
+    limit_fraction:
+        If not ``None``, the request is a LIMIT-style request ("fetch me at
+        least X items out of the following list"): the client must return
+        at least ``ceil(limit_fraction * len(items))`` items, any subset.
+    """
+
+    items: tuple[ItemId, ...]
+    limit_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if len(set(self.items)) != len(self.items):
+            raise ValueError("request items must be distinct")
+        if self.limit_fraction is not None and not (0.0 < self.limit_fraction <= 1.0):
+            raise ValueError("limit_fraction must be in (0, 1]")
+
+    @property
+    def size(self) -> int:
+        """Number of items in the request set (the *request size*)."""
+        return len(self.items)
+
+    @property
+    def required_items(self) -> int:
+        """How many items must actually be returned.
+
+        Equals the request size for ordinary requests; for LIMIT requests
+        it is ``ceil(limit_fraction * size)``.
+        """
+        if self.limit_fraction is None:
+            return len(self.items)
+        import math
+
+        n = len(self.items)
+        # the 1e-9 guard keeps exact fractions (0.5 * 4 = 2.0) from being
+        # rounded up by floating-point noise
+        return max(1, min(n, math.ceil(self.limit_fraction * n - 1e-9)))
+
+
+@dataclass(frozen=True, slots=True)
+class Transaction:
+    """One multi-get sent to a single server.
+
+    ``primary`` holds the items this transaction is *responsible* for
+    (chosen by the set cover); ``hitchhikers`` holds redundant items
+    piggybacked onto it (paper section III-C2).  The server-side cost of
+    the transaction depends on ``len(primary) + len(hitchhikers)`` items
+    plus a fixed per-transaction cost.
+    """
+
+    server: ServerId
+    primary: tuple[ItemId, ...]
+    hitchhikers: tuple[ItemId, ...] = ()
+
+    @property
+    def n_items(self) -> int:
+        return len(self.primary) + len(self.hitchhikers)
+
+
+@dataclass(frozen=True, slots=True)
+class FetchPlan:
+    """The client's plan for one request: the transactions of round one.
+
+    The plan is produced by :class:`repro.core.bundling.Bundler` before any
+    server is contacted; misses may later force a second round (handled by
+    :class:`repro.core.client.RnBClient`).
+    """
+
+    request: Request
+    transactions: tuple[Transaction, ...]
+
+    @property
+    def n_transactions(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def servers(self) -> tuple[ServerId, ...]:
+        return tuple(t.server for t in self.transactions)
+
+    def planned_items(self) -> set[ItemId]:
+        """All items covered by primary assignments."""
+        out: set[ItemId] = set()
+        for t in self.transactions:
+            out.update(t.primary)
+        return out
+
+
+@dataclass(slots=True)
+class FetchResult:
+    """Outcome of executing one request against a cluster.
+
+    ``transactions`` counts *all* rounds (the paper's TPR numerator).
+    ``items_fetched`` counts items actually returned to the user;
+    ``items_transferred`` additionally counts hitchhiker payloads, i.e. the
+    network traffic in item units.
+    """
+
+    request: Request
+    transactions: int
+    items_fetched: int
+    items_transferred: int
+    misses: int
+    second_round_transactions: int
+    servers_contacted: tuple[ServerId, ...] = ()
+    txn_sizes: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaSet:
+    """The ordered replica locations of one item.
+
+    Index 0 is the *distinguished copy* (paper section III-C1): the replica
+    that is pinned in memory and used for single-item transactions and for
+    second-round fetches after misses.
+    """
+
+    item: ItemId
+    servers: tuple[ServerId, ...]
+
+    def __post_init__(self) -> None:
+        if not self.servers:
+            raise ValueError("replica set must name at least one server")
+        if len(set(self.servers)) != len(self.servers):
+            raise ValueError("replica servers must be distinct")
+
+    @property
+    def distinguished(self) -> ServerId:
+        return self.servers[0]
+
+    @property
+    def replication(self) -> int:
+        return len(self.servers)
+
+
+@dataclass(slots=True)
+class ClusterStats:
+    """Aggregated counters over a simulation run."""
+
+    requests: int = 0
+    transactions: int = 0
+    items_fetched: int = 0
+    items_transferred: int = 0
+    misses: int = 0
+    second_round_transactions: int = 0
+    txn_size_histogram: dict[int, int] = field(default_factory=dict)
+    per_server_transactions: dict[ServerId, int] = field(default_factory=dict)
+
+    def record(self, result: FetchResult) -> None:
+        self.requests += 1
+        self.transactions += result.transactions
+        self.items_fetched += result.items_fetched
+        self.items_transferred += result.items_transferred
+        self.misses += result.misses
+        self.second_round_transactions += result.second_round_transactions
+        for size in result.txn_sizes:
+            self.txn_size_histogram[size] = self.txn_size_histogram.get(size, 0) + 1
+        for s in result.servers_contacted:
+            self.per_server_transactions[s] = self.per_server_transactions.get(s, 0) + 1
+
+    @property
+    def tpr(self) -> float:
+        """Mean transactions per request."""
+        if self.requests == 0:
+            return 0.0
+        return self.transactions / self.requests
+
+    def tprps(self, n_servers: int) -> float:
+        """Transactions per request per server."""
+        if n_servers <= 0:
+            raise ValueError("n_servers must be positive")
+        return self.tpr / n_servers
+
+    @property
+    def miss_rate(self) -> float:
+        if self.items_fetched == 0:
+            return 0.0
+        return self.misses / (self.misses + self.items_fetched)
+
+    def merge(self, other: "ClusterStats") -> None:
+        """Fold another stats object into this one (for sharded runs)."""
+        self.requests += other.requests
+        self.transactions += other.transactions
+        self.items_fetched += other.items_fetched
+        self.items_transferred += other.items_transferred
+        self.misses += other.misses
+        self.second_round_transactions += other.second_round_transactions
+        for k, v in other.txn_size_histogram.items():
+            self.txn_size_histogram[k] = self.txn_size_histogram.get(k, 0) + v
+        for k, v in other.per_server_transactions.items():
+            self.per_server_transactions[k] = self.per_server_transactions.get(k, 0) + v

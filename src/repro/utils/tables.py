@@ -1,0 +1,65 @@
+"""Plain-text table rendering for experiment output.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and diff-friendly without
+pulling in a formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    ``rows`` may contain any mix of strings, ints and floats; floats are
+    shown with four significant digits.
+    """
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render multiple named series against a shared x axis.
+
+    This is the canonical "figure as text" format used by the per-figure
+    benchmarks: one row per x value, one column per series.
+    """
+    headers = [x_label, *series.keys()]
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(f"series {name!r} length does not match x values")
+    rows = [
+        [x, *(series[name][i] for name in series)] for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,121 @@
+"""Compact directed-graph container for workload generation.
+
+Stored in CSR form (``indptr``/``indices`` numpy arrays) so an 82k-node /
+950k-edge Slashdot-scale graph costs ~8 MB and neighbour lookup is a
+single slice — the simulator samples millions of ego networks from it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.utils.histogram import Histogram
+
+
+class SocialGraph:
+    """A directed graph over nodes ``0..n_nodes-1`` in CSR form.
+
+    Edge ``u -> v`` means "u follows/trusts v"; the paper's ego request
+    for user ``u`` fetches the statuses of u's out-neighbours.
+    """
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray, name: str = "graph"):
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise WorkloadError("indptr and indices must be 1-D")
+        if len(indptr) < 1 or indptr[0] != 0 or indptr[-1] != len(indices):
+            raise WorkloadError("malformed CSR indptr")
+        if np.any(np.diff(indptr) < 0):
+            raise WorkloadError("indptr must be non-decreasing")
+        n = len(indptr) - 1
+        if len(indices) and (indices.min() < 0 or indices.max() >= n):
+            raise WorkloadError("edge target out of range")
+        self.indptr = indptr
+        self.indices = indices
+        self.name = name
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, n_nodes: int, edges: Iterable[tuple[int, int]], name: str = "graph"
+    ) -> "SocialGraph":
+        """Build from an iterable of (src, dst) pairs.
+
+        Self-loops and duplicate edges are dropped (a user is not their own
+        friend, and an item is fetched once per request anyway).
+        """
+        arr = np.asarray(
+            [(u, v) for u, v in edges if u != v], dtype=np.int64
+        ).reshape(-1, 2)
+        if len(arr):
+            if arr.min() < 0 or arr.max() >= n_nodes:
+                raise WorkloadError("edge endpoint out of range")
+            arr = np.unique(arr, axis=0)
+        srcs = arr[:, 0] if len(arr) else np.array([], dtype=np.int64)
+        dsts = arr[:, 1] if len(arr) else np.array([], dtype=np.int64)
+        order = np.argsort(srcs, kind="stable")
+        srcs, dsts = srcs[order], dsts[order]
+        indptr = np.zeros(n_nodes + 1, dtype=np.int64)
+        np.add.at(indptr, srcs + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(indptr, dsts, name=name)
+
+    @classmethod
+    def from_adjacency(
+        cls, adjacency: Sequence[Sequence[int]], name: str = "graph"
+    ) -> "SocialGraph":
+        n = len(adjacency)
+        edges = [(u, v) for u, nbrs in enumerate(adjacency) for v in nbrs]
+        return cls.from_edges(n, edges, name=name)
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.indices)
+
+    def out_neighbors(self, node: int) -> np.ndarray:
+        """Out-neighbours of ``node`` (a CSR slice view — do not mutate)."""
+        if not (0 <= node < self.n_nodes):
+            raise IndexError(f"node {node} out of range")
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def out_degree(self, node: int) -> int:
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    @property
+    def mean_degree(self) -> float:
+        if self.n_nodes == 0:
+            return 0.0
+        return self.n_edges / self.n_nodes
+
+    def degree_histogram(self) -> Histogram:
+        """Out-degree histogram (Figs 4–5 of the paper)."""
+        degrees = self.out_degrees()
+        vals, counts = np.unique(degrees, return_counts=True)
+        h = Histogram()
+        for v, c in zip(vals.tolist(), counts.tolist()):
+            h.add(int(v), int(c))
+        return h
+
+    def nonisolated_nodes(self) -> np.ndarray:
+        """Nodes with at least one out-neighbour (valid ego-request roots)."""
+        return np.nonzero(np.diff(self.indptr) > 0)[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SocialGraph({self.name!r}, nodes={self.n_nodes}, "
+            f"edges={self.n_edges}, mean_degree={self.mean_degree:.2f})"
+        )

@@ -1,0 +1,178 @@
+"""Calibrated synthetic stand-ins for the paper's SNAP datasets.
+
+The paper drives its simulator with two public social graphs:
+
+* **Slashdot** (paper ref [9]): 82,168 nodes, 948,464 edges, mean degree
+  11.54 (Fig 4 shows its heavy-tailed degree histogram);
+* **Epinions** (paper ref [10]): 75,879 nodes, 508,837 edges, mean degree
+  6.7 (Fig 5).
+
+Those files are not redistributable here, so ``synthesize_graph`` builds
+directed graphs with the same node count, edge count (within ~2%), and a
+power-law-with-cutoff out-degree distribution, wiring edge targets by
+Zipf popularity so that ego networks overlap (the affinity structure that
+request locality and overbooking rely on).  A real SNAP file, if present,
+can be loaded instead via :mod:`repro.workloads.snap` — every experiment
+accepts any :class:`SocialGraph`.
+
+``scale`` shrinks a dataset proportionally (nodes *and* edges) for tests
+and quick runs; degree statistics are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.utils.rng import ensure_rng
+from repro.workloads.graphs import SocialGraph
+from repro.workloads.zipf import sample_powerlaw_degrees, zipf_weights
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """Target statistics for a synthetic dataset."""
+
+    name: str
+    n_nodes: int
+    n_edges: int
+    alpha: float = 1.6  # power-law exponent of the degree distribution
+    popularity_exponent: float = 0.8  # Zipf exponent for edge targets
+    description: str = ""
+
+    @property
+    def mean_degree(self) -> float:
+        return self.n_edges / self.n_nodes
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "slashdot": DatasetSpec(
+        name="slashdot",
+        n_nodes=82_168,
+        n_edges=948_464,
+        description="Synthetic stand-in for SNAP soc-Slashdot0902 "
+        "(82,168 users / 948,464 links, mean degree 11.54; paper Fig 4)",
+    ),
+    "epinions": DatasetSpec(
+        name="epinions",
+        n_nodes=75_879,
+        n_edges=508_837,
+        description="Synthetic stand-in for SNAP soc-Epinions1 "
+        "(75,879 users / 508,837 trust links, mean degree 6.7; paper Fig 5)",
+    ),
+}
+
+
+def _adjust_degrees(degrees: np.ndarray, target_total: int, max_degree: int, rng) -> np.ndarray:
+    """Nudge a sampled degree sequence so it sums exactly to target_total."""
+    degrees = degrees.astype(np.int64, copy=True)
+    total = int(degrees.sum())
+    if total == 0:
+        raise WorkloadError("degree sample summed to zero")
+    if abs(total - target_total) > 0.05 * target_total:
+        # large drift: rescale multiplicatively first
+        degrees = np.maximum(1, np.round(degrees * (target_total / total))).astype(np.int64)
+        total = int(degrees.sum())
+    n = len(degrees)
+    while total != target_total:
+        step = min(abs(total - target_total), max(1, n // 4))
+        idx = rng.integers(0, n, size=step)
+        if total < target_total:
+            mask = degrees[idx] < max_degree
+            degrees[idx[mask]] += 1
+            total += int(mask.sum())
+        else:
+            mask = degrees[idx] > 1
+            degrees[idx[mask]] -= 1
+            total -= int(mask.sum())
+    return degrees
+
+
+def synthesize_graph(
+    spec: DatasetSpec,
+    *,
+    seed: int = 0,
+    scale: float = 1.0,
+    edge_tolerance: float = 0.02,
+    max_topup_rounds: int = 8,
+) -> SocialGraph:
+    """Generate a directed graph matching ``spec``'s size and degree shape.
+
+    The generator (1) samples an out-degree per node from a discrete power
+    law with exponential cutoff whose mean matches the spec, (2) wires each
+    node's out-edges to targets drawn from a Zipf popularity ranking, and
+    (3) deduplicates and tops up until the edge count is within
+    ``edge_tolerance`` of the target.
+    """
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    rng = ensure_rng(seed)
+    n = max(16, int(round(spec.n_nodes * scale)))
+    target_edges = max(n, int(round(spec.n_edges * scale)))
+    max_degree = n - 1
+    mean = target_edges / n
+
+    degrees = sample_powerlaw_degrees(
+        n, mean, alpha=spec.alpha, max_degree=min(max_degree, max(1000, int(mean * 300))), rng=rng
+    )
+    degrees = _adjust_degrees(degrees, target_edges, max_degree, rng)
+
+    # popularity ranking: random node permutation holding Zipf weights
+    weights = zipf_weights(n, spec.popularity_exponent)
+    perm = rng.permutation(n)
+    node_weights = np.empty(n, dtype=np.float64)
+    node_weights[perm] = weights
+    cdf = np.cumsum(node_weights)
+    cdf /= cdf[-1]
+
+    def sample_targets(count: int) -> np.ndarray:
+        return np.searchsorted(cdf, rng.random(count), side="right")
+
+    srcs = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    dsts = sample_targets(len(srcs))
+    pairs = srcs * n + dsts
+    pairs = pairs[srcs != dsts]
+    pairs = np.unique(pairs)
+
+    # duplicates (popular targets get picked twice) shrink the edge count;
+    # top up with fresh samples until within tolerance
+    for _ in range(max_topup_rounds):
+        deficit = target_edges - len(pairs)
+        if deficit <= edge_tolerance * target_edges:
+            break
+        extra_src = srcs[rng.integers(0, len(srcs), size=int(deficit * 1.3) + 1)]
+        extra_dst = sample_targets(len(extra_src))
+        extra = extra_src * n + extra_dst
+        extra = extra[extra_src != extra_dst]
+        pairs = np.unique(np.concatenate([pairs, extra]))
+    if len(pairs) > target_edges:
+        drop = rng.choice(len(pairs), size=len(pairs) - target_edges, replace=False)
+        pairs = np.delete(pairs, drop)
+
+    achieved = len(pairs)
+    if abs(achieved - target_edges) > max(edge_tolerance * target_edges, 8):
+        raise WorkloadError(
+            f"could not reach edge target: wanted {target_edges}, got {achieved}"
+        )
+
+    srcs_final = pairs // n
+    dsts_final = pairs % n
+    order = np.argsort(srcs_final, kind="stable")
+    srcs_final, dsts_final = srcs_final[order], dsts_final[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.add.at(indptr, srcs_final + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    name = spec.name if scale == 1.0 else f"{spec.name}@{scale:g}"
+    return SocialGraph(indptr, dsts_final, name=name)
+
+
+def make_slashdot_like(*, seed: int = 0, scale: float = 1.0) -> SocialGraph:
+    """Synthetic Slashdot: 82,168 nodes / 948,464 edges at scale 1.0."""
+    return synthesize_graph(DATASETS["slashdot"], seed=seed, scale=scale)
+
+
+def make_epinions_like(*, seed: int = 0, scale: float = 1.0) -> SocialGraph:
+    """Synthetic Epinions: 75,879 nodes / 508,837 edges at scale 1.0."""
+    return synthesize_graph(DATASETS["epinions"], seed=seed, scale=scale)

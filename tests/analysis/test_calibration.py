@@ -1,0 +1,103 @@
+"""Tests for the cost model and its least-squares calibration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import (
+    DEFAULT_MEMCACHED_MODEL,
+    CostModel,
+    fit_cost_model,
+)
+
+
+class TestCostModel:
+    def test_txn_time_affine(self):
+        m = CostModel(t_txn=1e-5, t_item=1e-7)
+        assert m.txn_time(0) == pytest.approx(1e-5)
+        assert m.txn_time(100) == pytest.approx(1e-5 + 1e-5)
+
+    def test_items_per_second_monotone_without_cap(self):
+        m = CostModel(t_txn=1e-5, t_item=1e-7)
+        rates = [m.items_per_second(k) for k in (1, 2, 10, 100, 1000)]
+        assert rates == sorted(rates)
+
+    def test_items_per_second_asymptote(self):
+        m = CostModel(t_txn=1e-5, t_item=2e-7)
+        assert m.items_per_second(10**6) == pytest.approx(1 / 2e-7, rel=0.01)
+
+    def test_bandwidth_cap_binds(self):
+        m = CostModel(t_txn=1e-5, t_item=2e-7, bandwidth_items_per_s=1e5)
+        assert m.items_per_second(1000) == pytest.approx(1e5)
+        # small transactions are CPU-bound, unaffected by the cap
+        assert m.items_per_second(1) == pytest.approx(1 / (1e-5 + 2e-7))
+
+    def test_txns_per_second(self):
+        m = CostModel(t_txn=1e-2, t_item=0.0)
+        assert m.txns_per_second(5) == pytest.approx(100.0)
+
+    def test_work_seconds(self):
+        m = CostModel(t_txn=1.0, t_item=0.5)
+        assert m.work_seconds([1, 2]) == pytest.approx(1.5 + 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(t_txn=0, t_item=1e-7)
+        with pytest.raises(ValueError):
+            CostModel(t_txn=1e-5, t_item=-1)
+        with pytest.raises(ValueError):
+            CostModel(t_txn=1e-5, t_item=0, bandwidth_items_per_s=0)
+        with pytest.raises(ValueError):
+            CostModel(t_txn=1e-5, t_item=1e-7).txn_time(-1)
+
+
+class TestFit:
+    def test_recovers_known_model_exactly(self):
+        true = CostModel(t_txn=1.2e-5, t_item=3e-7)
+        sizes = [1, 2, 5, 10, 20, 50, 100]
+        rates = [true.items_per_second(m) for m in sizes]
+        fitted = fit_cost_model(sizes, rates)
+        assert fitted.t_txn == pytest.approx(true.t_txn, rel=1e-6)
+        assert fitted.t_item == pytest.approx(true.t_item, rel=1e-6)
+        assert fitted.bandwidth_items_per_s is None
+
+    def test_recovers_model_under_noise(self):
+        true = CostModel(t_txn=1e-5, t_item=2e-7)
+        rng = np.random.default_rng(0)
+        sizes = list(range(1, 60, 3))
+        rates = [
+            true.items_per_second(m) * rng.uniform(0.98, 1.02) for m in sizes
+        ]
+        fitted = fit_cost_model(sizes, rates)
+        assert fitted.t_txn == pytest.approx(true.t_txn, rel=0.15)
+        assert fitted.t_item == pytest.approx(true.t_item, rel=0.3)
+
+    def test_detects_saturation_cap(self):
+        true = CostModel(t_txn=1e-5, t_item=2e-7, bandwidth_items_per_s=2e5)
+        sizes = [1, 2, 5, 10, 20, 100, 500, 1000]
+        rates = [true.items_per_second(m) for m in sizes]
+        fitted = fit_cost_model(sizes, rates)
+        assert fitted.bandwidth_items_per_s == pytest.approx(2e5, rel=0.05)
+        # the unsaturated points still pin the CPU parameters
+        assert fitted.t_txn == pytest.approx(1e-5, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_cost_model([1], [100.0])
+        with pytest.raises(ValueError):
+            fit_cost_model([1, 2], [100.0])
+        with pytest.raises(ValueError):
+            fit_cost_model([0, 2], [10.0, 10.0])
+        with pytest.raises(ValueError):
+            fit_cost_model([1, 2], [10.0, -1.0])
+
+
+class TestDefaultModel:
+    def test_paper_shape(self):
+        """~100k 1-item txns/s; linear growth; wire cap ~1.2M items/s."""
+        m = DEFAULT_MEMCACHED_MODEL
+        assert 8e4 < m.txns_per_second(1) < 1.2e5
+        # near-linear until the cap
+        assert m.items_per_second(10) > 7 * m.items_per_second(1)
+        assert m.items_per_second(10_000) == pytest.approx(1.2e6)

@@ -1,0 +1,68 @@
+"""Tests for histogram presentation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.histograms import (
+    degree_histogram_rows,
+    log_bin_edges,
+    tail_exponent_estimate,
+)
+from repro.utils.histogram import Histogram
+
+
+class TestLogBinEdges:
+    def test_starts_at_one(self):
+        assert log_bin_edges(100)[0] == 1
+
+    def test_strictly_increasing(self):
+        edges = log_bin_edges(10_000, bins_per_decade=3)
+        assert edges == sorted(set(edges))
+
+    def test_covers_max(self):
+        edges = log_bin_edges(500)
+        assert edges[-1] > 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            log_bin_edges(0)
+        with pytest.raises(ValueError):
+            log_bin_edges(10, bins_per_decade=0)
+
+
+class TestDegreeRows:
+    def test_zero_degree_row_separate(self):
+        h = Histogram.from_values([0, 0, 1, 5, 500])
+        rows = degree_histogram_rows(h)
+        assert rows[0] == ("0", 2, pytest.approx(0.4))
+
+    def test_fractions_sum_to_one(self):
+        h = Histogram.from_values([0, 1, 2, 3, 10, 100, 1000])
+        rows = degree_histogram_rows(h)
+        assert sum(r[2] for r in rows) == pytest.approx(1.0)
+        assert sum(r[1] for r in rows) == h.total
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            degree_histogram_rows(Histogram())
+
+
+class TestTailExponent:
+    def test_recovers_known_exponent(self):
+        """Sampling a discrete zeta(2.5) tail recovers alpha ~ 2.5."""
+        rng = np.random.default_rng(0)
+        samples = rng.zipf(2.5, size=50_000)
+        h = Histogram.from_values(samples.tolist())
+        alpha = tail_exponent_estimate(h, xmin=10)
+        assert alpha == pytest.approx(2.5, abs=0.25)
+
+    def test_no_tail_rejected(self):
+        h = Histogram.from_values([1, 2, 3])
+        with pytest.raises(ValueError):
+            tail_exponent_estimate(h, xmin=10)
+
+    def test_xmin_validation(self):
+        with pytest.raises(ValueError):
+            tail_exponent_estimate(Histogram.from_values([5]), xmin=0)

@@ -1,0 +1,75 @@
+"""Tests for the structural latency model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.calibration import CostModel
+from repro.analysis.latency import LatencyModel, latency_profile
+from repro.types import FetchResult, Request
+
+COST = CostModel(t_txn=1e-4, t_item=1e-5)
+MODEL = LatencyModel(COST, rtt=1e-3)
+
+
+def result(txn_sizes, second_round=0):
+    return FetchResult(
+        request=Request(items=tuple(range(sum(txn_sizes)))),
+        transactions=len(txn_sizes),
+        items_fetched=sum(txn_sizes),
+        items_transferred=sum(txn_sizes),
+        misses=second_round,
+        second_round_transactions=second_round,
+        txn_sizes=tuple(txn_sizes),
+    )
+
+
+class TestLatencyModel:
+    def test_transaction_latency(self):
+        assert MODEL.transaction_latency(10) == pytest.approx(1e-3 + 1e-4 + 1e-4)
+
+    def test_round_is_max_not_sum(self):
+        small, big = 2, 50
+        lat = MODEL.round_latency([small, big])
+        assert lat == MODEL.transaction_latency(big)
+
+    def test_empty_round(self):
+        assert MODEL.round_latency([]) == 0.0
+
+    def test_single_round_request(self):
+        res = result([5, 10, 2])
+        assert MODEL.request_latency(res) == MODEL.transaction_latency(10)
+
+    def test_two_round_request_sums_rounds(self):
+        res = result([5, 10, 3], second_round=1)  # last txn is round two
+        expected = MODEL.transaction_latency(10) + MODEL.transaction_latency(3)
+        assert MODEL.request_latency(res) == pytest.approx(expected)
+
+    def test_more_transactions_do_not_raise_single_round_latency(self):
+        """Bundling fewer/more txns in one parallel round is latency-neutral
+        as long as the biggest transaction is unchanged."""
+        few = result([20])
+        many = result([20, 1, 1, 1])
+        assert MODEL.request_latency(many) == pytest.approx(
+            MODEL.request_latency(few), rel=0.01
+        )
+
+    def test_rtt_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel(COST, rtt=-1.0)
+
+
+class TestLatencyProfile:
+    def test_profile_keys_and_ordering(self):
+        results = [result([5]), result([10]), result([5, 2], second_round=1)]
+        prof = latency_profile(results, MODEL)
+        assert prof["p50"] <= prof["p95"] <= prof["p99"]
+        assert prof["two_round_fraction"] == pytest.approx(1 / 3)
+
+    def test_accepts_generator(self):
+        prof = latency_profile((result([3]) for _ in range(5)), MODEL)
+        assert prof["mean"] > 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_profile([], MODEL)

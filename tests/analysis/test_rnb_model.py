@@ -1,0 +1,99 @@
+"""Tests for the semi-analytic RnB TPR model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.rnb_model import (
+    greedy_step_coverage,
+    predicted_tpr,
+    predicted_tpr_curve,
+    required_replication,
+)
+from repro.analysis.urn import expected_tpr
+from repro.sim.montecarlo import mc_tpr
+
+
+class TestBoundaryCases:
+    def test_full_replication_one_transaction(self):
+        assert predicted_tpr(8, 50, 8) == 1.0
+
+    def test_r1_matches_urn_exactly(self):
+        for n, m in [(4, 10), (16, 40), (32, 5)]:
+            assert predicted_tpr(n, m, 1) == pytest.approx(expected_tpr(n, m))
+
+    def test_single_item(self):
+        assert predicted_tpr(16, 1, 3) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predicted_tpr(4, 10, 5)
+        with pytest.raises(ValueError):
+            predicted_tpr(4, 0, 2)
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize(
+        "n,m,r",
+        [(8, 20, 2), (16, 40, 3), (16, 100, 4), (32, 40, 2), (32, 100, 5), (64, 40, 4)],
+    )
+    def test_within_15_percent_of_monte_carlo(self, n, m, r):
+        pred = predicted_tpr(n, m, r)
+        mc = mc_tpr(n, m, r, n_trials=400, seed=3).mean_tpr
+        assert pred == pytest.approx(mc, rel=0.15)
+
+    def test_mean_error_over_grid(self):
+        """Documented accuracy: mean relative error < 10% across the grid."""
+        errs = []
+        for n in (8, 16, 32):
+            for m in (10, 40, 100):
+                for r in (2, 3, 4):
+                    pred = predicted_tpr(n, m, r)
+                    mc = mc_tpr(n, m, r, n_trials=250, seed=4).mean_tpr
+                    errs.append(abs(pred - mc) / mc)
+        assert float(np.mean(errs)) < 0.10
+
+
+class TestMonotonicity:
+    def test_decreasing_in_replication(self):
+        tprs = [predicted_tpr(16, 40, r) for r in (1, 2, 3, 4, 5, 8)]
+        assert all(a >= b for a, b in zip(tprs, tprs[1:]))
+
+    def test_increasing_in_request_size(self):
+        tprs = [predicted_tpr(16, m, 3) for m in (5, 10, 20, 40, 80)]
+        assert all(a <= b for a, b in zip(tprs, tprs[1:]))
+
+    def test_curve_helper(self):
+        curve = predicted_tpr_curve([8, 16, 32], 40, 3)
+        assert len(curve) == 3
+        assert all(a <= b for a, b in zip(curve, curve[1:]))
+
+
+class TestStepCoverage:
+    def test_zero_cases(self):
+        assert greedy_step_coverage(0, 5, 0.5) == 0.0
+        assert greedy_step_coverage(10, 0, 0.5) == 0.0
+
+    def test_at_least_one(self):
+        assert greedy_step_coverage(10, 8, 0.01) >= 1.0
+
+    def test_p_one_covers_all(self):
+        assert greedy_step_coverage(10, 3, 1.0) == 10.0
+
+
+class TestPlanning:
+    def test_required_replication_monotone_target(self):
+        r_loose = required_replication(16, 40, target_tpr=10.0)
+        r_tight = required_replication(16, 40, target_tpr=4.0)
+        assert r_loose <= r_tight
+
+    def test_unreachable_target(self):
+        assert required_replication(16, 100, target_tpr=1.0, max_replication=2) is None
+
+    def test_trivial_target(self):
+        assert required_replication(16, 10, target_tpr=16.0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_replication(16, 10, target_tpr=0.5)

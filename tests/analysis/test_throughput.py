@@ -1,0 +1,73 @@
+"""Tests for throughput estimation from transaction histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.calibration import CostModel
+from repro.analysis.throughput import (
+    relative_throughput_curve,
+    system_throughput,
+    work_per_request,
+)
+from repro.utils.histogram import Histogram
+
+MODEL = CostModel(t_txn=1e-3, t_item=1e-4)
+
+
+class TestWorkPerRequest:
+    def test_single_transaction(self):
+        hist = Histogram.from_values([10])
+        # one request, one 10-item transaction
+        assert work_per_request(hist, 1, MODEL) == pytest.approx(1e-3 + 10e-4)
+
+    def test_averages_over_requests(self):
+        hist = Histogram.from_values([10, 10])
+        assert work_per_request(hist, 2, MODEL) == pytest.approx(1e-3 + 10e-4)
+
+    def test_accepts_plain_dict(self):
+        assert work_per_request({1: 4}, 4, MODEL) == pytest.approx(MODEL.txn_time(1))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            work_per_request(Histogram(), 0, MODEL)
+
+
+class TestSystemThroughput:
+    def test_scales_with_servers(self):
+        hist = Histogram.from_values([5, 5])
+        t1 = system_throughput(hist, 2, 1, MODEL)
+        t8 = system_throughput(hist, 2, 8, MODEL)
+        assert t8 == pytest.approx(8 * t1)
+
+    def test_more_transactions_less_throughput(self):
+        # same items per request (10), split into 1 vs 5 transactions
+        bundled = Histogram.from_values([10])
+        scattered = Histogram.from_values([2] * 5)
+        tb = system_throughput(bundled, 1, 4, MODEL)
+        ts = system_throughput(scattered, 1, 4, MODEL)
+        assert tb > ts
+        # ratio driven by per-transaction overhead
+        assert tb / ts == pytest.approx(
+            (5 * MODEL.t_txn + 10 * MODEL.t_item)
+            / (1 * MODEL.t_txn + 10 * MODEL.t_item)
+        )
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(ValueError):
+            system_throughput(Histogram(), 1, 4, MODEL)
+
+    def test_bad_servers(self):
+        with pytest.raises(ValueError):
+            system_throughput(Histogram.from_values([1]), 1, 0, MODEL)
+
+
+class TestRelativeCurve:
+    def test_normalises_to_first(self):
+        assert relative_throughput_curve([2.0, 4.0, 6.0]) == [1.0, 2.0, 3.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            relative_throughput_curve([])
+        with pytest.raises(ValueError):
+            relative_throughput_curve([0.0, 1.0])

@@ -1,0 +1,130 @@
+"""Tests for the urn-model analysis: formulas vs exact PMF vs Monte Carlo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.urn import (
+    expected_tpr,
+    expected_tpr_exact,
+    expected_tprps,
+    occupancy_pmf,
+    prob_server_contacted,
+    tprps_scaling_factor,
+)
+
+
+class TestClosedForms:
+    def test_w_single_item(self):
+        assert prob_server_contacted(4, 1) == pytest.approx(0.25)
+
+    def test_w_zero_items(self):
+        assert prob_server_contacted(4, 0) == 0.0
+
+    def test_w_single_server(self):
+        assert prob_server_contacted(1, 5) == 1.0
+
+    def test_tpr_bounds(self):
+        # TPR <= min(N, M) and > 0 for M >= 1
+        for n in (1, 4, 16):
+            for m in (1, 5, 100):
+                tpr = expected_tpr(n, m)
+                assert 0 < tpr <= min(n, m) + 1e-9
+
+    def test_tprps_is_w(self):
+        assert expected_tprps(8, 12) == prob_server_contacted(8, 12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            prob_server_contacted(0, 1)
+        with pytest.raises(ValueError):
+            prob_server_contacted(4, -1)
+
+
+class TestScalingFactor:
+    def test_ideal_for_single_item(self):
+        for n in (1, 8, 64):
+            assert tprps_scaling_factor(n, 1) == pytest.approx(2.0)
+
+    def test_paper_value_at_n_equals_m(self):
+        """Paper: when N == M, doubling servers "only increases throughput
+        by some 50%" — the exact limit is (1-1/e)/(1-1/sqrt(e)) ~ 1.61."""
+        for m in (16, 50, 100):
+            factor = tprps_scaling_factor(m, m)
+            assert 1.55 < factor < 1.65
+
+    def test_limits(self):
+        assert tprps_scaling_factor(1, 1000) == pytest.approx(1.0, abs=1e-3)
+        assert tprps_scaling_factor(100_000, 10) == pytest.approx(2.0, abs=1e-3)
+
+    def test_monotone_in_n(self):
+        factors = [tprps_scaling_factor(n, 50) for n in (1, 4, 16, 64, 256)]
+        assert factors == sorted(factors)
+
+    def test_custom_growth(self):
+        assert tprps_scaling_factor(8, 1, growth=4.0) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            tprps_scaling_factor(8, 5, growth=0)
+        with pytest.raises(ValueError):
+            tprps_scaling_factor(8, 0)
+
+
+class TestOccupancyPmf:
+    @pytest.mark.parametrize("n,m", [(1, 1), (3, 2), (5, 5), (8, 12), (16, 4)])
+    def test_normalised(self, n, m):
+        pmf = occupancy_pmf(n, m)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(pmf >= 0)
+
+    def test_m_zero_all_empty(self):
+        pmf = occupancy_pmf(5, 0)
+        assert pmf[0] == pytest.approx(1.0)
+
+    def test_mean_matches_closed_form(self):
+        for n, m in [(4, 3), (8, 10), (16, 30), (10, 1)]:
+            assert expected_tpr_exact(n, m) == pytest.approx(
+                expected_tpr(n, m), rel=1e-9
+            )
+
+    def test_support_bounds(self):
+        pmf = occupancy_pmf(6, 3)
+        # at most 3 urns occupied with 3 balls
+        assert np.allclose(pmf[4:], 0.0)
+        # with 3 balls at least 1 occupied
+        assert pmf[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_monte_carlo_agreement(self):
+        rng = np.random.default_rng(0)
+        n, m, trials = 8, 12, 20_000
+        occupied = np.zeros(trials, dtype=int)
+        for t in range(trials):
+            occupied[t] = len(np.unique(rng.integers(0, n, size=m)))
+        pmf = occupancy_pmf(n, m)
+        for k in range(n + 1):
+            assert np.mean(occupied == k) == pytest.approx(pmf[k], abs=0.015)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 40), st.integers(0, 200))
+def test_w_is_probability(n, m):
+    w = prob_server_contacted(n, m)
+    assert 0.0 <= w <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 40), st.integers(1, 200))
+def test_w_monotone_in_m(n, m):
+    """More items can only increase the chance a server is contacted."""
+    assert prob_server_contacted(n, m + 1) >= prob_server_contacted(n, m)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 40), st.integers(1, 200))
+def test_scaling_factor_bounds(n, m):
+    factor = tprps_scaling_factor(n, m)
+    assert 1.0 <= factor <= 2.0 + 1e-9

@@ -1,0 +1,285 @@
+"""Tests for the LRU caches and their two-service-class variants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cluster.lru import (
+    CLASS_DISTINGUISHED,
+    CLASS_REPLICA,
+    LRUCache,
+    PartitionedLRU,
+    PinnedLRU,
+    PriorityLRU,
+)
+from repro.errors import CapacityError
+
+
+class TestLRUCache:
+    def test_unlimited(self):
+        lru = LRUCache(None)
+        for i in range(1000):
+            lru.put(i)
+        assert len(lru) == 1000
+        assert lru.evictions == 0
+
+    def test_eviction_order(self):
+        lru = LRUCache(3)
+        for k in "abc":
+            lru.put(k)
+        lru.put("d")  # evicts "a"
+        assert "a" not in lru and "d" in lru
+        assert lru.evictions == 1
+
+    def test_touch_prevents_eviction(self):
+        lru = LRUCache(3)
+        for k in "abc":
+            lru.put(k)
+        assert lru.touch("a")
+        lru.put("d")  # now evicts "b"
+        assert "a" in lru and "b" not in lru
+
+    def test_touch_missing(self):
+        assert not LRUCache(2).touch("nope")
+
+    def test_put_existing_refreshes(self):
+        lru = LRUCache(2)
+        lru.put("a")
+        lru.put("b")
+        lru.put("a")  # refresh, no eviction
+        lru.put("c")  # evicts "b"
+        assert "a" in lru and "b" not in lru
+        assert len(lru) == 2
+
+    def test_zero_capacity_drops_everything(self):
+        lru = LRUCache(0)
+        lru.put("a")
+        assert "a" not in lru
+        assert lru.evictions == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            LRUCache(-1)
+
+    def test_discard(self):
+        lru = LRUCache(2)
+        lru.put("a")
+        assert lru.discard("a")
+        assert not lru.discard("a")
+
+    def test_keys_lru_order(self):
+        lru = LRUCache(3)
+        for k in "abc":
+            lru.put(k)
+        lru.touch("a")
+        assert lru.keys() == ["b", "c", "a"]
+
+
+class TestPinnedLRU:
+    def test_pinned_never_evicted(self):
+        store = PinnedLRU(replica_capacity=2)
+        store.pin_all(["p1", "p2", "p3"])
+        for i in range(10):
+            store.put(i)
+        assert all(store.is_pinned(p) for p in ("p1", "p2", "p3"))
+        assert store.n_pinned == 3
+        assert store.n_replicas == 2
+
+    def test_pinned_do_not_consume_replica_capacity(self):
+        store = PinnedLRU(replica_capacity=2)
+        store.pin_all(range(100))
+        store.put("r1")
+        store.put("r2")
+        assert store.n_replicas == 2
+
+    def test_put_pinned_is_noop(self):
+        store = PinnedLRU(replica_capacity=1)
+        store.pin("p")
+        store.put("p")
+        assert store.n_replicas == 0
+
+    def test_pin_promotes_existing_replica(self):
+        store = PinnedLRU(replica_capacity=4)
+        store.put("x")
+        store.pin("x")
+        assert store.is_pinned("x")
+        assert store.n_replicas == 0
+        assert len(store) == 1
+
+    def test_touch_hits_both_classes(self):
+        store = PinnedLRU(replica_capacity=2)
+        store.pin("p")
+        store.put("r")
+        assert store.touch("p")
+        assert store.touch("r")
+        assert not store.touch("missing")
+
+    def test_discard_only_replicas(self):
+        store = PinnedLRU(2)
+        store.pin("p")
+        store.put("r")
+        assert not store.discard("p")
+        assert store.discard("r")
+        assert "p" in store
+
+    def test_unpin(self):
+        store = PinnedLRU(2)
+        store.pin("p")
+        assert store.unpin("p")
+        assert not store.unpin("p")
+        assert "p" not in store
+
+    def test_zero_replica_capacity(self):
+        """memory_factor=1.0: only distinguished copies fit."""
+        store = PinnedLRU(replica_capacity=0)
+        store.pin("p")
+        store.put("r")
+        assert "r" not in store and "p" in store
+
+    def test_replica_lru_semantics(self):
+        store = PinnedLRU(2)
+        store.put("a")
+        store.put("b")
+        store.touch("a")
+        store.put("c")  # evicts b
+        assert "b" not in store and "a" in store and "c" in store
+
+
+class TestPartitionedLRU:
+    def test_classes_do_not_steal(self):
+        store = PartitionedLRU(capacity_a=2, capacity_b=2)
+        store.put("a1", CLASS_DISTINGUISHED)
+        store.put("a2", CLASS_DISTINGUISHED)
+        for i in range(5):
+            store.put(f"b{i}", CLASS_REPLICA)
+        assert "a1" in store and "a2" in store
+        assert len(store) == 4
+
+    def test_class_migration(self):
+        store = PartitionedLRU(2, 2)
+        store.put("x", CLASS_REPLICA)
+        store.put("x", CLASS_DISTINGUISHED)
+        assert len(store) == 1
+
+    def test_touch_and_discard(self):
+        store = PartitionedLRU(2, 2)
+        store.put("a", CLASS_DISTINGUISHED)
+        assert store.touch("a")
+        assert store.discard("a")
+        assert not store.touch("a")
+
+    def test_eviction_counted(self):
+        store = PartitionedLRU(1, 1)
+        store.put("a", CLASS_REPLICA)
+        store.put("b", CLASS_REPLICA)
+        assert store.evictions == 1
+
+
+class TestPriorityLRU:
+    def test_replica_evicted_before_distinguished(self):
+        store = PriorityLRU(capacity=3)
+        store.put("d1", CLASS_DISTINGUISHED)
+        store.put("r1", CLASS_REPLICA)
+        store.put("r2", CLASS_REPLICA)
+        store.put("d2", CLASS_DISTINGUISHED)  # evicts r1 (LRU replica)
+        assert "d1" in store and "d2" in store
+        assert "r1" not in store and "r2" in store
+
+    def test_replica_insert_dropped_when_full_of_distinguished(self):
+        store = PriorityLRU(capacity=2)
+        store.put("d1", CLASS_DISTINGUISHED)
+        store.put("d2", CLASS_DISTINGUISHED)
+        store.put("r", CLASS_REPLICA)
+        assert "r" not in store
+        assert "d1" in store and "d2" in store
+
+    def test_distinguished_evicts_lru_distinguished_when_needed(self):
+        store = PriorityLRU(capacity=2)
+        store.put("d1", CLASS_DISTINGUISHED)
+        store.put("d2", CLASS_DISTINGUISHED)
+        store.put("d3", CLASS_DISTINGUISHED)
+        assert "d1" not in store and "d3" in store
+
+    def test_touch_refreshes(self):
+        store = PriorityLRU(capacity=2)
+        store.put("r1", CLASS_REPLICA)
+        store.put("r2", CLASS_REPLICA)
+        store.touch("r1")
+        store.put("r3", CLASS_REPLICA)  # evicts r2
+        assert "r1" in store and "r2" not in store
+
+    def test_zero_capacity(self):
+        store = PriorityLRU(capacity=0)
+        store.put("x", CLASS_REPLICA)
+        assert "x" not in store
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            PriorityLRU(capacity=-1)
+
+    def test_reinsert_same_key(self):
+        store = PriorityLRU(capacity=2)
+        store.put("a", CLASS_REPLICA)
+        store.put("a", CLASS_REPLICA)
+        assert len(store) == 1
+
+
+# ---------------------------------------------------------------------------
+# model-based property test: LRUCache behaves like an ordered-dict reference
+# ---------------------------------------------------------------------------
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "touch", "discard"]),
+        st.integers(min_value=0, max_value=9),
+    ),
+    max_size=60,
+)
+
+
+@given(st.integers(min_value=1, max_value=5), ops)
+def test_lru_matches_reference_model(capacity, operations):
+    lru = LRUCache(capacity)
+    model: list[int] = []  # LRU -> MRU order
+
+    for op, key in operations:
+        if op == "put":
+            lru.put(key)
+            if key in model:
+                model.remove(key)
+                model.append(key)
+            else:
+                if len(model) >= capacity:
+                    model.pop(0)
+                model.append(key)
+        elif op == "touch":
+            assert lru.touch(key) == (key in model)
+            if key in model:
+                model.remove(key)
+                model.append(key)
+        else:
+            assert lru.discard(key) == (key in model)
+            if key in model:
+                model.remove(key)
+        assert lru.keys() == model
+
+
+@given(
+    st.sets(st.integers(0, 20), max_size=8),
+    st.integers(min_value=0, max_value=6),
+    st.lists(st.integers(0, 20), max_size=50),
+)
+def test_pinned_lru_invariants(pinned, capacity, puts):
+    """Pinned keys always present; replica count never exceeds capacity."""
+    store = PinnedLRU(replica_capacity=capacity)
+    store.pin_all(pinned)
+    for key in puts:
+        store.put(key)
+        assert store.n_replicas <= capacity
+        for p in pinned:
+            assert p in store
+    for key in puts:
+        if key not in pinned:
+            assert store.is_pinned(key) is False

@@ -1,0 +1,46 @@
+"""Shared fixtures: small deterministic graphs, placers and clusters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.workloads.graphs import SocialGraph
+from repro.workloads.synthetic import make_slashdot_like
+
+
+@pytest.fixture(scope="session")
+def tiny_graph() -> SocialGraph:
+    """A hand-built 6-node graph with known adjacency."""
+    adjacency = [
+        [1, 2, 3],
+        [0, 2],
+        [0],
+        [4],
+        [],
+        [0, 1, 2, 3, 4],
+    ]
+    return SocialGraph.from_adjacency(adjacency, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def small_slashdot() -> SocialGraph:
+    """A 1%-scale synthetic Slashdot graph (fast, heavy-tailed)."""
+    return make_slashdot_like(seed=7, scale=0.02)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def placer16() -> RangedConsistentHashPlacer:
+    return RangedConsistentHashPlacer(n_servers=16, replication=3, vnodes=32, seed=0)
+
+
+@pytest.fixture()
+def cluster16(placer16) -> Cluster:
+    return Cluster(placer16, items=range(2000), memory_factor=None)

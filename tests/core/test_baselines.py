@@ -1,0 +1,130 @@
+"""Tests for the baseline clients (no replication / full replication)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.urn import expected_tpr
+from repro.cluster.cluster import Cluster
+from repro.cluster.placement import FullReplicationPlacer, SingleHashPlacer
+from repro.core.baselines import FullReplicationClient, NoReplicationClient
+from repro.errors import ConfigurationError
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.types import Request
+
+
+def no_repl_stack(n_servers=16, n_items=5000):
+    placer = SingleHashPlacer(n_servers, vnodes=64)
+    cluster = Cluster(placer, range(n_items), memory_factor=1.0)
+    return cluster, NoReplicationClient(cluster)
+
+
+class TestNoReplicationClient:
+    def test_requires_single_replication(self):
+        placer = RangedConsistentHashPlacer(4, 2)
+        cluster = Cluster(placer, range(10))
+        with pytest.raises(ConfigurationError):
+            NoReplicationClient(cluster)
+
+    def test_all_items_fetched(self):
+        _, client = no_repl_stack()
+        res = client.execute(Request(items=tuple(range(40))))
+        assert res.items_fetched == 40
+        assert res.misses == 0
+
+    def test_transactions_equal_distinct_homes(self):
+        cluster, client = no_repl_stack()
+        items = tuple(range(40))
+        homes = {cluster.placer.distinguished_for(i) for i in items}
+        res = client.execute(Request(items=items))
+        assert res.transactions == len(homes)
+
+    def test_tpr_matches_urn_model(self):
+        """Mean transactions over random requests ~ N*W(N,M)."""
+        cluster, client = no_repl_stack(n_servers=8, n_items=20_000)
+        rng = np.random.default_rng(3)
+        m = 20
+        tprs = []
+        for _ in range(300):
+            items = tuple(int(x) for x in rng.choice(20_000, m, replace=False))
+            tprs.append(client.execute(Request(items=items)).transactions)
+        expected = expected_tpr(8, m)
+        assert np.mean(tprs) == pytest.approx(expected, rel=0.05)
+
+    def test_limit_reduces_transactions(self):
+        _, client = no_repl_stack()
+        items = tuple(range(40))
+        full = client.execute(Request(items=items))
+        half = client.execute(Request(items=items, limit_fraction=0.5))
+        assert half.items_fetched >= 20
+        assert half.transactions < full.transactions
+
+    def test_limit_prefers_largest_groups(self):
+        """The half fetch must not use more transactions than the optimum
+        = smallest prefix of group sizes summing to the target."""
+        cluster, client = no_repl_stack()
+        items = tuple(range(60))
+        groups: dict[int, int] = {}
+        for i in items:
+            h = cluster.placer.distinguished_for(i)
+            groups[h] = groups.get(h, 0) + 1
+        sizes = sorted(groups.values(), reverse=True)
+        need = 30
+        optimum = 0
+        acc = 0
+        for s in sizes:
+            optimum += 1
+            acc += s
+            if acc >= need:
+                break
+        res = client.execute(Request(items=items, limit_fraction=0.5))
+        assert res.transactions == optimum
+
+
+class TestFullReplicationClient:
+    def make(self, n_servers=16, banks=2, n_items=5000, rng=None):
+        placer = FullReplicationPlacer(n_servers, banks, vnodes=64)
+        cluster = Cluster(placer, range(n_items), memory_factor=None)
+        return cluster, FullReplicationClient(cluster, rng=rng)
+
+    def test_requires_full_placer(self):
+        placer = RangedConsistentHashPlacer(4, 2)
+        cluster = Cluster(placer, range(10))
+        with pytest.raises(ConfigurationError):
+            FullReplicationClient(cluster)
+
+    def test_requires_unlimited_memory(self):
+        placer = FullReplicationPlacer(4, 2)
+        cluster = Cluster(placer, range(100), memory_factor=2.0)
+        with pytest.raises(ConfigurationError):
+            FullReplicationClient(cluster)
+
+    def test_all_items_fetched_single_bank(self):
+        cluster, client = self.make(rng=np.random.default_rng(0))
+        res = client.execute(Request(items=tuple(range(40))))
+        assert res.items_fetched == 40
+        # all servers contacted lie in one bank
+        banks = {s // cluster.placer.bank_size for s in res.servers_contacted}
+        assert len(banks) == 1
+
+    def test_tpr_matches_bank_sized_urn(self):
+        """k banks: TPR ~ (N/k) * W(N/k, M) — 'exactly what one pays for'."""
+        cluster, client = self.make(
+            n_servers=16, banks=2, n_items=20_000, rng=np.random.default_rng(1)
+        )
+        rng = np.random.default_rng(5)
+        m = 30
+        tprs = []
+        for _ in range(300):
+            items = tuple(int(x) for x in rng.choice(20_000, m, replace=False))
+            tprs.append(client.execute(Request(items=items)).transactions)
+        assert np.mean(tprs) == pytest.approx(expected_tpr(8, m), rel=0.05)
+
+    def test_banks_used_uniformly(self):
+        cluster, client = self.make(banks=4, rng=np.random.default_rng(2))
+        bank_hits = np.zeros(4)
+        for i in range(400):
+            res = client.execute(Request(items=(i, i + 1000, i + 2000)))
+            bank_hits[res.servers_contacted[0] // cluster.placer.bank_size] += 1
+        assert bank_hits.min() > 50  # each bank gets a fair share

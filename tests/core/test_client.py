@@ -1,0 +1,132 @@
+"""Tests for the RnB client: rounds, misses, write-back, LIMIT."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.bundling import Bundler
+from repro.core.client import RnBClient
+from repro.errors import ConfigurationError
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.types import Request
+
+
+def make_stack(n_servers=16, replication=3, n_items=2000, memory_factor=None, **bk):
+    placer = RangedConsistentHashPlacer(n_servers, replication, vnodes=32)
+    cluster = Cluster(placer, range(n_items), memory_factor=memory_factor)
+    client = RnBClient(cluster, Bundler(placer, **bk))
+    return placer, cluster, client
+
+
+class TestHappyPath:
+    def test_all_items_fetched(self):
+        _, _, client = make_stack()
+        res = client.execute(Request(items=tuple(range(50))))
+        assert res.items_fetched == 50
+        assert res.misses == 0
+        assert res.second_round_transactions == 0
+
+    def test_transactions_match_servers_contacted(self):
+        _, _, client = make_stack()
+        res = client.execute(Request(items=tuple(range(30))))
+        assert res.transactions == len(res.servers_contacted)
+        assert res.transactions == len(res.txn_sizes)
+
+    def test_single_item_request_hits_distinguished(self):
+        placer, cluster, client = make_stack()
+        res = client.execute(Request(items=(7,)))
+        assert res.transactions == 1
+        assert res.servers_contacted[0] == placer.distinguished_for(7)
+
+    def test_server_counters_advance(self):
+        _, cluster, client = make_stack()
+        client.execute(Request(items=tuple(range(20))))
+        assert cluster.total_transactions() > 0
+
+    def test_mismatched_placer_rejected(self):
+        placer_a = RangedConsistentHashPlacer(4, 2)
+        placer_b = RangedConsistentHashPlacer(4, 2)
+        cluster = Cluster(placer_a, range(10))
+        with pytest.raises(ConfigurationError):
+            RnBClient(cluster, Bundler(placer_b))
+
+
+class TestMissPath:
+    def test_second_round_fetches_from_distinguished(self):
+        """With memory_factor=1.0 every replica access misses; the items
+        must still all arrive via the distinguished copies."""
+        placer, cluster, client = make_stack(memory_factor=1.0)
+        items = tuple(range(40))
+        res = client.execute(Request(items=items))
+        assert res.items_fetched == 40
+        # all first-round non-distinguished picks missed
+        assert res.misses > 0
+        assert res.second_round_transactions > 0
+
+    def test_write_back_populates_first_pick(self):
+        placer, cluster, client = make_stack(memory_factor=2.0)
+        # drain the replica LRUs of specific items by executing a request,
+        # then check missed items were written back where they missed
+        items = tuple(range(60))
+        res1 = client.execute(Request(items=items))
+        if res1.misses == 0:
+            pytest.skip("no misses to verify write-back with")
+        res2 = client.execute(Request(items=items))
+        # identical request right after: every write-back target now hits
+        assert res2.misses <= res1.misses
+        assert res2.transactions <= res1.transactions
+
+    def test_no_write_back_keeps_missing(self):
+        placer = RangedConsistentHashPlacer(16, 3, vnodes=32)
+        cluster = Cluster(placer, range(2000), memory_factor=1.0)
+        client = RnBClient(cluster, Bundler(placer), write_back=False)
+        items = tuple(range(40))
+        r1 = client.execute(Request(items=items))
+        r2 = client.execute(Request(items=items))
+        # capacity 0: write-back is impossible anyway; both rounds identical
+        assert r1.misses == r2.misses
+
+    def test_second_round_is_bundled(self):
+        """Misses to the same distinguished server share one transaction."""
+        placer, cluster, client = make_stack(memory_factor=1.0, n_servers=4)
+        res = client.execute(Request(items=tuple(range(30))))
+        # 4 servers: at most 4 second-round transactions regardless of misses
+        assert res.second_round_transactions <= 4
+
+
+class TestHitchhikingClient:
+    def test_hitchhiker_rescues_miss(self):
+        """An item whose replica was evicted can still arrive as a
+        hitchhiker on another transaction, avoiding a second round."""
+        placer = RangedConsistentHashPlacer(16, 3, vnodes=32)
+        cluster = Cluster(placer, range(2000), memory_factor=1.5)
+        plain = RnBClient(cluster, Bundler(placer, hitchhiking=False))
+        hh = RnBClient(cluster, Bundler(placer, hitchhiking=True))
+        items = tuple(range(500, 560))
+        r_plain = plain.execute(Request(items=items))
+        r_hh = hh.execute(Request(items=items))
+        assert r_hh.items_fetched == len(items)
+        # hitchhiking can only reduce second-round work for the same state
+        assert r_hh.second_round_transactions <= r_plain.second_round_transactions + 1
+
+
+class TestLimitClient:
+    def test_limit_fetches_at_least_required(self):
+        _, _, client = make_stack()
+        req = Request(items=tuple(range(40)), limit_fraction=0.5)
+        res = client.execute(req)
+        assert res.items_fetched >= 20
+
+    def test_limit_uses_fewer_transactions(self):
+        _, _, client = make_stack()
+        items = tuple(range(40))
+        full = client.execute(Request(items=items))
+        part = client.execute(Request(items=items, limit_fraction=0.5))
+        assert part.transactions < full.transactions
+
+    def test_limit_with_misses_still_satisfied(self):
+        _, _, client = make_stack(memory_factor=1.0)
+        req = Request(items=tuple(range(40)), limit_fraction=0.9)
+        res = client.execute(req)
+        assert res.items_fetched >= req.required_items

@@ -1,0 +1,149 @@
+"""Tests for the alternative cover strategies (exact, first-fit, random)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.covers import exact_min_cover, first_fit_cover, random_cover
+from repro.core.setcover import greedy_set_cover
+from repro.errors import CoverError
+from repro.utils.bitset import from_indices
+
+
+def masks(*index_lists):
+    return {i: from_indices(ixs) for i, ixs in enumerate(index_lists)}
+
+
+class TestExactMinCover:
+    def test_trivial(self):
+        res = exact_min_cover(masks([0, 1, 2]), 3)
+        assert res.n_selected == 1
+        assert res.is_full_cover()
+
+    def test_beats_greedy_on_adversarial_instance(self):
+        """The classic greedy-trap: optimal 2, greedy 3."""
+        subsets = masks(
+            [0, 1, 2, 3],  # optimal half A
+            [4, 5, 6, 7],  # optimal half B
+            [0, 1, 4, 5, 2],  # greedy bait: covers 5 first
+            [3, 6, 7],
+        )
+        greedy = greedy_set_cover(subsets, 8)
+        exact = exact_min_cover(subsets, 8)
+        assert exact.n_selected == 2
+        assert greedy.n_selected >= exact.n_selected
+
+    def test_empty_universe(self):
+        assert exact_min_cover({}, 0).n_selected == 0
+
+    def test_infeasible(self):
+        with pytest.raises(CoverError):
+            exact_min_cover(masks([0]), 2)
+
+    def test_assignment_valid(self):
+        subsets = masks([0, 1], [1, 2], [2, 3], [0, 3])
+        res = exact_min_cover(subsets, 4)
+        covered = 0
+        for key, newly in res.assignment.items():
+            assert newly & ~subsets[key] == 0
+            assert newly & covered == 0
+            covered |= newly
+        assert covered == (1 << 4) - 1
+
+
+class TestFirstFitCover:
+    def test_reuses_open_servers(self):
+        # item 0 opens its distinguished server 5; item 1 has 5 as a
+        # replica and must bundle there rather than open server 9
+        res = first_fit_cover([(5, 2), (9, 5)])
+        assert res.selected == (5,)
+        assert res.is_full_cover()
+
+    def test_opens_distinguished_when_no_match(self):
+        res = first_fit_cover([(1, 2), (3, 4)])
+        assert res.selected == (1, 3)
+
+    def test_empty_replica_list_rejected(self):
+        with pytest.raises(CoverError):
+            first_fit_cover([(1,), ()])
+
+    def test_order_dependence(self):
+        """First-fit is order-dependent — documenting the weakness that
+        motivates greedy."""
+        a = first_fit_cover([(0, 1), (1, 2), (2, 0)])
+        b = first_fit_cover([(2, 0), (1, 2), (0, 1)])
+        assert a.is_full_cover() and b.is_full_cover()
+        # both valid but may differ in size; at minimum both <= 3
+        assert a.n_selected <= 3 and b.n_selected <= 3
+
+
+class TestRandomCover:
+    def test_valid_cover(self):
+        subsets = masks([0, 1], [1, 2], [2, 3], [3, 0])
+        res = random_cover(subsets, 4, rng=np.random.default_rng(0))
+        assert res.is_full_cover()
+
+    def test_empty_universe(self):
+        assert random_cover({}, 0).n_selected == 0
+
+    def test_infeasible(self):
+        with pytest.raises(CoverError):
+            random_cover(masks([0]), 2, rng=np.random.default_rng(0))
+
+    def test_never_picks_useless_server(self):
+        subsets = masks([0, 1, 2], [0], [1], [2])
+        for seed in range(10):
+            res = random_cover(subsets, 3, rng=np.random.default_rng(seed))
+            for key, newly in res.assignment.items():
+                assert newly != 0
+
+
+small_instances = st.integers(min_value=1, max_value=6).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.sets(st.integers(0, n - 1), min_size=0, max_size=n),
+            min_size=1,
+            max_size=5,
+        ),
+    )
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(small_instances)
+def test_exact_is_lower_bound_property(instance):
+    """exact <= greedy <= random on every feasible instance."""
+    n, sets_list = instance
+    subsets = {i: from_indices(s) for i, s in enumerate(sets_list)}
+    union = 0
+    for m in subsets.values():
+        union |= m
+    if union != (1 << n) - 1:
+        return
+    exact = exact_min_cover(subsets, n)
+    greedy = greedy_set_cover(subsets, n)
+    rnd = random_cover(subsets, n, rng=np.random.default_rng(0))
+    assert exact.n_selected <= greedy.n_selected <= rnd.n_selected + n
+    assert exact.is_full_cover() and greedy.is_full_cover() and rnd.is_full_cover()
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(0, 9), min_size=1, max_size=4, unique=True),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_first_fit_validity_property(replica_lists):
+    res = first_fit_cover([tuple(r) for r in replica_lists])
+    assert res.is_full_cover()
+    # every item assigned to one of its own replicas
+    for key, newly in res.assignment.items():
+        for idx in range(len(replica_lists)):
+            if newly & (1 << idx):
+                assert key in replica_lists[idx]

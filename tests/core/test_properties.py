@@ -1,0 +1,133 @@
+"""End-to-end property tests: bundler and client invariants under
+hypothesis-generated placements, requests and memory budgets.
+
+These are the library's safety net: whatever the configuration, a plan
+must be executable and a request must come back complete.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.placement import RandomPlacer
+from repro.core.bundling import Bundler
+from repro.core.client import RnBClient
+from repro.types import Request
+
+# (n_servers, replication, n_items, request item indices)
+stack_params = st.integers(2, 12).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.integers(1, min(n, 4)),
+        st.just(60),
+        st.lists(st.integers(0, 59), min_size=1, max_size=25, unique=True),
+    )
+)
+
+
+def build(n_servers, replication, n_items, *, memory_factor=None, **bundler_kwargs):
+    placer = RandomPlacer(n_servers, replication, seed=17)
+    cluster = Cluster(placer, range(n_items), memory_factor=memory_factor)
+    client = RnBClient(cluster, Bundler(placer, **bundler_kwargs))
+    return placer, cluster, client
+
+
+@settings(max_examples=80, deadline=None)
+@given(stack_params)
+def test_plan_invariants(params):
+    n, r, n_items, items = params
+    placer, _, client = build(n, r, n_items)
+    plan = client.bundler.plan(Request(items=tuple(items)))
+    # every item planned exactly once, on one of its replica servers
+    # (the single-item rule may redirect to the distinguished copy,
+    # which is itself replica 0)
+    planned = [i for t in plan.transactions for i in t.primary]
+    assert sorted(planned) == sorted(items)
+    for txn in plan.transactions:
+        assert len(txn.primary) > 0
+        for item in txn.primary:
+            assert txn.server in placer.servers_for(item)
+    # one transaction per server
+    servers = [t.server for t in plan.transactions]
+    assert len(servers) == len(set(servers))
+
+
+@settings(max_examples=60, deadline=None)
+@given(stack_params, st.sampled_from([None, 1.0, 1.5, 2.5]))
+def test_client_always_completes(params, memory_factor):
+    """All requested items arrive, misses or not, for every memory level."""
+    n, r, n_items, items = params
+    _, _, client = build(n, r, n_items, memory_factor=memory_factor, hitchhiking=True)
+    res = client.execute(Request(items=tuple(items)))
+    assert res.items_fetched == len(items)
+    assert res.transactions == len(res.txn_sizes) == len(res.servers_contacted)
+    assert res.transactions >= 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(stack_params, st.floats(0.1, 1.0), st.sampled_from([None, 1.0, 2.0]))
+def test_limit_client_fetches_enough(params, fraction, memory_factor):
+    n, r, n_items, items = params
+    _, _, client = build(n, r, n_items, memory_factor=memory_factor)
+    request = Request(items=tuple(items), limit_fraction=fraction)
+    res = client.execute(request)
+    assert res.items_fetched >= request.required_items
+
+
+@settings(max_examples=40, deadline=None)
+@given(stack_params)
+def test_more_replicas_never_hurt_planning(params):
+    """At unlimited memory, raising R (same placer family, prefix-stable
+    random placement) cannot increase the planned transaction count."""
+    n, r, n_items, items = params
+    request = Request(items=tuple(items))
+    counts = []
+    for rep in range(1, min(n, 4) + 1):
+        placer = RandomPlacer(n, rep, seed=17)
+        bundler = Bundler(placer)
+        counts.append(bundler.plan(request).n_transactions)
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(stack_params)
+def test_hitchhiking_invariant_under_random_config(params):
+    """Hitchhikers ride only servers that logically hold them, and never
+    change which primaries are planned."""
+    n, r, n_items, items = params
+    placer = RandomPlacer(n, r, seed=17)
+    plain = Bundler(placer, hitchhiking=False).plan(Request(items=tuple(items)))
+    hh = Bundler(placer, hitchhiking=True).plan(Request(items=tuple(items)))
+    assert [t.primary for t in plain.transactions] == [
+        t.primary for t in hh.transactions
+    ]
+    for txn in hh.transactions:
+        for item in txn.hitchhikers:
+            assert txn.server in placer.servers_for(item)
+            assert item in items
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    stack_params,
+    st.integers(0, 2**31 - 1),
+)
+def test_execution_is_deterministic(params, seed):
+    """Same cluster state + same request => identical result metrics."""
+    n, r, n_items, items = params
+    req = Request(items=tuple(items))
+    results = []
+    for _ in range(2):
+        _, _, client = build(n, r, n_items, memory_factor=1.5)
+        rng = np.random.default_rng(seed)
+        warm = rng.choice(n_items, size=10, replace=False)
+        client.execute(Request(items=tuple(int(i) for i in warm)))
+        results.append(client.execute(req))
+    a, b = results
+    assert a.transactions == b.transactions
+    assert a.misses == b.misses
+    assert a.txn_sizes == b.txn_sizes

@@ -1,0 +1,238 @@
+"""Tests for the bit-set greedy (partial) set cover.
+
+Includes a hypothesis property comparing greedy against brute-force
+optimal covers on small instances: greedy must always be *valid* and
+within the classic H(d) approximation bound.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.setcover import (
+    CoverResult,
+    cover_from_replica_lists,
+    greedy_partial_cover,
+    greedy_set_cover,
+)
+from repro.errors import CoverError
+from repro.utils.bitset import from_indices
+
+
+def masks(*index_lists):
+    return {i: from_indices(ixs) for i, ixs in enumerate(index_lists)}
+
+
+class TestFullCover:
+    def test_single_set_covers_all(self):
+        res = greedy_set_cover(masks([0, 1, 2]), 3)
+        assert res.selected == (0,)
+        assert res.is_full_cover()
+
+    def test_two_disjoint_sets(self):
+        res = greedy_set_cover(masks([0, 1], [2, 3]), 4)
+        assert set(res.selected) == {0, 1}
+        assert res.n_selected == 2
+
+    def test_greedy_picks_biggest_first(self):
+        res = greedy_set_cover(masks([0], [1, 2, 3], [0, 1]), 4)
+        assert res.selected[0] == 1
+
+    def test_assignment_partitions_covered(self):
+        subsets = masks([0, 1, 2], [1, 2, 3], [3, 4])
+        res = greedy_set_cover(subsets, 5)
+        seen = 0
+        for key, newly in res.assignment.items():
+            assert newly & seen == 0  # disjoint
+            assert newly & ~subsets[key] == 0  # subset of the chosen set
+            seen |= newly
+        assert seen == res.covered == (1 << 5) - 1
+
+    def test_infeasible_raises(self):
+        with pytest.raises(CoverError):
+            greedy_set_cover(masks([0, 1]), 3)
+
+    def test_empty_universe(self):
+        res = greedy_set_cover({}, 0)
+        assert res.n_selected == 0
+        assert res.is_full_cover()
+
+
+class TestTieBreaking:
+    def test_lowest_is_deterministic(self):
+        subsets = masks([0, 1], [0, 1], [2])
+        res = greedy_set_cover(subsets, 3)
+        assert res.selected[0] == 0  # ties resolve to the lowest key
+
+    def test_random_needs_rng(self):
+        with pytest.raises(ValueError):
+            greedy_set_cover(masks([0]), 1, tie_break="random")
+
+    def test_random_tie_break_varies(self):
+        subsets = masks([0, 1], [0, 1])
+        picks = set()
+        for seed in range(20):
+            rng = np.random.default_rng(seed)
+            res = greedy_set_cover(subsets, 2, tie_break="random", rng=rng)
+            picks.add(res.selected[0])
+        assert picks == {0, 1}
+
+    def test_callable_tie_break(self):
+        subsets = masks([0, 1], [0, 1])
+        res = greedy_set_cover(subsets, 2, tie_break=lambda c: c[-1])
+        assert res.selected[0] == 1
+
+    def test_unknown_tie_break(self):
+        with pytest.raises(ValueError):
+            greedy_set_cover(masks([0]), 1, tie_break="wat")
+
+
+class TestPartialCover:
+    def test_stops_at_required(self):
+        # three sets with 2 elements each; required 2 => one pick suffices
+        subsets = masks([0, 1], [2, 3], [4, 5])
+        res = greedy_partial_cover(subsets, 6, 2)
+        assert res.n_selected == 1
+        assert res.n_covered == 2
+
+    def test_overshoot_trimmed(self):
+        subsets = masks([0, 1, 2, 3])
+        res = greedy_partial_cover(subsets, 4, 3)
+        assert res.n_covered == 3  # trimmed from the 4 available
+
+    def test_required_zero(self):
+        res = greedy_partial_cover(masks([0]), 1, 0)
+        assert res.n_selected == 0
+
+    def test_required_validation(self):
+        with pytest.raises(ValueError):
+            greedy_partial_cover(masks([0]), 1, 2)
+
+    def test_infeasible_partial(self):
+        with pytest.raises(CoverError):
+            greedy_partial_cover(masks([0]), 3, 2)
+
+    def test_partial_never_more_txns_than_full(self):
+        subsets = masks([0, 1], [2], [3], [4, 5], [0, 5])
+        full = greedy_set_cover(subsets, 6)
+        for req in range(7):
+            part = greedy_partial_cover(subsets, 6, req)
+            assert part.n_selected <= full.n_selected
+
+
+class TestCoverFromReplicaLists:
+    def test_basic(self):
+        res = cover_from_replica_lists([[0, 1], [1, 2], [2]])
+        assert res.is_full_cover()
+
+    def test_single_server_bundles_all(self):
+        res = cover_from_replica_lists([[3, 0], [3, 1], [3, 2]])
+        assert res.selected == (3,) or res.n_selected == 1
+
+    def test_empty_replica_list_rejected(self):
+        with pytest.raises(CoverError):
+            cover_from_replica_lists([[0], []])
+
+    def test_partial(self):
+        res = cover_from_replica_lists([[0], [1], [2]], required=1)
+        assert res.n_selected == 1
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+
+def brute_force_min_cover(subsets: dict, n_elements: int) -> int:
+    """Smallest number of sets covering all elements (exponential search)."""
+    universe = (1 << n_elements) - 1
+    keys = list(subsets)
+    for size in range(0, len(keys) + 1):
+        for combo in itertools.combinations(keys, size):
+            mask = 0
+            for k in combo:
+                mask |= subsets[k]
+            if mask & universe == universe:
+                return size
+    raise AssertionError("infeasible instance reached brute force")
+
+
+small_instances = st.integers(min_value=1, max_value=7).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.sets(st.integers(0, n - 1), min_size=0, max_size=n),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(small_instances)
+def test_greedy_validity_and_approximation(instance):
+    n, sets_list = instance
+    subsets = {i: from_indices(s) for i, s in enumerate(sets_list)}
+    union = 0
+    for m in subsets.values():
+        union |= m
+    if union != (1 << n) - 1:
+        with pytest.raises(CoverError):
+            greedy_set_cover(subsets, n)
+        return
+    res = greedy_set_cover(subsets, n)
+    # validity
+    assert res.covered == (1 << n) - 1
+    for key, newly in res.assignment.items():
+        assert newly & ~subsets[key] == 0
+    # greedy approximation bound: H(max set size) * OPT
+    opt = brute_force_min_cover(subsets, n)
+    dmax = max(m.bit_count() for m in subsets.values())
+    h = sum(1.0 / i for i in range(1, dmax + 1))
+    assert res.n_selected <= math.ceil(h * opt) + 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(small_instances, st.data())
+def test_partial_cover_properties(instance, data):
+    n, sets_list = instance
+    subsets = {i: from_indices(s) for i, s in enumerate(sets_list)}
+    union = 0
+    for m in subsets.values():
+        union |= m
+    feasible_max = union.bit_count()
+    required = data.draw(st.integers(min_value=0, max_value=feasible_max))
+    res = greedy_partial_cover(subsets, n, required)
+    assert res.n_covered >= required
+    # trimming keeps the overshoot bounded within the final pick
+    if res.selected:
+        last = res.selected[-1]
+        assert res.n_covered - required < max(
+            1, res.assignment[last].bit_count()
+        )
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_instances)
+def test_greedy_monotone_in_sets(instance):
+    """Adding another candidate set can never make greedy infeasible and
+    never increases the bit-count of the universe covered requirement."""
+    n, sets_list = instance
+    subsets = {i: from_indices(s) for i, s in enumerate(sets_list)}
+    union = 0
+    for m in subsets.values():
+        union |= m
+    if union != (1 << n) - 1:
+        return
+    base = greedy_set_cover(subsets, n)
+    extended = dict(subsets)
+    extended[len(extended)] = (1 << n) - 1  # a universal set
+    better = greedy_set_cover(extended, n)
+    assert better.n_selected <= max(base.n_selected, 1)

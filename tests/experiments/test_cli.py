@@ -1,0 +1,73 @@
+"""Tests for the ``rnb`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out and "fig13_14" in out
+
+
+class TestRun:
+    def test_run_fig02(self, capsys):
+        assert main(["run", "fig02"]) == 0
+        out = capsys.readouterr().out
+        assert "TPRPS scaling factor" in out
+
+    def test_run_fig07(self, capsys):
+        assert main(["run", "fig07"]) == 0
+        out = capsys.readouterr().out
+        assert "request locality" in out
+
+    def test_run_with_params(self, capsys):
+        assert main(["run", "fig06", "--scale", "0.02", "--n-requests", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "TPR slashdot" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestCalibrate:
+    def test_calibrate_prints_model(self, capsys, monkeypatch):
+        from dataclasses import dataclass
+
+        @dataclass
+        class P:
+            txn_size: int
+            transactions_per_s: float
+            items_per_s: float
+            n_transactions: int
+
+        def fake_measure(sizes):
+            return [
+                P(m, 1e5 / (1 + 0.02 * m), m * 1e5 / (1 + 0.02 * m), 100)
+                for m in sizes
+            ]
+
+        monkeypatch.setattr(
+            "repro.protocol.microbench.measure_items_per_second", fake_measure
+        )
+        assert main(["calibrate"]) == 0
+        out = capsys.readouterr().out
+        assert "fitted:" in out
+        assert "t_txn=" in out
+
+
+class TestVersionAndErrors:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "rnb" in capsys.readouterr().out
+
+    def test_no_command(self):
+        with pytest.raises(SystemExit):
+            main([])

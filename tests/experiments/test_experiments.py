@@ -1,0 +1,208 @@
+"""Shape tests for every per-figure experiment driver (tiny parameters).
+
+These are the executable versions of DESIGN.md's "expected shapes": each
+driver runs at reduced size and the paper's qualitative claim is asserted
+on the output series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    ablations,
+    fig02,
+    fig03,
+    fig04_05,
+    fig06,
+    fig07,
+    fig08,
+    fig11,
+    fig12,
+    fig13_14,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+from repro.workloads.synthetic import make_slashdot_like
+
+TINY = dict(scale=0.02, n_requests=150, seed=5)
+
+
+@pytest.fixture(scope="module")
+def tiny_sd():
+    return make_slashdot_like(seed=5, scale=0.02)
+
+
+class TestFig02:
+    def test_shapes(self):
+        [res] = fig02.run()
+        assert isinstance(res, ExperimentResult)
+        # M=1 is ideal everywhere
+        assert all(v == pytest.approx(2.0) for v in res.series["M=1"])
+        # larger M scales worse at small N
+        m100 = res.series["M=100"]
+        m10 = res.series["M=10"]
+        assert m100[0] < m10[0] < 2.0
+        # all factors approach 2 for huge N
+        assert m100[-1] > 1.9
+
+    def test_table_renders(self):
+        [res] = fig02.run()
+        out = res.table()
+        assert "M=100" in out and "initial N" in out
+
+
+class TestFig03:
+    def test_multiget_hole_shape(self, tiny_sd):
+        [res] = fig03.run(
+            graph=tiny_sd, server_counts=(1, 2, 4, 8), n_requests=200, seed=5
+        )
+        measured = res.series["relative throughput"]
+        ideal = res.series["ideal scaling"]
+        # monotone growth but below ideal at the top end
+        assert measured == sorted(measured)
+        assert measured[-1] < ideal[-1]
+        # TPR grows with N
+        tprs = res.series["TPR"]
+        assert tprs[0] == pytest.approx(1.0)
+        assert tprs == sorted(tprs)
+
+
+class TestFig04_05:
+    def test_stats_match_spec(self):
+        f4, f5 = fig04_05.run(scale=0.05, seed=5)
+        assert f4.meta["mean_degree"] == pytest.approx(11.54, rel=0.05)
+        assert f5.meta["mean_degree"] == pytest.approx(6.71, rel=0.05)
+        assert sum(f4.series["nodes"]) == f4.meta["n_nodes"]
+
+
+class TestFig06:
+    def test_tpr_decreasing_in_replicas(self):
+        [res] = fig06.run(replications=(1, 2, 4), **TINY)
+        for label in ("TPR slashdot", "TPR epinions"):
+            tprs = res.series[label]
+            assert all(a > b for a, b in zip(tprs, tprs[1:]))
+
+    def test_headline_reduction(self):
+        [res] = fig06.run(replications=(1, 4), scale=0.05, n_requests=400, seed=5)
+        rel = res.series["rel slashdot"]
+        assert rel[-1] < 0.65  # strong reduction by 4 replicas
+
+
+class TestFig07:
+    def test_locality_example(self):
+        [res] = fig07.run()
+        assert res.series["server for item 1"] == ["A", "A"]
+        assert res.series["server for item 2"] == ["A", "A"]
+        assert "item 1 copy on C" in res.notes
+        assert "item 2 copy on B" in res.notes
+
+
+class TestFig08:
+    def test_ratio_shape(self, tiny_sd):
+        [res] = fig08.run(
+            graph=tiny_sd,
+            replications=(1, 3),
+            memory_factors=(1.0, 2.0, 4.0),
+            n_requests=200,
+            warmup_requests=400,
+            seed=5,
+        )
+        r1 = res.series["R=1"]
+        r3 = res.series["R=3"]
+        assert all(v == pytest.approx(1.0, abs=0.1) for v in r1)
+        # more memory helps
+        assert r3[-1] < r3[0]
+        # at generous memory, replication wins clearly
+        assert r3[-1] < 0.9
+
+
+class TestFig11:
+    def test_fraction_ordering(self):
+        results = fig11.run(
+            server_counts=(4, 16), request_sizes=(20,), n_trials=60, seed=5
+        )
+        [res] = results
+        t50 = res.series["fetch 50%"]
+        t90 = res.series["fetch 90%"]
+        t100 = res.series["fetch 100%"]
+        for i in range(len(t50)):
+            assert t50[i] < t90[i] <= t100[i]
+
+
+class TestFig12:
+    def test_replication_ordering(self):
+        results = fig12.run(
+            server_counts=(16,),
+            request_sizes=(20,),
+            fractions=(0.9,),
+            replications=(2, 5),
+            n_trials=60,
+            seed=5,
+        )
+        [res] = results
+        assert res.series["R=5"][0] < res.series["R=2"][0]
+        assert res.series["R=2"][0] < res.series["R=1 no LIMIT"][0]
+
+
+class TestFig13_14:
+    def test_microbench_curves(self):
+        f13, f14 = fig13_14.run(
+            txn_sizes=(1, 4, 16), n_keys=100, target_transactions=100
+        )
+        measured = f13.series["measured items/s"]
+        assert measured[-1] > measured[0]
+        assert "fitted model items/s" in f13.series
+        assert len(f14.series["two clients items/s"]) == 3
+
+
+class TestAblations:
+    def test_all_ablations_run(self, tiny_sd):
+        results = ablations.run(graph=tiny_sd, n_requests=120, warmup=200, seed=5)
+        names = {r.name for r in results}
+        assert names == {
+            "ablation_tie_break",
+            "ablation_hitchhiking",
+            "ablation_single_item_rule",
+            "ablation_placement",
+            "ablation_lru_policy",
+            "ablation_overbooking",
+        }
+        for r in results:
+            assert r.table()
+
+    def test_hitchhiking_tradeoff(self, tiny_sd):
+        results = ablations.run(graph=tiny_sd, n_requests=200, warmup=400, seed=5)
+        hh = next(r for r in results if r.name == "ablation_hitchhiking")
+        tpr_on, tpr_off = hh.series["TPR"]
+        traffic_on, traffic_off = hh.series["items transferred/request"]
+        assert tpr_on <= tpr_off
+        assert traffic_on > traffic_off
+
+
+class TestRegistry:
+    def test_all_figures_registered(self):
+        for name in (
+            "fig02",
+            "fig03",
+            "fig04_05",
+            "fig06",
+            "fig07",
+            "fig08",
+            "fig09",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13_14",
+            "ablations",
+        ):
+            assert name in EXPERIMENTS
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+    def test_run_experiment_dispatch(self):
+        results = run_experiment("fig02")
+        assert results[0].name == "fig02"

@@ -1,0 +1,86 @@
+"""Shape tests for the extension experiments (cover quality, scalability,
+latency)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import cover_quality, latency, scalability
+from repro.workloads.synthetic import make_slashdot_like
+
+
+@pytest.fixture(scope="module")
+def tiny_sd():
+    return make_slashdot_like(seed=5, scale=0.02)
+
+
+class TestCoverQuality:
+    def test_quality_ordering(self):
+        quality, overhead = cover_quality.run(
+            cases=((16, 20, 3),), n_trials=20, seed=5
+        )
+        opt = quality.series["optimal"][0]
+        grd = quality.series["greedy"][0]
+        ff = quality.series["first-fit"][0]
+        rnd = quality.series["random"][0]
+        assert opt <= grd <= ff <= rnd * 1.05
+
+    def test_greedy_near_optimal(self):
+        quality, _ = cover_quality.run(cases=((16, 30, 3),), n_trials=25, seed=6)
+        opt = quality.series["optimal"][0]
+        grd = quality.series["greedy"][0]
+        assert grd / opt < 1.15  # within 15% in the mean
+
+    def test_exact_limit_respected(self):
+        quality, _ = cover_quality.run(
+            cases=((16, 30, 2),), n_trials=5, exact_limit=10, seed=7
+        )
+        assert math.isnan(quality.series["optimal"][0])
+
+    def test_overhead_positive(self):
+        _, overhead = cover_quality.run(cases=((16, 20, 3),), n_trials=10, seed=8)
+        for series in overhead.series.values():
+            assert series[0] > 0
+
+
+class TestScalability:
+    def test_saving_peaks_then_tapers(self):
+        [res] = scalability.run(
+            server_counts=(16, 64, 1024), request_size=100, n_trials=60, seed=5
+        )
+        saving = res.series["saving (best R)"]
+        # in the hole regime (N~M) the saving is large; at N>>M it tapers
+        assert saving[1] > 0.4
+        assert saving[2] < saving[1]
+
+    def test_replication_ordering_at_scale(self):
+        [res] = scalability.run(
+            server_counts=(128,), request_size=100, n_trials=60, seed=6
+        )
+        assert res.series["R=4"][0] < res.series["R=2"][0] < res.series["R=1 (analytic)"][0]
+
+
+class TestLatency:
+    def test_structure(self, tiny_sd):
+        [res] = latency.run(graph=tiny_sd, n_requests=150, warmup_requests=300, seed=5)
+        labels = res.x_values
+        tprs = dict(zip(labels, res.series["TPR"]))
+        rounds = dict(zip(labels, res.series["2-round %"]))
+        # roomy RnB: big TPR cut, no second rounds
+        assert tprs["RnB R=4 roomy"] < tprs["classic"]
+        assert rounds["classic"] == 0.0
+        assert rounds["RnB R=4 roomy"] == 0.0
+        # overbooked RnB pays a two-round tail
+        assert rounds["RnB R=4 @2x"] > 0.0
+        # hitchhiking shrinks (or at least never grows) the tail
+        assert rounds["RnB R=4 @2x +hh"] <= rounds["RnB R=4 @2x"] + 1e-9
+
+    def test_percentile_ordering(self, tiny_sd):
+        [res] = latency.run(graph=tiny_sd, n_requests=100, warmup_requests=100, seed=6)
+        for mean, p95, p99 in zip(
+            res.series["mean us"], res.series["p95 us"], res.series["p99 us"]
+        ):
+            assert p95 <= p99
+            assert mean > 0

@@ -1,0 +1,109 @@
+"""Shape tests for the future-work experiments (limit memory, single-item
+cross-request bundling) and result export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import limit_memory, single_item
+from repro.experiments.base import ExperimentResult
+from repro.workloads.synthetic import make_slashdot_like
+
+
+@pytest.fixture(scope="module")
+def tiny_sd():
+    return make_slashdot_like(seed=5, scale=0.02)
+
+
+class TestLimitMemory:
+    def test_working_set_shrinks_with_fraction(self, tiny_sd):
+        tpr_res, ws_res = limit_memory.run(
+            graph=tiny_sd,
+            memory_factors=(1.5, 3.0),
+            fractions=(1.0, 0.5),
+            n_requests=150,
+            warmup_requests=300,
+            seed=5,
+        )
+        ws = ws_res.series["working set (copies)"]
+        assert ws[1] < ws[0]  # 50% touches fewer replicas than 100%
+
+    def test_memory_helps_every_fraction(self, tiny_sd):
+        tpr_res, _ = limit_memory.run(
+            graph=tiny_sd,
+            memory_factors=(1.25, 3.0),
+            fractions=(1.0, 0.9),
+            n_requests=150,
+            warmup_requests=300,
+            seed=5,
+        )
+        for series in tpr_res.series.values():
+            assert series[-1] < series[0]
+
+
+class TestSingleItem:
+    def test_window_one_is_floor(self):
+        [res] = single_item.run(
+            n_items=2000, windows=(1, 4), n_requests=400, seed=5
+        )
+        for series in res.series.values():
+            assert series[0] == pytest.approx(1.0)
+
+    def test_merging_and_replication_compose(self):
+        [res] = single_item.run(
+            n_items=2000, windows=(1, 8), n_requests=800, seed=5
+        )
+        no_repl = res.series["no replication"]
+        rnb = res.series["RnB R=4"]
+        # merging helps even without replication ...
+        assert no_repl[1] < 1.0
+        # ... and RnB amplifies the benefit at the merged window
+        assert rnb[1] < no_repl[1]
+
+
+class TestResultExport:
+    @pytest.fixture()
+    def result(self):
+        return ExperimentResult(
+            name="demo",
+            title="Demo",
+            x_label="x",
+            x_values=[1, 2],
+            series={"a": [0.5, 1.5], "b": [2.0, 3.0]},
+            expectation="up and to the right",
+            meta={"model": object()},
+        )
+
+    def test_to_dict_roundtrips_json(self, result):
+        payload = json.loads(result.to_json())
+        assert payload["name"] == "demo"
+        assert payload["series"]["a"] == [0.5, 1.5]
+        assert payload["x_values"] == [1, 2]
+
+    def test_to_csv(self, result):
+        lines = result.to_csv().strip().splitlines()
+        assert lines[0] == "x,a,b"
+        assert lines[1] == "1,0.5,2.0"
+        assert len(lines) == 3
+
+    def test_meta_stringified(self, result):
+        payload = result.to_dict()
+        assert isinstance(payload["meta"]["model"], str)
+
+
+class TestCliFormats:
+    def test_csv_format(self, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig02", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("initial N,M=1")
+
+    def test_out_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["run", "fig02", "--format", "json", "--out", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "fig02.json").read_text())
+        assert data["name"] == "fig02"

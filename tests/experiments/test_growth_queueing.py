@@ -1,0 +1,67 @@
+"""Shape tests for the growth and queueing experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import growth, queueing
+from repro.workloads.synthetic import make_slashdot_like
+
+
+class TestGrowth:
+    def test_rch_churn_near_ideal(self):
+        churn, _ = growth.run(
+            fleet_sizes=(8, 16), n_items=800, n_trials=30, seed=5
+        )
+        for i in range(2):
+            rch = churn.series["rch churn"][i]
+            ideal = churn.series["ideal churn R/(N+1)"][i]
+            assert rch == pytest.approx(ideal, rel=0.4)
+
+    def test_multihash_churn_large(self):
+        churn, _ = growth.run(fleet_sizes=(16,), n_items=800, n_trials=20, seed=5)
+        assert churn.series["multihash churn"][0] > 0.5
+
+    def test_full_replication_stride(self):
+        churn, _ = growth.run(
+            fleet_sizes=(12,), replication=3, n_items=400, n_trials=10, seed=5
+        )
+        assert churn.series["full-repl min stride (servers)"][0] == pytest.approx(4.0)
+
+    def test_tpr_continuity(self):
+        _, tpr = growth.run(fleet_sizes=(16,), n_items=800, n_trials=60, seed=5)
+        before = tpr.series["TPR at N"][0]
+        after = tpr.series["TPR at N+1"][0]
+        assert abs(after - before) / before < 0.15
+
+
+class TestQueueing:
+    @pytest.fixture(scope="class")
+    def result(self):
+        graph = make_slashdot_like(seed=5, scale=0.02)
+        [res] = queueing.run(
+            graph=graph,
+            load_fractions=(0.2, 1.0),
+            n_requests=1500,
+            seed=5,
+        )
+        return res
+
+    def test_low_load_latencies_equal(self, result):
+        classic = result.series["classic p95 us"][0]
+        rnb = result.series["RnB R=4 p95 us"][0]
+        assert classic == pytest.approx(rnb, rel=0.25)
+
+    def test_classic_saturates_at_unit_load(self, result):
+        assert result.series["classic max util"][1] > 0.95
+        assert result.series["classic p95 us"][1] > 3 * result.series["classic p95 us"][0]
+
+    def test_rnb_survives_unit_load(self, result):
+        assert result.series["RnB R=4 max util"][1] < 0.99
+        assert (
+            result.series["RnB R=4 p95 us"][1]
+            < result.series["classic p95 us"][1]
+        )
+
+    def test_capacity_estimate_positive(self, result):
+        assert result.meta["base_capacity_rps"] > 0

@@ -1,0 +1,95 @@
+"""Tests for the stable hash functions: determinism, range, uniformity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing.hashfns import hash64_int, stable_hash64, stable_hash_unit
+
+keys = st.one_of(
+    st.integers(min_value=-(1 << 64), max_value=1 << 64),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+
+
+class TestStableHash64:
+    def test_deterministic(self):
+        assert stable_hash64("hello") == stable_hash64("hello")
+
+    def test_known_types_distinct_encodings(self):
+        # int 97 must not collide with the bytes/str of "a" by construction
+        assert stable_hash64(97) != stable_hash64("a")
+        assert stable_hash64(b"a") != stable_hash64("a")
+
+    def test_seed_changes_hash(self):
+        assert stable_hash64("x", seed=0) != stable_hash64("x", seed=1)
+
+    def test_tuple_support(self):
+        assert stable_hash64(("a", 1)) == stable_hash64(("a", 1))
+        assert stable_hash64(("ab", "c")) != stable_hash64(("a", "bc"))
+        assert stable_hash64(("a",)) != stable_hash64("a")
+
+    def test_nested_tuple(self):
+        assert stable_hash64((1, (2, 3))) != stable_hash64((1, 2, 3))
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            stable_hash64(3.14)
+
+    def test_negative_int_ok(self):
+        assert stable_hash64(-1) != stable_hash64(1)
+
+    @given(keys, st.integers(min_value=0, max_value=1000))
+    def test_range_property(self, key, seed):
+        h = stable_hash64(key, seed)
+        assert 0 <= h < 1 << 64
+
+
+class TestHash64Int:
+    def test_deterministic(self):
+        assert hash64_int(12345, 7) == hash64_int(12345, 7)
+
+    def test_seed_independence(self):
+        xs = [hash64_int(5, s) for s in range(10)]
+        assert len(set(xs)) == 10
+
+    @given(st.integers(min_value=0, max_value=1 << 62))
+    def test_range_property(self, v):
+        assert 0 <= hash64_int(v) < 1 << 64
+
+    def test_avalanche(self):
+        """Neighbouring inputs differ in ~half the 64 bits on average."""
+        diffs = [
+            bin(hash64_int(i) ^ hash64_int(i + 1)).count("1") for i in range(500)
+        ]
+        assert 24 < np.mean(diffs) < 40
+
+
+class TestUniformity:
+    def test_unit_interval(self):
+        xs = [stable_hash_unit(i) for i in range(2000)]
+        assert all(0.0 <= x < 1.0 for x in xs)
+        # mean of U(0,1) over 2000 samples: within 5 sigma of 0.5
+        assert abs(np.mean(xs) - 0.5) < 5 * (1 / np.sqrt(12 * 2000))
+
+    def test_bucket_chi_square(self):
+        """Hashing 0..9999 into 16 buckets is statistically uniform."""
+        buckets = np.zeros(16)
+        for i in range(10_000):
+            buckets[hash64_int(i) % 16] += 1
+        expected = 10_000 / 16
+        chi2 = float(((buckets - expected) ** 2 / expected).sum())
+        # 15 dof: P(chi2 > 37.7) ~ 0.001
+        assert chi2 < 37.7
+
+    def test_modulo_uniformity_stable_hash(self):
+        buckets = np.zeros(8)
+        for i in range(4000):
+            buckets[stable_hash64(f"key-{i}") % 8] += 1
+        expected = 4000 / 8
+        chi2 = float(((buckets - expected) ** 2 / expected).sum())
+        assert chi2 < 24.3  # 7 dof, p ~ 0.001

@@ -1,0 +1,141 @@
+"""Tests for the consistent hash ring: correctness and CH properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, PlacementError
+from repro.hashing.hashring import ConsistentHashRing
+
+
+def make_ring(n=8, vnodes=64, seed=0):
+    return ConsistentHashRing(range(n), vnodes=vnodes, seed=seed)
+
+
+class TestConstruction:
+    def test_empty_ring(self):
+        ring = ConsistentHashRing()
+        assert ring.n_servers == 0
+        with pytest.raises(PlacementError):
+            ring.lookup("k")
+
+    def test_vnodes_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConsistentHashRing(vnodes=0)
+
+    def test_duplicate_server_rejected(self):
+        ring = make_ring(2)
+        with pytest.raises(ConfigurationError):
+            ring.add_server(0)
+
+    def test_remove_unknown_rejected(self):
+        ring = make_ring(2)
+        with pytest.raises(ConfigurationError):
+            ring.remove_server(99)
+
+
+class TestLookup:
+    def test_deterministic(self):
+        a, b = make_ring(), make_ring()
+        for i in range(100):
+            assert a.lookup(i) == b.lookup(i)
+
+    def test_returns_member(self):
+        ring = make_ring(5)
+        for i in range(200):
+            assert ring.lookup(i) in ring.servers
+
+    def test_seed_changes_mapping(self):
+        a = make_ring(seed=0)
+        b = make_ring(seed=1)
+        diffs = sum(a.lookup(i) != b.lookup(i) for i in range(200))
+        assert diffs > 100
+
+
+class TestConsistency:
+    """The defining property: removing a server only remaps its keys."""
+
+    def test_remove_remaps_only_owned_keys(self):
+        ring = make_ring(8)
+        before = {i: ring.lookup(i) for i in range(1000)}
+        ring.remove_server(3)
+        for key, owner in before.items():
+            if owner != 3:
+                assert ring.lookup(key) == owner
+            else:
+                assert ring.lookup(key) != 3
+
+    def test_add_only_steals_keys(self):
+        ring = make_ring(8)
+        before = {i: ring.lookup(i) for i in range(1000)}
+        ring.add_server(100)
+        moved = 0
+        for key, owner in before.items():
+            after = ring.lookup(key)
+            if after != owner:
+                assert after == 100  # keys only move TO the new server
+                moved += 1
+        # the newcomer should take roughly 1/9 of the keys
+        assert 40 < moved < 250
+
+    def test_add_remove_roundtrip(self):
+        ring = make_ring(8)
+        before = {i: ring.lookup(i) for i in range(300)}
+        ring.add_server(100)
+        ring.remove_server(100)
+        assert {i: ring.lookup(i) for i in range(300)} == before
+
+
+class TestUniformity:
+    def test_load_share_balanced(self):
+        ring = make_ring(8, vnodes=128)
+        shares = ring.load_share(samples=20_000)
+        for share in shares.values():
+            assert 0.07 < share < 0.19  # 1/8 = 0.125 +- ~50%
+
+    def test_more_vnodes_tighter_balance(self):
+        few = make_ring(8, vnodes=8).load_share(samples=20_000)
+        many = make_ring(8, vnodes=256).load_share(samples=20_000)
+        assert np.std(list(many.values())) < np.std(list(few.values()))
+
+
+class TestWalk:
+    def test_walk_covers_all_points(self):
+        ring = make_ring(4, vnodes=16)
+        owners = list(ring.walk("key"))
+        assert len(owners) == 4 * 16
+        assert set(owners) == set(range(4))
+
+    def test_distinct_successors_basic(self):
+        ring = make_ring(8)
+        got = ring.distinct_successors("k", 3)
+        assert len(got) == 3
+        assert len(set(got)) == 3
+
+    def test_distinct_successors_all(self):
+        ring = make_ring(5)
+        assert set(ring.distinct_successors("k", 5)) == set(range(5))
+
+    def test_first_successor_is_lookup(self):
+        ring = make_ring(8)
+        for i in range(50):
+            assert ring.distinct_successors(i, 1)[0] == ring.lookup(i)
+
+    def test_too_many_requested(self):
+        ring = make_ring(3)
+        with pytest.raises(PlacementError):
+            ring.distinct_successors("k", 4)
+
+    def test_k_validation(self):
+        ring = make_ring(3)
+        with pytest.raises(ValueError):
+            ring.distinct_successors("k", 0)
+
+    def test_successors_prefix_stable(self):
+        """distinct_successors(k, j) is a prefix of distinct_successors(k, j+1)."""
+        ring = make_ring(8)
+        for key in range(30):
+            s4 = ring.distinct_successors(key, 4)
+            for j in range(1, 4):
+                assert ring.distinct_successors(key, j) == s4[:j]

@@ -1,0 +1,70 @@
+"""Tests for multi-hash replica placement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing.multihash import MultiHashPlacer
+
+
+class TestValidation:
+    def test_replication_range(self):
+        with pytest.raises(ConfigurationError):
+            MultiHashPlacer(4, 5)
+        with pytest.raises(ConfigurationError):
+            MultiHashPlacer(4, 0)
+        with pytest.raises(ConfigurationError):
+            MultiHashPlacer(0, 1)
+
+    def test_full_replication_allowed(self):
+        placer = MultiHashPlacer(4, 4)
+        assert set(placer.servers_for(7)) == {0, 1, 2, 3}
+
+
+class TestReplicaSets:
+    def test_distinct_after_reprobe(self):
+        """Collision re-probing guarantees distinct servers even when R ~ N."""
+        placer = MultiHashPlacer(5, 4)
+        for item in range(1000):
+            servers = placer.servers_for(item)
+            assert len(set(servers)) == 4
+
+    def test_deterministic(self):
+        a = MultiHashPlacer(16, 3, seed=2)
+        b = MultiHashPlacer(16, 3, seed=2)
+        for item in range(300):
+            assert a.servers_for(item) == b.servers_for(item)
+
+    def test_string_keys_supported(self):
+        placer = MultiHashPlacer(8, 2)
+        assert placer.servers_for("user:123") == placer.servers_for("user:123")
+        assert len(set(placer.servers_for("user:123"))) == 2
+
+    def test_seed_changes_placement(self):
+        a = MultiHashPlacer(16, 2, seed=0)
+        b = MultiHashPlacer(16, 2, seed=1)
+        diffs = sum(a.servers_for(i) != b.servers_for(i) for i in range(200))
+        assert diffs > 150
+
+    def test_distinguished_uses_hash_zero(self):
+        """The distinguished copy depends only on hash function 0 — the
+        same location regardless of the replication level."""
+        r1 = MultiHashPlacer(16, 1, seed=4)
+        r4 = MultiHashPlacer(16, 4, seed=4)
+        for item in range(300):
+            assert r1.distinguished_for(item) == r4.distinguished_for(item)
+
+
+class TestBalance:
+    def test_replica_load_balanced(self):
+        placer = MultiHashPlacer(16, 3)
+        counts = np.zeros(16)
+        n_items = 4000
+        for item in range(n_items):
+            for s in placer.servers_for(item):
+                counts[s] += 1
+        expected = 3 * n_items / 16
+        assert counts.min() > 0.8 * expected
+        assert counts.max() < 1.2 * expected

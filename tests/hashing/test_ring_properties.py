@@ -1,0 +1,57 @@
+"""Property tests: hash-ring behaviour under arbitrary membership churn."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.hashring import ConsistentHashRing
+
+# sequences of (add|remove, server-id); applied only when legal
+membership_ops = st.lists(
+    st.tuples(st.sampled_from(["add", "remove"]), st.integers(0, 9)),
+    max_size=25,
+)
+
+PROBE_KEYS = list(range(40))
+
+
+@settings(max_examples=60, deadline=None)
+@given(membership_ops)
+def test_lookup_always_member_and_deterministic(ops):
+    ring = ConsistentHashRing(range(3), vnodes=16)
+    members = {0, 1, 2}
+    for op, sid in ops:
+        if op == "add" and sid not in members:
+            ring.add_server(sid)
+            members.add(sid)
+        elif op == "remove" and sid in members and len(members) > 1:
+            ring.remove_server(sid)
+            members.remove(sid)
+        assert ring.servers == frozenset(members)
+        for key in PROBE_KEYS:
+            owner = ring.lookup(key)
+            assert owner in members
+
+
+@settings(max_examples=40, deadline=None)
+@given(membership_ops)
+def test_history_independence(ops):
+    """The mapping depends only on the CURRENT membership, never on the
+    sequence of joins/leaves that produced it — the property that lets
+    every stateless client agree without communication."""
+    ring = ConsistentHashRing(range(3), vnodes=16)
+    members = {0, 1, 2}
+    for op, sid in ops:
+        if op == "add" and sid not in members:
+            ring.add_server(sid)
+            members.add(sid)
+        elif op == "remove" and sid in members and len(members) > 1:
+            ring.remove_server(sid)
+            members.remove(sid)
+    fresh = ConsistentHashRing(sorted(members), vnodes=16)
+    for key in PROBE_KEYS:
+        assert ring.lookup(key) == fresh.lookup(key)
+    for key in PROBE_KEYS[:10]:
+        k = min(3, len(members))
+        assert ring.distinct_successors(key, k) == fresh.distinct_successors(key, k)

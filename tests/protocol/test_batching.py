@@ -1,0 +1,110 @@
+"""Tests for the cross-request batching proxy (section III-E)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.protocol.batching import BatchingClient
+from repro.protocol.memclient import MemcachedConnection
+from repro.protocol.memserver import MemcachedServer
+from repro.protocol.rnbclient import RnBProtocolClient
+from repro.protocol.transport import LoopbackTransport
+
+
+@pytest.fixture()
+def stack():
+    placer = RangedConsistentHashPlacer(8, 3, vnodes=32)
+    servers = {i: MemcachedServer(name=f"m{i}") for i in range(8)}
+    conns = {i: MemcachedConnection(LoopbackTransport(servers[i])) for i in range(8)}
+    client = RnBProtocolClient(conns, placer)
+    for i in range(100):
+        client.set(f"key{i}", f"v{i}".encode())
+    return servers, client
+
+
+class TestTickets:
+    def test_unresolved_ticket_raises(self, stack):
+        _, client = stack
+        batching = BatchingClient(client, window=3)
+        ticket = batching.submit(["key1"])
+        assert not ticket.done
+        with pytest.raises(RuntimeError):
+            ticket.result()
+
+    def test_window_auto_flush(self, stack):
+        _, client = stack
+        batching = BatchingClient(client, window=2)
+        t1 = batching.submit(["key1", "key2"])
+        assert not t1.done
+        t2 = batching.submit(["key3"])
+        assert t1.done and t2.done
+        assert t1.result() == {"key1": b"v1", "key2": b"v2"}
+        assert t2.result() == {"key3": b"v3"}
+
+    def test_explicit_flush(self, stack):
+        _, client = stack
+        batching = BatchingClient(client, window=10)
+        t = batching.submit(["key5"])
+        batching.flush()
+        assert t.result() == {"key5": b"v5"}
+        assert batching.pending == 0
+
+    def test_get_multi_resolves_immediately(self, stack):
+        _, client = stack
+        batching = BatchingClient(client, window=10)
+        assert batching.get_multi(["key7", "key8"]) == {
+            "key7": b"v7",
+            "key8": b"v8",
+        }
+
+    def test_duplicate_keys_across_tickets(self, stack):
+        _, client = stack
+        batching = BatchingClient(client, window=2)
+        t1 = batching.submit(["key1", "key2"])
+        t2 = batching.submit(["key1", "key3"])
+        assert t1.result()["key1"] == b"v1"
+        assert t2.result()["key1"] == b"v1"
+
+    def test_missing_keys_absent_per_ticket(self, stack):
+        _, client = stack
+        batching = BatchingClient(client, window=2)
+        t1 = batching.submit(["key1", "ghost"])
+        batching.submit(["key2"])
+        assert "ghost" not in t1.result()
+
+    def test_window_validation(self, stack):
+        _, client = stack
+        with pytest.raises(ConfigurationError):
+            BatchingClient(client, window=0)
+
+
+class TestSavings:
+    def test_merging_saves_transactions(self, stack):
+        servers, client = stack
+        batching = BatchingClient(client, window=4)
+        for start in range(0, 80, 10):
+            batching.submit([f"key{i}" for i in range(start, start + 10)])
+        batching.flush()
+        assert batching.transactions_saved > 0
+        assert batching.transactions < batching.transactions_unmerged_estimate
+
+    def test_server_transaction_count_matches(self, stack):
+        servers, client = stack
+        base = sum(s.stats["cmd_get"] for s in servers.values())
+        batching = BatchingClient(client, window=2)
+        batching.submit(["key1", "key2", "key3"])
+        batching.submit(["key4", "key5"])
+        served = sum(s.stats["cmd_get"] for s in servers.values()) - base
+        assert served == batching.transactions
+
+    def test_stats_counters(self, stack):
+        _, client = stack
+        batching = BatchingClient(client, window=2)
+        batching.submit(["key1"])
+        batching.submit(["key2"])
+        batching.submit(["key3"])
+        batching.flush()
+        assert batching.logical_requests == 3
+        assert batching.batches == 2

@@ -1,0 +1,98 @@
+"""Tests for atomic updates and read repair over replicas."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.protocol.consistency import atomic_update, read_repair
+from repro.protocol.memclient import MemcachedConnection
+from repro.protocol.memserver import MemcachedServer
+from repro.protocol.rnbclient import RnBProtocolClient
+from repro.protocol.transport import LoopbackTransport
+
+
+def make_stack(n_servers=4, replication=3):
+    placer = RangedConsistentHashPlacer(n_servers, replication, vnodes=32)
+    servers = {i: MemcachedServer(name=f"m{i}") for i in range(n_servers)}
+    conns = {i: MemcachedConnection(LoopbackTransport(servers[i])) for i in range(n_servers)}
+    return placer, servers, RnBProtocolClient(conns, placer)
+
+
+class TestAtomicUpdate:
+    def test_updates_value(self):
+        _, _, client = make_stack()
+        client.set("counter", b"5")
+        new = atomic_update(client, "counter", lambda v: str(int(v) + 1).encode())
+        assert new == b"6"
+        assert client.get("counter") == b"6"
+
+    def test_strips_stale_replicas(self):
+        placer, servers, client = make_stack()
+        client.set("k", b"old")
+        atomic_update(client, "k", lambda v: b"new")
+        # non-distinguished replicas must be gone (no stale reads)
+        for sid in placer.servers_for("k")[1:]:
+            assert "k" not in servers[sid]
+        assert "k" in servers[placer.distinguished_for("k")]
+
+    def test_creates_missing_key(self):
+        _, _, client = make_stack()
+        new = atomic_update(client, "fresh", lambda v: b"init" if v is None else v)
+        assert new == b"init"
+        assert client.get("fresh") == b"init"
+
+    def test_repopulate_eagerly(self):
+        placer, servers, client = make_stack()
+        client.set("k", b"1")
+        atomic_update(client, "k", lambda v: b"2", repopulate=True)
+        for sid in placer.servers_for("k"):
+            assert "k" in servers[sid]
+
+    def test_concurrent_increments_all_counted(self):
+        """16 threads x 10 increments: CAS retries must not lose updates."""
+        _, _, client = make_stack()
+        client.set("ctr", b"0")
+
+        def bump():
+            for _ in range(10):
+                atomic_update(
+                    client, "ctr", lambda v: str(int(v) + 1).encode(), max_retries=500
+                )
+
+        threads = [threading.Thread(target=bump) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert client.get("ctr") == b"160"
+
+    def test_retry_exhaustion(self):
+        placer, servers, client = make_stack()
+        client.set("k", b"0")
+        home = placer.distinguished_for("k")
+        hot_conn = client.connections[home]
+
+        def hostile_update(v):
+            # sabotage: concurrently bump the cas id before our cas lands
+            hot_conn.set("k", b"interference")
+            return b"mine"
+
+        with pytest.raises(ProtocolError):
+            atomic_update(client, "k", hostile_update, max_retries=3)
+
+
+class TestReadRepair:
+    def test_repopulates_replicas(self):
+        placer, servers, client = make_stack()
+        client.set("k", b"v", replicate=False)
+        assert read_repair(client, "k") == b"v"
+        for sid in placer.servers_for("k"):
+            assert "k" in servers[sid]
+
+    def test_missing_key_returns_none(self):
+        _, _, client = make_stack()
+        assert read_repair(client, "ghost") is None

@@ -1,0 +1,114 @@
+"""Tests for TTL/expiry semantics and the touch command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocol.codec import Command, encode_command, parse_command_stream
+from repro.protocol.memclient import MemcachedConnection
+from repro.protocol.memserver import RELATIVE_EXPTIME_LIMIT, MemcachedServer
+from repro.protocol.transport import LoopbackTransport
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clocked():
+    clock = FakeClock()
+    server = MemcachedServer(clock=clock)
+    conn = MemcachedConnection(LoopbackTransport(server))
+    return clock, server, conn
+
+
+class TestExpiry:
+    def test_zero_exptime_never_expires(self, clocked):
+        clock, _, conn = clocked
+        conn.set("k", b"v", exptime=0)
+        clock.advance(10**9)
+        assert conn.get("k") == b"v"
+
+    def test_relative_expiry(self, clocked):
+        clock, server, conn = clocked
+        conn.set("k", b"v", exptime=60)
+        clock.advance(59)
+        assert conn.get("k") == b"v"
+        clock.advance(2)
+        assert conn.get("k") is None
+        assert server.stats["expired"] == 1
+
+    def test_absolute_expiry(self, clocked):
+        clock, _, conn = clocked
+        deadline = int(clock.now) + RELATIVE_EXPTIME_LIMIT + 100
+        conn.set("k", b"v", exptime=deadline)
+        clock.advance(RELATIVE_EXPTIME_LIMIT + 99)
+        assert conn.get("k") == b"v"
+        clock.advance(2)
+        assert conn.get("k") is None
+
+    def test_expired_entry_releases_bytes(self, clocked):
+        clock, server, conn = clocked
+        conn.set("k", b"12345", exptime=10)
+        clock.advance(11)
+        assert conn.get("k") is None
+        assert server.bytes_used == 0
+
+    def test_overwrite_clears_ttl(self, clocked):
+        clock, _, conn = clocked
+        conn.set("k", b"v1", exptime=10)
+        conn.set("k", b"v2", exptime=0)
+        clock.advance(100)
+        assert conn.get("k") == b"v2"
+
+    def test_expired_delete_reports_not_found(self, clocked):
+        clock, _, conn = clocked
+        conn.set("k", b"v", exptime=5)
+        clock.advance(6)
+        assert not conn.delete("k")
+
+    def test_cas_on_expired_is_not_found(self, clocked):
+        clock, server, conn = clocked
+        conn.set("k", b"v", exptime=5)
+        (_, cas_id) = conn.get_multi(["k"], with_cas=True)["k"]
+        clock.advance(6)
+        assert conn.cas("k", b"new", cas_id) == "NOT_FOUND"
+
+
+class TestTouch:
+    def test_touch_extends_ttl(self, clocked):
+        clock, _, conn = clocked
+        conn.set("k", b"v", exptime=10)
+        clock.advance(8)
+        assert conn.touch("k", 10)
+        clock.advance(8)
+        assert conn.get("k") == b"v"
+
+    def test_touch_can_shorten_ttl(self, clocked):
+        clock, _, conn = clocked
+        conn.set("k", b"v", exptime=0)
+        assert conn.touch("k", 5)
+        clock.advance(6)
+        assert conn.get("k") is None
+
+    def test_touch_missing(self, clocked):
+        _, _, conn = clocked
+        assert not conn.touch("ghost", 10)
+
+    def test_touch_wire_roundtrip(self):
+        wire = encode_command(Command(name="touch", keys=("k",), exptime=42))
+        [cmd], tail = parse_command_stream(wire)
+        assert tail == b""
+        assert cmd.name == "touch"
+        assert cmd.exptime == 42
+
+    def test_touch_parse_validation(self):
+        with pytest.raises(Exception):
+            parse_command_stream(b"touch k\r\n")

@@ -1,0 +1,126 @@
+"""Tests for add/replace/append/prepend/incr/decr."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.codec import Command, encode_command, parse_command_stream
+from repro.protocol.memclient import MemcachedConnection
+from repro.protocol.memserver import MemcachedServer
+from repro.protocol.transport import LoopbackTransport
+
+
+@pytest.fixture()
+def conn():
+    return MemcachedConnection(LoopbackTransport(MemcachedServer()))
+
+
+class TestAddReplace:
+    def test_add_when_absent(self, conn):
+        assert conn.add("k", b"v")
+        assert conn.get("k") == b"v"
+
+    def test_add_when_present_refused(self, conn):
+        conn.set("k", b"old")
+        assert not conn.add("k", b"new")
+        assert conn.get("k") == b"old"
+
+    def test_replace_when_present(self, conn):
+        conn.set("k", b"old")
+        assert conn.replace("k", b"new")
+        assert conn.get("k") == b"new"
+
+    def test_replace_when_absent_refused(self, conn):
+        assert not conn.replace("k", b"v")
+        assert conn.get("k") is None
+
+    def test_add_after_expiry_succeeds(self):
+        from tests.protocol.test_expiry import FakeClock
+
+        clock = FakeClock()
+        conn = MemcachedConnection(LoopbackTransport(MemcachedServer(clock=clock)))
+        conn.set("k", b"v", exptime=5)
+        clock.advance(6)
+        assert conn.add("k", b"fresh")
+
+
+class TestAppendPrepend:
+    def test_append(self, conn):
+        conn.set("k", b"hello")
+        assert conn.append("k", b" world")
+        assert conn.get("k") == b"hello world"
+
+    def test_prepend(self, conn):
+        conn.set("k", b"world")
+        assert conn.prepend("k", b"hello ")
+        assert conn.get("k") == b"hello world"
+
+    def test_append_missing_refused(self, conn):
+        assert not conn.append("k", b"x")
+
+    def test_append_preserves_flags(self, conn):
+        conn.set("k", b"a", flags=7)
+        conn.append("k", b"b")
+        out = conn.get_multi(["k"], with_cas=True)
+        # flags survive concatenation (checked via a raw gets)
+        t = LoopbackTransport(MemcachedServer())
+        # simpler: re-fetch over the same connection and inspect flags
+        [resp] = conn.transport.exchange(
+            encode_command(Command(name="get", keys=("k",)))
+        )
+        flags, data, _ = resp.values["k"]
+        assert flags == 7 and data == b"ab"
+
+
+class TestCounters:
+    def test_incr(self, conn):
+        conn.set("n", b"10")
+        assert conn.incr("n", 5) == 15
+        assert conn.get("n") == b"15"
+
+    def test_decr_clamps_at_zero(self, conn):
+        conn.set("n", b"3")
+        assert conn.decr("n", 10) == 0
+
+    def test_missing_returns_none(self, conn):
+        assert conn.incr("ghost") is None
+        assert conn.decr("ghost") is None
+
+    def test_non_numeric_raises(self, conn):
+        conn.set("k", b"abc")
+        with pytest.raises(ProtocolError):
+            conn.incr("k")
+
+    def test_incr_updates_cas(self, conn):
+        conn.set("n", b"1")
+        (_, cas1) = conn.get_multi(["n"], with_cas=True)["n"]
+        conn.incr("n")
+        (_, cas2) = conn.get_multi(["n"], with_cas=True)["n"]
+        assert cas2 > cas1
+
+    def test_default_delta_one(self, conn):
+        conn.set("n", b"0")
+        assert conn.incr("n") == 1
+
+
+class TestWireFormat:
+    def test_add_roundtrip(self):
+        wire = encode_command(Command(name="add", keys=("k",), data=b"v"))
+        [cmd], tail = parse_command_stream(wire)
+        assert cmd.name == "add" and cmd.data == b"v" and tail == b""
+
+    def test_incr_roundtrip(self):
+        wire = encode_command(Command(name="incr", keys=("k",), delta=42))
+        [cmd], tail = parse_command_stream(wire)
+        assert cmd.name == "incr" and cmd.delta == 42
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_command(Command(name="incr", keys=("k",), delta=-1))
+        with pytest.raises(ProtocolError):
+            parse_command_stream(b"decr k -5\r\n")
+
+    def test_counter_without_delta_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_command_stream(b"incr k\r\n")

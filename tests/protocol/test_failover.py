@@ -1,0 +1,137 @@
+"""Failure-injection tests: reads must survive server loss via replicas.
+
+RnB's replication "already exists for reliability" (paper I-C); these
+tests kill servers mid-workload and assert the client degrades
+gracefully instead of erroring — items with a surviving replica are
+still returned.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.protocol.memclient import MemcachedConnection
+from repro.protocol.memserver import MemcachedServer
+from repro.protocol.rnbclient import RnBProtocolClient
+from repro.protocol.transport import LoopbackTransport
+
+
+class FailableTransport(LoopbackTransport):
+    """Loopback transport with a kill switch."""
+
+    def __init__(self, server):
+        super().__init__(server)
+        self.alive = True
+
+    def exchange(self, request, n_responses=1):
+        if not self.alive:
+            raise ConnectionError("server down")
+        return super().exchange(request, n_responses)
+
+
+def make_stack(n_servers=4, replication=3):
+    placer = RangedConsistentHashPlacer(n_servers, replication, vnodes=32)
+    servers = {i: MemcachedServer(name=f"m{i}") for i in range(n_servers)}
+    transports = {i: FailableTransport(servers[i]) for i in range(n_servers)}
+    conns = {i: MemcachedConnection(transports[i]) for i in range(n_servers)}
+    client = RnBProtocolClient(conns, placer)
+    return placer, servers, transports, client
+
+
+KEYS = [f"key{i}" for i in range(40)]
+
+
+class TestMultiGetFailover:
+    def test_one_dead_server_loses_nothing(self):
+        placer, _, transports, client = make_stack()
+        for k in KEYS:
+            client.set(k, k.encode())
+        transports[0].alive = False
+        out = client.get_multi(KEYS)
+        assert not out.missing
+        assert out.values == {k: k.encode() for k in KEYS}
+        assert 0 in out.failed_servers
+
+    def test_failed_attempts_do_not_count_as_transactions(self):
+        placer, servers, transports, client = make_stack()
+        for k in KEYS:
+            client.set(k, k.encode())
+        transports[1].alive = False
+        out = client.get_multi(KEYS)
+        served = sum(s.stats["cmd_get"] for s in servers.values())
+        assert out.transactions == served
+
+    def test_majority_failure_still_serves_survivors(self):
+        """With R=3 on 4 servers, 2 dead servers still leave >= 1 replica
+        for every key."""
+        _, _, transports, client = make_stack()
+        for k in KEYS:
+            client.set(k, k.encode())
+        transports[0].alive = False
+        transports[3].alive = False
+        out = client.get_multi(KEYS)
+        assert not out.missing
+
+    def test_all_replicas_dead_reports_missing(self):
+        placer, _, transports, client = make_stack(n_servers=4, replication=2)
+        for k in KEYS:
+            client.set(k, k.encode())
+        victims = {k for k in KEYS if set(placer.servers_for(k)) <= {0, 1}}
+        transports[0].alive = False
+        transports[1].alive = False
+        out = client.get_multi(KEYS)
+        assert set(out.missing) == victims
+
+    def test_recovery_after_restart(self):
+        _, _, transports, client = make_stack()
+        for k in KEYS:
+            client.set(k, k.encode())
+        transports[2].alive = False
+        client.get_multi(KEYS)
+        transports[2].alive = True
+        out = client.get_multi(KEYS)
+        assert not out.missing
+        assert out.failed_servers == ()
+
+
+class TestSingleGetFailover:
+    def test_falls_back_to_replica(self):
+        placer, _, transports, client = make_stack()
+        client.set("solo", b"v")
+        transports[placer.distinguished_for("solo")].alive = False
+        assert client.get("solo") == b"v"
+
+    def test_all_dead_raises(self):
+        placer, _, transports, client = make_stack()
+        client.set("solo", b"v")
+        for sid in placer.servers_for("solo"):
+            transports[sid].alive = False
+        with pytest.raises(ProtocolError):
+            client.get("solo")
+
+    def test_missing_key_still_none(self):
+        _, _, transports, client = make_stack()
+        assert client.get("ghost") is None
+
+    def test_replica_miss_does_not_mask_distinguished_value(self):
+        """If the distinguished copy is alive, its answer wins even when
+        some replica servers are dead."""
+        placer, _, transports, client = make_stack()
+        client.set("k", b"v")
+        # kill a non-distinguished replica
+        replica = placer.servers_for("k")[1]
+        transports[replica].alive = False
+        assert client.get("k") == b"v"
+
+
+class TestLimitFailover:
+    def test_limit_met_despite_failure(self):
+        _, _, transports, client = make_stack(n_servers=8, replication=3)
+        keys = [f"x{i}" for i in range(40)]
+        for k in keys:
+            client.set(k, b"v")
+        transports[0].alive = False
+        out = client.get_multi(keys, limit_fraction=0.9)
+        assert len(out.values) >= 36

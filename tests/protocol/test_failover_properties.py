@@ -1,0 +1,79 @@
+"""Property test: arbitrary server-failure sets never lose reachable data.
+
+For every randomly chosen set of dead servers, the RnB client must
+return exactly the keys that still have at least one live replica — no
+spurious losses, no phantom values, no exceptions.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.protocol.memclient import MemcachedConnection
+from repro.protocol.memserver import MemcachedServer
+from repro.protocol.rnbclient import RnBProtocolClient
+from repro.protocol.transport import LoopbackTransport
+
+N_SERVERS = 6
+REPLICATION = 2
+KEYS = [f"key{i}" for i in range(36)]
+
+
+class FailableTransport(LoopbackTransport):
+    def __init__(self, server):
+        super().__init__(server)
+        self.alive = True
+
+    def exchange(self, request, n_responses=1):
+        if not self.alive:
+            raise ConnectionError("server down")
+        return super().exchange(request, n_responses)
+
+
+def build_stack():
+    placer = RangedConsistentHashPlacer(N_SERVERS, REPLICATION, vnodes=32)
+    servers = {i: MemcachedServer() for i in range(N_SERVERS)}
+    transports = {i: FailableTransport(servers[i]) for i in range(N_SERVERS)}
+    conns = {i: MemcachedConnection(transports[i]) for i in range(N_SERVERS)}
+    client = RnBProtocolClient(conns, placer)
+    for k in KEYS:
+        client.set(k, k.encode())
+    return placer, transports, client
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.sets(st.integers(0, N_SERVERS - 1), max_size=N_SERVERS - 1))
+def test_exactly_reachable_keys_returned(dead):
+    placer, transports, client = build_stack()
+    for sid in dead:
+        transports[sid].alive = False
+
+    out = client.get_multi(KEYS)
+
+    reachable = {
+        k for k in KEYS if set(placer.servers_for(k)) - dead
+    }
+    assert set(out.values) == reachable
+    assert set(out.missing) == set(KEYS) - reachable
+    for k, v in out.values.items():
+        assert v == k.encode()
+    assert set(out.failed_servers) <= dead
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sets(st.integers(0, N_SERVERS - 1), max_size=N_SERVERS - 1),
+    st.floats(0.3, 1.0),
+)
+def test_limit_satisfied_when_possible(dead, fraction):
+    placer, transports, client = build_stack()
+    for sid in dead:
+        transports[sid].alive = False
+
+    out = client.get_multi(KEYS, limit_fraction=fraction)
+    reachable = sum(1 for k in KEYS if set(placer.servers_for(k)) - dead)
+    required = max(1, min(len(KEYS), int(-(-fraction * len(KEYS) // 1))))
+    assert len(out.values) >= min(required, reachable)

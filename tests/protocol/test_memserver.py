@@ -1,0 +1,153 @@
+"""Tests for the in-process memcached server semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.codec import Command
+from repro.protocol.memserver import MemcachedServer
+
+
+def set_cmd(key, data, noreply=False):
+    return Command("set", keys=(key,), data=data, noreply=noreply)
+
+
+class TestStorage:
+    def test_set_then_get(self):
+        s = MemcachedServer()
+        assert s.execute(set_cmd("a", b"v")) == b"STORED\r\n"
+        out = s.execute(Command("get", keys=("a",)))
+        assert b"VALUE a 0 1\r\nv\r\n" in out and out.endswith(b"END\r\n")
+
+    def test_get_miss_is_silent(self):
+        s = MemcachedServer()
+        assert s.execute(Command("get", keys=("nope",))) == b"END\r\n"
+        assert s.stats["get_misses"] == 1
+
+    def test_multiget_partial(self):
+        s = MemcachedServer()
+        s.execute(set_cmd("a", b"1"))
+        out = s.execute(Command("get", keys=("a", "b", "c")))
+        assert out.count(b"VALUE") == 1
+        assert s.stats["get_hits"] == 1
+        assert s.stats["get_misses"] == 2
+
+    def test_overwrite(self):
+        s = MemcachedServer()
+        s.execute(set_cmd("a", b"old"))
+        s.execute(set_cmd("a", b"newer"))
+        out = s.execute(Command("get", keys=("a",)))
+        assert b"newer" in out
+
+    def test_noreply_set(self):
+        s = MemcachedServer()
+        assert s.execute(set_cmd("a", b"v", noreply=True)) == b""
+        assert "a" in s
+
+    def test_delete(self):
+        s = MemcachedServer()
+        s.execute(set_cmd("a", b"v"))
+        assert s.execute(Command("delete", keys=("a",))) == b"DELETED\r\n"
+        assert s.execute(Command("delete", keys=("a",))) == b"NOT_FOUND\r\n"
+
+    def test_flush_all(self):
+        s = MemcachedServer()
+        s.execute(set_cmd("a", b"v"))
+        assert s.execute(Command("flush_all")) == b"OK\r\n"
+        assert s.curr_items == 0
+        assert s.bytes_used == 0
+
+
+class TestCas:
+    def test_gets_returns_cas(self):
+        s = MemcachedServer()
+        s.execute(set_cmd("a", b"v"))
+        out = s.execute(Command("gets", keys=("a",)))
+        assert b"VALUE a 0 1 1\r\n" in out
+
+    def test_cas_success_and_conflict(self):
+        s = MemcachedServer()
+        s.execute(set_cmd("a", b"v1"))
+        assert s.execute(Command("cas", keys=("a",), data=b"v2", cas=1)) == b"STORED\r\n"
+        # stale cas id now conflicts
+        assert s.execute(Command("cas", keys=("a",), data=b"v3", cas=1)) == b"EXISTS\r\n"
+        assert s.stats["cas_hits"] == 1
+        assert s.stats["cas_badval"] == 1
+
+    def test_cas_missing_key(self):
+        s = MemcachedServer()
+        assert s.execute(Command("cas", keys=("x",), data=b"v", cas=1)) == b"NOT_FOUND\r\n"
+
+    def test_cas_ids_monotone(self):
+        s = MemcachedServer()
+        s.execute(set_cmd("a", b"1"))
+        s.execute(set_cmd("b", b"2"))
+        out = s.execute(Command("gets", keys=("a", "b")))
+        assert b"VALUE a 0 1 1" in out
+        assert b"VALUE b 0 1 2" in out
+
+
+class TestLRUEviction:
+    def test_evicts_by_bytes(self):
+        s = MemcachedServer(capacity_bytes=10)
+        s.execute(set_cmd("a", b"12345"))
+        s.execute(set_cmd("b", b"12345"))
+        s.execute(set_cmd("c", b"1"))  # evicts a (LRU)
+        assert "a" not in s and "b" in s and "c" in s
+        assert s.stats["evictions"] == 1
+
+    def test_get_refreshes_lru(self):
+        s = MemcachedServer(capacity_bytes=10)
+        s.execute(set_cmd("a", b"12345"))
+        s.execute(set_cmd("b", b"12345"))
+        s.execute(Command("get", keys=("a",)))
+        s.execute(set_cmd("c", b"1"))  # evicts b, not the refreshed a
+        assert "a" in s and "b" not in s
+
+    def test_oversized_item_dropped(self):
+        s = MemcachedServer(capacity_bytes=4)
+        s.execute(set_cmd("big", b"123456"))
+        assert "big" not in s
+
+    def test_replacement_releases_bytes(self):
+        s = MemcachedServer(capacity_bytes=10)
+        s.execute(set_cmd("a", b"123456789"))
+        s.execute(set_cmd("a", b"12"))
+        assert s.bytes_used == 2
+
+
+class TestStatsAndHandle:
+    def test_stats_counters(self):
+        s = MemcachedServer()
+        s.execute(set_cmd("a", b"v"))
+        s.execute(Command("get", keys=("a",)))
+        out = s.execute(Command("stats"))
+        assert b"STAT cmd_get 1" in out
+        assert b"STAT cmd_set 1" in out
+        assert b"STAT curr_items 1" in out
+
+    def test_version(self):
+        s = MemcachedServer()
+        assert s.execute(Command("version")).startswith(b"VERSION")
+
+    def test_handle_pipelined(self):
+        s = MemcachedServer()
+        out = s.handle(b"set a 0 0 1\r\nx\r\nget a\r\n")
+        assert out.startswith(b"STORED\r\n")
+        assert b"VALUE a" in out
+
+    def test_handle_trailing_garbage_rejected(self):
+        s = MemcachedServer()
+        with pytest.raises(ProtocolError):
+            s.handle(b"get a\r\nget")
+
+    def test_total_transactions(self):
+        s = MemcachedServer()
+        s.execute(set_cmd("a", b"v"))
+        s.execute(Command("get", keys=("a",)))
+        assert s.stats["total_transactions"] == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MemcachedServer(capacity_bytes=-1)

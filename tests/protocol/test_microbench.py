@@ -1,0 +1,64 @@
+"""Smoke tests for the calibration micro-benchmarks (tiny workloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.calibration import fit_cost_model
+from repro.protocol.memserver import MemcachedServer
+from repro.protocol.microbench import (
+    measure_items_per_second,
+    populate,
+    two_client_items_per_second,
+)
+
+FAST = dict(n_keys=120, target_transactions=120, min_transactions=20)
+
+
+class TestPopulate:
+    def test_installs_keys(self):
+        server = MemcachedServer()
+        keys = populate(server, 50)
+        assert len(keys) == 50
+        assert server.curr_items == 50
+
+
+class TestSingleClient:
+    def test_points_shape(self):
+        points = measure_items_per_second([1, 4, 8], **FAST)
+        assert [p.txn_size for p in points] == [1, 4, 8]
+        for p in points:
+            assert p.items_per_s > 0
+            assert p.transactions_per_s > 0
+
+    def test_items_rate_grows_with_txn_size(self):
+        points = measure_items_per_second([1, 16], **FAST)
+        assert points[1].items_per_s > points[0].items_per_s
+
+    def test_feeds_cost_model_fit(self):
+        points = measure_items_per_second([1, 2, 4, 8, 16], **FAST)
+        model = fit_cost_model(
+            [p.txn_size for p in points], [p.items_per_s for p in points]
+        )
+        assert model.t_txn > 0
+
+    def test_txn_size_validation(self):
+        with pytest.raises(ValueError):
+            measure_items_per_second([0], **FAST)
+        with pytest.raises(ValueError):
+            measure_items_per_second([10_000], **FAST)
+
+
+class TestTwoClients:
+    def test_runs_and_counts_both(self):
+        points = two_client_items_per_second([1, 8], **FAST)
+        for p in points:
+            assert p.items_per_s > 0
+            assert p.n_transactions >= 2 * FAST["min_transactions"]
+
+    def test_no_double_throughput(self):
+        """Two clients on one lock-serialised server cannot double the
+        single-client rate (paper Fig 14's conclusion)."""
+        single = measure_items_per_second([4], **FAST)[0]
+        double = two_client_items_per_second([4], **FAST)[0]
+        assert double.items_per_s < 1.9 * single.items_per_s

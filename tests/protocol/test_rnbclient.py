@@ -1,0 +1,143 @@
+"""Tests for the protocol-level RnB client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bundling import Bundler
+from repro.errors import ConfigurationError
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.protocol.memclient import MemcachedConnection
+from repro.protocol.memserver import MemcachedServer
+from repro.protocol.rnbclient import RnBProtocolClient
+from repro.protocol.transport import LoopbackTransport
+
+
+def make_stack(n_servers=4, replication=3, capacity_bytes=None):
+    placer = RangedConsistentHashPlacer(n_servers, replication, vnodes=32)
+    servers = {
+        i: MemcachedServer(capacity_bytes=capacity_bytes, name=f"m{i}")
+        for i in range(n_servers)
+    }
+    conns = {i: MemcachedConnection(LoopbackTransport(servers[i])) for i in range(n_servers)}
+    return placer, servers, RnBProtocolClient(conns, placer)
+
+
+class TestWrites:
+    def test_set_replicates_to_all(self):
+        placer, servers, client = make_stack()
+        client.set("user:1", b"status")
+        for sid in placer.servers_for("user:1"):
+            assert "user:1" in servers[sid]
+
+    def test_set_distinguished_only(self):
+        placer, servers, client = make_stack()
+        client.set("user:2", b"s", replicate=False)
+        expected = {placer.distinguished_for("user:2")}
+        holders = {sid for sid, srv in servers.items() if "user:2" in srv}
+        assert holders == expected
+
+    def test_delete_removes_everywhere(self):
+        placer, servers, client = make_stack()
+        client.set("k", b"v")
+        client.delete("k")
+        assert all("k" not in srv for srv in servers.values())
+
+    def test_connection_coverage_validated(self):
+        placer = RangedConsistentHashPlacer(4, 2)
+        conns = {0: None, 1: None}  # missing servers 2, 3
+        with pytest.raises(ConfigurationError):
+            RnBProtocolClient(conns, placer)
+
+    def test_foreign_bundler_rejected(self):
+        placer, servers, client = make_stack()
+        other = RangedConsistentHashPlacer(4, 3)
+        with pytest.raises(ConfigurationError):
+            RnBProtocolClient(client.connections, placer, bundler=Bundler(other))
+
+
+class TestBundledReads:
+    def test_multi_get_all_values(self):
+        _, _, client = make_stack()
+        keys = [f"key{i}" for i in range(30)]
+        for k in keys:
+            client.set(k, k.encode())
+        out = client.get_multi(keys)
+        assert not out.missing
+        assert out.values == {k: k.encode() for k in keys}
+
+    def test_fewer_transactions_than_sharded(self):
+        """RnB's whole point at protocol level: fewer multi-get txns."""
+        placer, _, client = make_stack(n_servers=8, replication=4)
+        keys = [f"key{i}" for i in range(60)]
+        for k in keys:
+            client.set(k, b"v")
+        out = client.get_multi(keys)
+        homes = {placer.distinguished_for(k) for k in keys}
+        assert out.transactions < len(homes)
+
+    def test_dedupes_keys(self):
+        _, _, client = make_stack()
+        client.set("a", b"1")
+        out = client.get_multi(["a", "a", "a"])
+        assert out.values == {"a": b"1"}
+
+    def test_empty_keys(self):
+        _, _, client = make_stack()
+        out = client.get_multi([])
+        assert out.transactions == 0
+
+    def test_single_get_uses_distinguished(self):
+        placer, servers, client = make_stack()
+        client.set("solo", b"x")
+        home = placer.distinguished_for("solo")
+        before = servers[home].stats["cmd_get"]
+        assert client.get("solo") == b"x"
+        assert servers[home].stats["cmd_get"] == before + 1
+
+    def test_truly_missing_keys_reported(self):
+        _, _, client = make_stack()
+        client.set("present", b"1")
+        out = client.get_multi(["present", "ghost"])
+        assert out.missing == ("ghost",)
+
+
+class TestMissRepair:
+    def test_evicted_replica_repaired_from_distinguished(self):
+        """Evict a replica copy directly, then verify the multi-get still
+        returns it (second round) and writes it back."""
+        placer, servers, client = make_stack()
+        keys = [f"key{i}" for i in range(20)]
+        for k in keys:
+            client.set(k, k.encode())
+        # manually delete every non-distinguished replica of key5
+        victim = "key5"
+        for sid in placer.servers_for(victim)[1:]:
+            servers[sid].handle(f"delete {victim}\r\n".encode())
+        out = client.get_multi(keys)
+        assert victim in out.values
+        assert not out.missing
+
+    def test_write_back_repopulates(self):
+        placer, servers, client = make_stack()
+        keys = [f"key{i}" for i in range(20)]
+        for k in keys:
+            client.set(k, k.encode())
+        victim = "key7"
+        replicas = placer.servers_for(victim)[1:]
+        for sid in replicas:
+            servers[sid].handle(f"delete {victim}\r\n".encode())
+        first = client.get_multi(keys)
+        second = client.get_multi(keys)
+        assert second.second_round_transactions <= first.second_round_transactions
+        assert second.misses_repaired <= first.misses_repaired
+
+    def test_limit_fetches_fraction(self):
+        _, _, client = make_stack(n_servers=8, replication=2)
+        keys = [f"key{i}" for i in range(40)]
+        for k in keys:
+            client.set(k, b"v")
+        out = client.get_multi(keys, limit_fraction=0.5)
+        assert len(out.values) >= 20
+        full = client.get_multi(keys)
+        assert out.transactions <= full.transactions

@@ -1,0 +1,118 @@
+"""Model-based property test: the memcached server vs a reference dict.
+
+Hypothesis drives random command sequences through
+:class:`MemcachedServer` (without capacity limits or TTLs) and through a
+trivial in-memory model; every observable response must agree.  This is
+the strongest guard against protocol-semantics regressions: any change
+to storage, counters or CAS behaviour that diverges from memcached's
+documented semantics fails here.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.codec import Command
+from repro.protocol.memserver import MemcachedServer
+
+KEYS = ["a", "b", "c"]
+VALUES = [b"", b"x", b"hello", b"0", b"41"]
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("set"), st.sampled_from(KEYS), st.sampled_from(VALUES)),
+        st.tuples(st.just("add"), st.sampled_from(KEYS), st.sampled_from(VALUES)),
+        st.tuples(st.just("replace"), st.sampled_from(KEYS), st.sampled_from(VALUES)),
+        st.tuples(st.just("append"), st.sampled_from(KEYS), st.sampled_from(VALUES)),
+        st.tuples(st.just("prepend"), st.sampled_from(KEYS), st.sampled_from(VALUES)),
+        st.tuples(st.just("get"), st.sampled_from(KEYS), st.just(b"")),
+        st.tuples(st.just("delete"), st.sampled_from(KEYS), st.just(b"")),
+        st.tuples(st.just("incr"), st.sampled_from(KEYS), st.just(b"")),
+        st.tuples(st.just("decr"), st.sampled_from(KEYS), st.just(b"")),
+    ),
+    max_size=40,
+)
+
+
+def model_apply(model: dict, op: str, key: str, value: bytes):
+    """Reference semantics; returns the observable outcome."""
+    if op == "set":
+        model[key] = value
+        return "STORED"
+    if op == "add":
+        if key in model:
+            return "NOT_STORED"
+        model[key] = value
+        return "STORED"
+    if op == "replace":
+        if key not in model:
+            return "NOT_STORED"
+        model[key] = value
+        return "STORED"
+    if op == "append":
+        if key not in model:
+            return "NOT_STORED"
+        model[key] = model[key] + value
+        return "STORED"
+    if op == "prepend":
+        if key not in model:
+            return "NOT_STORED"
+        model[key] = value + model[key]
+        return "STORED"
+    if op == "get":
+        return model.get(key)
+    if op == "delete":
+        if key in model:
+            del model[key]
+            return "DELETED"
+        return "NOT_FOUND"
+    if op in ("incr", "decr"):
+        if key not in model:
+            return "NOT_FOUND"
+        try:
+            current = int(model[key].decode("ascii"))
+            if current < 0:
+                raise ValueError
+        except (ValueError, UnicodeDecodeError):
+            return "CLIENT_ERROR"
+        new = current + 1 if op == "incr" else max(0, current - 1)
+        model[key] = str(new).encode("ascii")
+        return str(new)
+    raise AssertionError(op)
+
+
+def server_apply(server: MemcachedServer, op: str, key: str, value: bytes):
+    if op in ("set", "add", "replace", "append", "prepend"):
+        out = server.execute(Command(name=op, keys=(key,), data=value))
+        return out.decode().strip()
+    if op == "get":
+        out = server.execute(Command(name="get", keys=(key,)))
+        if out == b"END\r\n":
+            return None
+        # VALUE <key> <flags> <len>\r\n<data>\r\nEND\r\n
+        header, rest = out.split(b"\r\n", 1)
+        length = int(header.split()[3])
+        return rest[:length]
+    if op == "delete":
+        return server.execute(Command(name="delete", keys=(key,))).decode().strip()
+    if op in ("incr", "decr"):
+        out = server.execute(Command(name=op, keys=(key,), delta=1)).decode().strip()
+        if out.startswith("CLIENT_ERROR"):
+            return "CLIENT_ERROR"
+        return out
+    raise AssertionError(op)
+
+
+@settings(max_examples=200, deadline=None)
+@given(operations)
+def test_server_matches_reference_model(ops):
+    server = MemcachedServer()
+    model: dict[str, bytes] = {}
+    for op, key, value in ops:
+        expected = model_apply(model, op, key, value)
+        actual = server_apply(server, op, key, value)
+        assert actual == expected, (op, key, value)
+    # final states agree too
+    for key in KEYS:
+        assert server_apply(server, "get", key, b"") == model.get(key)

@@ -1,0 +1,153 @@
+"""Tests for the discrete-event queueing simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import CostModel
+from repro.core.bundling import Bundler
+from repro.cluster.placement import SingleHashPlacer
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.sim.des import (
+    make_bundled_planner,
+    make_classic_planner,
+    simulate_queueing,
+)
+from repro.types import Request
+from repro.workloads.requests import RandomRequestGenerator
+
+COST = CostModel(t_txn=1e-4, t_item=1e-5)
+
+
+def fixed_planner(pairs):
+    return lambda request: pairs
+
+
+def requests(n, size=10, universe=1000, seed=0):
+    gen = RandomRequestGenerator(universe, size, rng=np.random.default_rng(seed))
+    return list(gen.stream(n))
+
+
+class TestMechanics:
+    def test_latency_floor_is_rtt_plus_service(self):
+        """At negligible load, latency = RTT + service time."""
+        res = simulate_queueing(
+            requests(200),
+            fixed_planner([(0, 5)]),
+            n_servers=2,
+            cost_model=COST,
+            arrival_rate=1.0,  # ~zero utilization
+            rtt=1e-3,
+            rng=np.random.default_rng(1),
+        )
+        expected = 1e-3 + COST.txn_time(5)
+        assert res.mean_latency == pytest.approx(expected, rel=0.01)
+        assert res.max_utilization < 0.01
+
+    def test_queueing_delay_grows_with_load(self):
+        lat = []
+        for rate in (100.0, 3000.0, 6000.0):
+            res = simulate_queueing(
+                requests(3000),
+                fixed_planner([(0, 5)]),
+                n_servers=1,
+                cost_model=COST,
+                arrival_rate=rate,
+                rng=np.random.default_rng(2),
+            )
+            lat.append(res.p95_latency)
+        assert lat[0] < lat[1] < lat[2]
+
+    def test_saturation_detected(self):
+        # service 1.5e-4s per txn => capacity ~6.6k/s; offer 20k/s
+        res = simulate_queueing(
+            requests(2000),
+            fixed_planner([(0, 5)]),
+            n_servers=1,
+            cost_model=COST,
+            arrival_rate=20_000.0,
+            rng=np.random.default_rng(3),
+        )
+        assert res.saturated
+        # delivered throughput caps at the service capacity
+        assert res.throughput == pytest.approx(1.0 / COST.txn_time(5), rel=0.1)
+
+    def test_parallel_transactions_take_the_max(self):
+        """Two txns on two idle servers finish in one service time."""
+        res = simulate_queueing(
+            requests(100),
+            fixed_planner([(0, 5), (1, 5)]),
+            n_servers=2,
+            cost_model=COST,
+            arrival_rate=1.0,
+            rtt=0.0,
+            rng=np.random.default_rng(4),
+        )
+        assert res.mean_latency == pytest.approx(COST.txn_time(5), rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_queueing(
+                requests(10), fixed_planner([(0, 1)]), n_servers=1,
+                cost_model=COST, arrival_rate=0.0,
+            )
+        with pytest.raises(ValueError):
+            simulate_queueing(
+                requests(10), fixed_planner([(5, 1)]), n_servers=2,
+                cost_model=COST, arrival_rate=1.0,
+            )
+        with pytest.raises(ValueError):
+            simulate_queueing(
+                [], fixed_planner([(0, 1)]), n_servers=1,
+                cost_model=COST, arrival_rate=1.0,
+            )
+
+    def test_deterministic_given_rng(self):
+        a = simulate_queueing(
+            requests(500), fixed_planner([(0, 3)]), n_servers=1,
+            cost_model=COST, arrival_rate=2000.0, rng=np.random.default_rng(7),
+        )
+        b = simulate_queueing(
+            requests(500), fixed_planner([(0, 3)]), n_servers=1,
+            cost_model=COST, arrival_rate=2000.0, rng=np.random.default_rng(7),
+        )
+        assert a.mean_latency == b.mean_latency
+
+
+class TestPlanners:
+    def test_classic_planner_groups_by_home(self):
+        placer = SingleHashPlacer(4, vnodes=16)
+        planner = make_classic_planner(placer)
+        req = Request(items=tuple(range(30)))
+        pairs = planner(req)
+        assert sum(n for _, n in pairs) == 30
+        homes = {placer.distinguished_for(i) for i in req.items}
+        assert {s for s, _ in pairs} == homes
+
+    def test_bundled_planner_uses_fewer_servers(self):
+        single = SingleHashPlacer(16, vnodes=16)
+        rch = RangedConsistentHashPlacer(16, 4, vnodes=16)
+        req = Request(items=tuple(range(40)))
+        classic = make_classic_planner(single)(req)
+        bundled = make_bundled_planner(Bundler(rch))(req)
+        assert len(bundled) < len(classic)
+        assert sum(n for _, n in bundled) == 40
+
+    def test_rnb_raises_saturation_capacity(self):
+        """The headline, with queues: at a load that saturates the classic
+        deployment, RnB still has headroom."""
+        single = SingleHashPlacer(8, vnodes=16)
+        rch = RangedConsistentHashPlacer(8, 3, vnodes=16)
+        reqs = requests(3000, size=20, universe=5000)
+        rate = 18_000.0  # past classic capacity for 20-item requests
+        classic = simulate_queueing(
+            reqs, make_classic_planner(single), n_servers=8,
+            cost_model=COST, arrival_rate=rate, rng=np.random.default_rng(8),
+        )
+        rnb = simulate_queueing(
+            reqs, make_bundled_planner(Bundler(rch)), n_servers=8,
+            cost_model=COST, arrival_rate=rate, rng=np.random.default_rng(8),
+        )
+        assert rnb.p95_latency < classic.p95_latency
+        assert rnb.max_utilization < classic.max_utilization

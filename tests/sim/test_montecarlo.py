@@ -1,0 +1,93 @@
+"""Tests for the simplified Monte-Carlo simulator against theory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.urn import expected_tpr
+from repro.sim.montecarlo import mc_tpr
+
+
+class TestAgainstTheory:
+    def test_r1_matches_urn_model(self):
+        """With one replica, greedy covers exactly the occupied servers,
+        so the mean must match N*W(N,M) from the urn analysis.
+
+        Note the subtlety: the urn formula assumes items land independently
+        (with replacement); the MC simulator draws each item's server
+        independently too, so the match is exact in expectation.
+        """
+        for n, m in [(4, 10), (8, 20), (16, 50), (32, 8)]:
+            res = mc_tpr(n, m, 1, n_trials=3000, seed=1)
+            assert res.mean_tpr == pytest.approx(expected_tpr(n, m), rel=0.03)
+
+    def test_full_system_single_server(self):
+        res = mc_tpr(1, 10, 1, n_trials=50, seed=0)
+        assert res.mean_tpr == 1.0
+        assert res.std_tpr == 0.0
+
+    def test_replication_n_is_one_txn(self):
+        """R == N: every server holds everything; greedy uses 1 transaction."""
+        res = mc_tpr(8, 30, 8, n_trials=50, seed=0)
+        assert res.mean_tpr == 1.0
+
+
+class TestMonotonicity:
+    def test_decreasing_in_replication(self):
+        tprs = [
+            mc_tpr(16, 40, r, n_trials=400, seed=2).mean_tpr for r in (1, 2, 3, 4, 5)
+        ]
+        assert all(a > b for a, b in zip(tprs, tprs[1:]))
+
+    def test_limit_reduces_tpr(self):
+        full = mc_tpr(16, 40, 2, n_trials=400, seed=3).mean_tpr
+        part = mc_tpr(16, 40, 2, limit_fraction=0.5, n_trials=400, seed=3).mean_tpr
+        assert part < full
+
+    def test_lower_fraction_lower_tpr(self):
+        t95 = mc_tpr(16, 40, 1, limit_fraction=0.95, n_trials=400, seed=4).mean_tpr
+        t50 = mc_tpr(16, 40, 1, limit_fraction=0.5, n_trials=400, seed=4).mean_tpr
+        assert t50 < t95
+
+    def test_limit_one_equals_no_limit(self):
+        a = mc_tpr(8, 20, 2, limit_fraction=1.0, n_trials=200, seed=5)
+        b = mc_tpr(8, 20, 2, limit_fraction=None, n_trials=200, seed=5)
+        assert a.mean_tpr == b.mean_tpr
+
+
+class TestItemsFetched:
+    def test_full_request_fetches_all(self):
+        res = mc_tpr(8, 25, 2, n_trials=100, seed=6)
+        assert res.mean_items_fetched == 25.0
+
+    def test_limit_fetches_required(self):
+        res = mc_tpr(8, 20, 2, limit_fraction=0.5, n_trials=100, seed=7)
+        assert res.mean_items_fetched == 10.0
+
+
+class TestValidation:
+    def test_bad_replication(self):
+        with pytest.raises(ValueError):
+            mc_tpr(4, 10, 5)
+
+    def test_bad_request_size(self):
+        with pytest.raises(ValueError):
+            mc_tpr(4, 0, 1)
+
+    def test_bad_trials(self):
+        with pytest.raises(ValueError):
+            mc_tpr(4, 10, 1, n_trials=0)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            mc_tpr(4, 10, 1, limit_fraction=1.5)
+
+    def test_stderr(self):
+        res = mc_tpr(16, 30, 2, n_trials=100, seed=8)
+        assert res.stderr_tpr == pytest.approx(res.std_tpr / np.sqrt(100))
+
+    def test_rng_determinism(self):
+        a = mc_tpr(16, 30, 2, n_trials=100, seed=9)
+        b = mc_tpr(16, 30, 2, n_trials=100, seed=9)
+        assert a.mean_tpr == b.mean_tpr

@@ -1,0 +1,45 @@
+"""Tests for parameter-grid sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.sweep import grid_points, sweep_grid
+
+
+def multiply(a, b, scale=1):
+    return a * b * scale
+
+
+class TestGridPoints:
+    def test_cartesian_product(self):
+        pts = grid_points({"a": [1, 2], "b": [10, 20]})
+        assert pts == [
+            {"a": 1, "b": 10},
+            {"a": 1, "b": 20},
+            {"a": 2, "b": 10},
+            {"a": 2, "b": 20},
+        ]
+
+    def test_empty_grid(self):
+        assert grid_points({}) == [{}]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            grid_points({"a": []})
+
+
+class TestSweepGrid:
+    def test_serial_results_in_order(self):
+        out = sweep_grid(multiply, {"a": [1, 2], "b": [3]})
+        assert out == [({"a": 1, "b": 3}, 3), ({"a": 2, "b": 3}, 6)]
+
+    def test_common_kwargs(self):
+        out = sweep_grid(multiply, {"a": [2], "b": [3]}, common={"scale": 10})
+        assert out[0][1] == 60
+
+    def test_parallel_matches_serial(self):
+        grid = {"a": [1, 2, 3], "b": [4, 5]}
+        serial = sweep_grid(multiply, grid)
+        parallel = sweep_grid(multiply, grid, max_workers=2)
+        assert serial == parallel

@@ -1,0 +1,36 @@
+"""The exception hierarchy contract: one root to catch them all."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    CoverError,
+    PlacementError,
+    ProtocolError,
+    RnBError,
+    WorkloadError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        ConfigurationError,
+        PlacementError,
+        CapacityError,
+        ProtocolError,
+        WorkloadError,
+        CoverError,
+    ],
+)
+def test_all_derive_from_rnberror(exc):
+    assert issubclass(exc, RnBError)
+    with pytest.raises(RnBError):
+        raise exc("boom")
+
+
+def test_rnberror_is_exception():
+    assert issubclass(RnBError, Exception)

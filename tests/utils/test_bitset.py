@@ -1,0 +1,96 @@
+"""Unit + property tests for the bitset helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitset import (
+    bit_indices,
+    from_indices,
+    iter_bits,
+    lowest_bit_index,
+    popcount,
+)
+
+index_sets = st.sets(st.integers(min_value=0, max_value=300), max_size=40)
+
+
+class TestPopcount:
+    def test_empty(self):
+        assert popcount(0) == 0
+
+    def test_single_bits(self):
+        for i in (0, 1, 7, 63, 64, 200):
+            assert popcount(1 << i) == 1
+
+    def test_all_ones(self):
+        assert popcount((1 << 100) - 1) == 100
+
+
+class TestFromIndices:
+    def test_empty(self):
+        assert from_indices([]) == 0
+
+    def test_basic(self):
+        assert from_indices([0, 2]) == 0b101
+
+    def test_duplicates_idempotent(self):
+        assert from_indices([3, 3, 3]) == 0b1000
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            from_indices([-1])
+
+
+class TestBitIndices:
+    def test_empty(self):
+        assert bit_indices(0) == []
+
+    def test_sorted(self):
+        assert bit_indices(0b101001) == [0, 3, 5]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_indices(-1)
+
+
+class TestIterBits:
+    def test_matches_bit_indices(self):
+        mask = 0b1011010
+        assert list(iter_bits(mask)) == bit_indices(mask)
+
+    def test_lazy_empty(self):
+        assert list(iter_bits(0)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(iter_bits(-5))
+
+
+class TestLowestBit:
+    def test_basic(self):
+        assert lowest_bit_index(0b1000) == 3
+        assert lowest_bit_index(0b1001) == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            lowest_bit_index(0)
+
+
+@given(index_sets)
+def test_roundtrip_property(indices):
+    """from_indices and bit_indices are inverse bijections."""
+    mask = from_indices(indices)
+    assert set(bit_indices(mask)) == indices
+    assert popcount(mask) == len(indices)
+
+
+@given(index_sets, index_sets)
+def test_union_intersection_property(a, b):
+    """Bitwise ops implement set algebra."""
+    ma, mb = from_indices(a), from_indices(b)
+    assert set(bit_indices(ma | mb)) == a | b
+    assert set(bit_indices(ma & mb)) == a & b
+    assert set(bit_indices(ma & ~mb)) == a - b

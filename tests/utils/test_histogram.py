@@ -1,0 +1,126 @@
+"""Unit + property tests for the integer histogram."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.histogram import Histogram
+
+values_lists = st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=200)
+
+
+class TestBasics:
+    def test_empty(self):
+        h = Histogram()
+        assert h.total == 0
+        assert h.mean == 0.0
+        assert len(h) == 0
+
+    def test_add_and_total(self):
+        h = Histogram()
+        h.add(3)
+        h.add(3, count=2)
+        assert h.counts == {3: 3}
+        assert h.total == 3
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().add(-1)
+
+    def test_nonpositive_count_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().add(1, count=0)
+
+    def test_from_values(self):
+        h = Histogram.from_values([1, 1, 2])
+        assert h.counts == {1: 2, 2: 1}
+
+    def test_iteration_sorted(self):
+        h = Histogram.from_values([5, 1, 3, 1])
+        assert list(h) == [(1, 2), (3, 1), (5, 1)]
+
+    def test_minmax_empty_raise(self):
+        with pytest.raises(ValueError):
+            Histogram().max
+        with pytest.raises(ValueError):
+            Histogram().min
+
+    def test_merge(self):
+        a = Histogram.from_values([1, 2])
+        b = Histogram.from_values([2, 3])
+        a.merge(b)
+        assert a.counts == {1: 1, 2: 2, 3: 1}
+
+
+class TestQuantile:
+    def test_median(self):
+        h = Histogram.from_values([1, 2, 3, 4, 5])
+        assert h.quantile(0.5) == 3
+
+    def test_extremes(self):
+        h = Histogram.from_values([10, 20, 30])
+        assert h.quantile(0.0) == 10
+        assert h.quantile(1.0) == 30
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram.from_values([1]).quantile(1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(0.5)
+
+
+class TestBinned:
+    def test_basic_binning(self):
+        h = Histogram.from_values([1, 2, 5, 10, 100])
+        rows = h.binned([1, 5, 50])
+        assert rows == [("[1,5)", 2), ("[5,50)", 2), ("[50,inf)", 1)]
+
+    def test_below_first_edge_rejected(self):
+        h = Histogram.from_values([0, 5])
+        with pytest.raises(ValueError):
+            h.binned([1, 10])
+
+    def test_nonascending_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram.from_values([1]).binned([5, 5])
+
+
+class TestToArrays:
+    def test_empty(self):
+        vals, cnts = Histogram().to_arrays()
+        assert len(vals) == 0 and len(cnts) == 0
+
+    def test_sorted_arrays(self):
+        h = Histogram.from_values([3, 1, 3])
+        vals, cnts = h.to_arrays()
+        assert vals.tolist() == [1, 3]
+        assert cnts.tolist() == [1, 2]
+
+
+@given(values_lists)
+def test_mean_matches_numpy(values):
+    h = Histogram.from_values(values)
+    assert h.mean == pytest.approx(np.mean(values))
+    assert h.total == len(values)
+    assert h.max == max(values)
+    assert h.min == min(values)
+
+
+@given(values_lists, st.floats(min_value=0.0, max_value=1.0))
+def test_quantile_matches_sorted_rank(values, q):
+    """quantile(q) is the smallest v with CDF(v) >= q."""
+    h = Histogram.from_values(values)
+    result = h.quantile(q)
+    ordered = sorted(values)
+    cdf_at = sum(1 for v in ordered if v <= result) / len(ordered)
+    assert cdf_at >= q or result == ordered[-1]
+    # nothing smaller satisfies it
+    smaller = [v for v in ordered if v < result]
+    if smaller:
+        cdf_below = len(smaller) / len(ordered)
+        assert cdf_below < q or result == ordered[0]

@@ -1,0 +1,53 @@
+"""Tests for deterministic RNG plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_seeds
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = ensure_rng(42).integers(0, 1 << 30, size=8)
+        b = ensure_rng(42).integers(0, 1 << 30, size=8)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert ensure_rng(g) is g
+
+
+class TestDeriveRng:
+    def test_same_stream_same_values(self):
+        a = derive_rng(7, 1, 2).random(5)
+        b = derive_rng(7, 1, 2).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_streams_differ(self):
+        a = derive_rng(7, 1, 2).random(5)
+        b = derive_rng(7, 1, 3).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_master_seeds_differ(self):
+        a = derive_rng(7, 1).random(5)
+        b = derive_rng(8, 1).random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnSeeds:
+    def test_count_and_determinism(self):
+        seeds = spawn_seeds(99, 10)
+        assert len(seeds) == 10
+        assert seeds == spawn_seeds(99, 10)
+
+    def test_distinct(self):
+        seeds = spawn_seeds(99, 50)
+        assert len(set(seeds)) == 50
+
+    def test_nonnegative_63bit(self):
+        for s in spawn_seeds(5, 20):
+            assert 0 <= s < 1 << 63

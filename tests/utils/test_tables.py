@@ -1,0 +1,46 @@
+"""Tests for the ASCII table renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "long"], [[1, 2.5], [30, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series("n", [1, 2], {"tpr": [1.0, 2.0], "ideal": [1.0, 4.0]})
+        assert "tpr" in out and "ideal" in out
+        assert len(out.splitlines()) == 4  # header, sep, 2 rows
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("n", [1, 2], {"tpr": [1.0]})
+
+    def test_title_propagates(self):
+        out = format_series("n", [1], {"s": [0.5]}, title="T")
+        assert out.splitlines()[0] == "T"

@@ -1,0 +1,76 @@
+"""Tests for the CSR social-graph container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.graphs import SocialGraph
+
+
+class TestFromEdges:
+    def test_basic(self):
+        g = SocialGraph.from_edges(4, [(0, 1), (0, 2), (2, 3)])
+        assert g.n_nodes == 4
+        assert g.n_edges == 3
+        assert sorted(g.out_neighbors(0).tolist()) == [1, 2]
+
+    def test_self_loops_dropped(self):
+        g = SocialGraph.from_edges(3, [(0, 0), (0, 1)])
+        assert g.n_edges == 1
+
+    def test_duplicates_dropped(self):
+        g = SocialGraph.from_edges(3, [(0, 1), (0, 1), (1, 2)])
+        assert g.n_edges == 2
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(WorkloadError):
+            SocialGraph.from_edges(2, [(0, 5)])
+
+    def test_empty_graph(self):
+        g = SocialGraph.from_edges(3, [])
+        assert g.n_edges == 0
+        assert g.out_degree(0) == 0
+
+
+class TestFromAdjacency:
+    def test_roundtrip(self, tiny_graph):
+        assert tiny_graph.n_nodes == 6
+        assert tiny_graph.out_degree(5) == 5
+        assert tiny_graph.out_degree(4) == 0
+        assert sorted(tiny_graph.out_neighbors(0).tolist()) == [1, 2, 3]
+
+
+class TestCSRValidation:
+    def test_malformed_indptr(self):
+        with pytest.raises(WorkloadError):
+            SocialGraph(np.array([1, 2]), np.array([0]))
+
+    def test_decreasing_indptr(self):
+        with pytest.raises(WorkloadError):
+            SocialGraph(np.array([0, 2, 1]), np.array([0, 1]))
+
+    def test_target_out_of_range(self):
+        with pytest.raises(WorkloadError):
+            SocialGraph(np.array([0, 1]), np.array([5]))
+
+
+class TestQueries:
+    def test_degrees(self, tiny_graph):
+        assert tiny_graph.out_degrees().tolist() == [3, 2, 1, 1, 0, 5]
+        assert tiny_graph.mean_degree == pytest.approx(12 / 6)
+
+    def test_node_out_of_range(self, tiny_graph):
+        with pytest.raises(IndexError):
+            tiny_graph.out_neighbors(6)
+        with pytest.raises(IndexError):
+            tiny_graph.out_neighbors(-1)
+
+    def test_degree_histogram(self, tiny_graph):
+        h = tiny_graph.degree_histogram()
+        assert h.counts == {3: 1, 2: 1, 1: 2, 0: 1, 5: 1}
+        assert h.total == 6
+
+    def test_nonisolated(self, tiny_graph):
+        assert tiny_graph.nonisolated_nodes().tolist() == [0, 1, 2, 3, 5]

@@ -1,0 +1,137 @@
+"""Tests for request-stream generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.graphs import SocialGraph
+from repro.workloads.requests import (
+    EgoRequestGenerator,
+    RandomRequestGenerator,
+    ZipfRequestGenerator,
+    with_limit,
+)
+
+
+class TestEgoRequests:
+    def test_requests_are_friend_sets(self, tiny_graph):
+        gen = EgoRequestGenerator(tiny_graph, rng=np.random.default_rng(0))
+        adjacency = {
+            tuple(sorted(tiny_graph.out_neighbors(n).tolist()))
+            for n in tiny_graph.nonisolated_nodes()
+        }
+        for _ in range(50):
+            req = gen.generate()
+            assert tuple(sorted(req.items)) in adjacency
+
+    def test_no_empty_requests(self, tiny_graph):
+        gen = EgoRequestGenerator(tiny_graph, rng=np.random.default_rng(1))
+        for req in gen.stream(100):
+            assert req.size >= 1
+
+    def test_include_self(self, tiny_graph):
+        gen = EgoRequestGenerator(
+            tiny_graph, rng=np.random.default_rng(2), include_self=True
+        )
+        for _ in range(20):
+            req = gen.generate()
+            assert len(set(req.items)) == len(req.items)
+
+    def test_graph_without_edges_rejected(self):
+        g = SocialGraph.from_edges(3, [])
+        with pytest.raises(WorkloadError):
+            EgoRequestGenerator(g)
+
+    def test_deterministic_with_seed(self, small_slashdot):
+        a = EgoRequestGenerator(small_slashdot, rng=np.random.default_rng(5))
+        b = EgoRequestGenerator(small_slashdot, rng=np.random.default_rng(5))
+        for _ in range(20):
+            assert a.generate() == b.generate()
+
+    def test_mean_request_size(self, small_slashdot):
+        gen = EgoRequestGenerator(small_slashdot, rng=np.random.default_rng(6))
+        sizes = [gen.generate().size for _ in range(3000)]
+        assert np.mean(sizes) == pytest.approx(gen.mean_request_size(), rel=0.25)
+
+    def test_stream_finite(self, tiny_graph):
+        gen = EgoRequestGenerator(tiny_graph, rng=np.random.default_rng(7))
+        assert len(list(gen.stream(13))) == 13
+
+
+class TestRandomRequests:
+    def test_distinct_items(self):
+        gen = RandomRequestGenerator(100, 20, rng=np.random.default_rng(0))
+        for _ in range(30):
+            req = gen.generate()
+            assert req.size == 20
+            assert len(set(req.items)) == 20
+            assert all(0 <= i < 100 for i in req.items)
+
+    def test_size_validation(self):
+        with pytest.raises(WorkloadError):
+            RandomRequestGenerator(10, 11)
+        with pytest.raises(WorkloadError):
+            RandomRequestGenerator(10, 0)
+
+    def test_uniform_item_usage(self):
+        gen = RandomRequestGenerator(50, 5, rng=np.random.default_rng(1))
+        counts = np.zeros(50)
+        for req in gen.stream(1000):
+            for i in req.items:
+                counts[i] += 1
+        assert counts.min() > 0.5 * counts.mean()
+
+
+class TestZipfRequests:
+    def test_distinct_items_in_range(self):
+        gen = ZipfRequestGenerator(200, 15, rng=np.random.default_rng(0))
+        for req in gen.stream(40):
+            assert req.size == 15
+            assert len(set(req.items)) == 15
+            assert all(0 <= i < 200 for i in req.items)
+
+    def test_skewed_popularity(self):
+        """With exponent 1, a few hot items dominate request membership."""
+        gen = ZipfRequestGenerator(500, 10, exponent=1.0, rng=np.random.default_rng(1))
+        counts = np.zeros(500)
+        for req in gen.stream(600):
+            for i in req.items:
+                counts[i] += 1
+        top = np.sort(counts)[::-1]
+        assert top[:10].sum() > 5 * top[-100:].sum()
+
+    def test_exponent_zero_is_uniformish(self):
+        gen = ZipfRequestGenerator(100, 5, exponent=0.0, rng=np.random.default_rng(2))
+        counts = np.zeros(100)
+        for req in gen.stream(2000):
+            for i in req.items:
+                counts[i] += 1
+        assert counts.min() > 0.4 * counts.mean()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ZipfRequestGenerator(10, 11)
+        with pytest.raises(WorkloadError):
+            ZipfRequestGenerator(10, 0)
+        with pytest.raises(WorkloadError):
+            ZipfRequestGenerator(10, 5, exponent=-1)
+
+    def test_deterministic(self):
+        a = ZipfRequestGenerator(100, 5, rng=np.random.default_rng(3))
+        b = ZipfRequestGenerator(100, 5, rng=np.random.default_rng(3))
+        for _ in range(10):
+            assert a.generate() == b.generate()
+
+
+class TestWithLimit:
+    def test_fraction_applied(self, tiny_graph):
+        gen = EgoRequestGenerator(tiny_graph, rng=np.random.default_rng(3))
+        for req in with_limit(gen.stream(20), 0.5):
+            assert req.limit_fraction == 0.5
+
+    def test_items_preserved(self):
+        base = [RandomRequestGenerator(50, 5, rng=np.random.default_rng(2)).generate()]
+        [limited] = list(with_limit(base, 0.9))
+        assert limited.items == base[0].items

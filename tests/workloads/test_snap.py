@@ -1,0 +1,75 @@
+"""Tests for the SNAP edge-list loader."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.snap import load_snap_edge_list
+
+SAMPLE = """\
+# Directed graph (each unordered pair of nodes is saved once):
+# FromNodeId\tToNodeId
+10\t20
+10\t30
+20\t30
+30\t10
+"""
+
+
+class TestLoader:
+    def test_basic_parse(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text(SAMPLE)
+        g = load_snap_edge_list(path)
+        assert g.n_nodes == 3  # ids compacted
+        assert g.n_edges == 4
+
+    def test_id_compaction_first_appearance(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text(SAMPLE)
+        g = load_snap_edge_list(path)
+        # 10 -> 0, 20 -> 1, 30 -> 2
+        assert sorted(g.out_neighbors(0).tolist()) == [1, 2]
+        assert g.out_neighbors(2).tolist() == [0]
+
+    def test_gzip_support(self, tmp_path):
+        path = tmp_path / "g.txt.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write(SAMPLE)
+        g = load_snap_edge_list(path)
+        assert g.n_edges == 4
+
+    def test_name_defaults_to_stem(self, tmp_path):
+        path = tmp_path / "soc-Slashdot0902.txt"
+        path.write_text(SAMPLE)
+        assert load_snap_edge_list(path).name == "soc-Slashdot0902"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_snap_edge_list(tmp_path / "nope.txt")
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1\n")
+        with pytest.raises(WorkloadError):
+            load_snap_edge_list(path)
+
+    def test_non_integer_ids(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a\tb\n")
+        with pytest.raises(WorkloadError):
+            load_snap_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only comments\n")
+        with pytest.raises(WorkloadError):
+            load_snap_edge_list(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0\t1\n\n1\t2\n")
+        assert load_snap_edge_list(path).n_edges == 2

@@ -1,0 +1,83 @@
+"""Tests for the calibrated synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.histograms import tail_exponent_estimate
+from repro.errors import WorkloadError
+from repro.workloads.synthetic import (
+    DATASETS,
+    DatasetSpec,
+    make_epinions_like,
+    make_slashdot_like,
+    synthesize_graph,
+)
+
+
+class TestSpecs:
+    def test_paper_statistics_encoded(self):
+        sd = DATASETS["slashdot"]
+        assert sd.n_nodes == 82_168
+        assert sd.n_edges == 948_464
+        assert sd.mean_degree == pytest.approx(11.54, abs=0.01)
+        ep = DATASETS["epinions"]
+        assert ep.n_nodes == 75_879
+        assert ep.n_edges == 508_837
+        assert ep.mean_degree == pytest.approx(6.71, abs=0.01)
+
+
+class TestGeneration:
+    @pytest.mark.parametrize("dataset", ["slashdot", "epinions"])
+    def test_scaled_counts_within_tolerance(self, dataset):
+        spec = DATASETS[dataset]
+        g = synthesize_graph(spec, seed=11, scale=0.05)
+        assert g.n_nodes == pytest.approx(spec.n_nodes * 0.05, rel=0.01)
+        assert g.n_edges == pytest.approx(spec.n_edges * 0.05, rel=0.03)
+        assert g.mean_degree == pytest.approx(spec.mean_degree, rel=0.05)
+
+    def test_deterministic(self):
+        a = make_slashdot_like(seed=3, scale=0.02)
+        b = make_slashdot_like(seed=3, scale=0.02)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)
+
+    def test_seed_changes_graph(self):
+        a = make_slashdot_like(seed=3, scale=0.02)
+        b = make_slashdot_like(seed=4, scale=0.02)
+        assert not (
+            len(a.indices) == len(b.indices) and np.array_equal(a.indices, b.indices)
+        )
+
+    def test_heavy_tail(self):
+        g = make_slashdot_like(seed=5, scale=0.1)
+        degrees = g.out_degrees()
+        # a heavy tail: max degree far above the mean
+        assert degrees.max() > 15 * degrees.mean()
+        alpha = tail_exponent_estimate(g.degree_histogram(), xmin=10)
+        assert 1.3 < alpha < 3.0
+
+    def test_no_self_loops_or_duplicates(self):
+        g = make_epinions_like(seed=2, scale=0.02)
+        for node in range(0, g.n_nodes, 97):
+            nbrs = g.out_neighbors(node)
+            assert node not in nbrs
+            assert len(np.unique(nbrs)) == len(nbrs)
+
+    def test_invalid_scale(self):
+        with pytest.raises(WorkloadError):
+            synthesize_graph(DATASETS["slashdot"], scale=0.0)
+
+    def test_popular_targets_shared(self):
+        """Zipf wiring: some items appear in many ego networks (the
+        affinity that makes RnB's overbooking work)."""
+        g = make_slashdot_like(seed=9, scale=0.05)
+        in_counts = np.bincount(g.indices, minlength=g.n_nodes)
+        assert in_counts.max() > 30 * max(1.0, in_counts.mean())
+
+    def test_custom_spec(self):
+        spec = DatasetSpec(name="custom", n_nodes=500, n_edges=3000)
+        g = synthesize_graph(spec, seed=1)
+        assert g.n_nodes == 500
+        assert g.n_edges == pytest.approx(3000, rel=0.03)

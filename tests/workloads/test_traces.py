@@ -1,0 +1,92 @@
+"""Tests for trace recording and replay."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.types import Request
+from repro.workloads.requests import EgoRequestGenerator
+from repro.workloads.traces import TraceRequestGenerator, load_trace, save_trace
+
+
+class TestRoundtrip:
+    def test_basic(self, tmp_path):
+        original = [Request(items=(1, 2, 3)), Request(items=(4,))]
+        path = tmp_path / "t.jsonl"
+        assert save_trace(original, path) == 2
+        assert load_trace(path) == original
+
+    def test_limit_preserved(self, tmp_path):
+        original = [Request(items=(1, 2), limit_fraction=0.5)]
+        path = tmp_path / "t.jsonl"
+        save_trace(original, path)
+        [loaded] = load_trace(path)
+        assert loaded.limit_fraction == 0.5
+
+    def test_recorded_ego_workload_replays(self, tmp_path, small_slashdot):
+        gen = EgoRequestGenerator(small_slashdot, rng=np.random.default_rng(1))
+        original = list(gen.stream(50))
+        path = tmp_path / "ego.jsonl"
+        save_trace(original, path)
+        replay = TraceRequestGenerator(path)
+        assert list(replay.stream(50)) == original
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_trace(tmp_path / "nope.jsonl")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_missing_items(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"limit": 0.5}\n')
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_duplicate_items_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"items": [1, 1]}\n')
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"items": [1]}\n\n{"items": [2]}\n')
+        assert len(load_trace(path)) == 2
+
+
+class TestGenerator:
+    def test_exhaustion_raises(self):
+        gen = TraceRequestGenerator([Request(items=(1,))])
+        gen.generate()
+        with pytest.raises(WorkloadError):
+            gen.generate()
+
+    def test_loop_wraps(self):
+        gen = TraceRequestGenerator(
+            [Request(items=(1,)), Request(items=(2,))], loop=True
+        )
+        got = [r.items[0] for r in gen.stream(5)]
+        assert got == [1, 2, 1, 2, 1]
+
+    def test_len(self):
+        gen = TraceRequestGenerator([Request(items=(1,))])
+        assert len(gen) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceRequestGenerator([])

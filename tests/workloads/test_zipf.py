@@ -1,0 +1,73 @@
+"""Tests for power-law/Zipf samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.zipf import (
+    powerlaw_cutoff_pmf,
+    sample_powerlaw_degrees,
+    zipf_weights,
+)
+
+
+class TestPmf:
+    def test_normalised(self):
+        pmf = powerlaw_cutoff_pmf(100, 1.6, 30.0)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert len(pmf) == 100
+
+    def test_monotone_decreasing(self):
+        pmf = powerlaw_cutoff_pmf(50, 1.6, 20.0)
+        assert np.all(np.diff(pmf) <= 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            powerlaw_cutoff_pmf(0, 1.6, 10)
+        with pytest.raises(ValueError):
+            powerlaw_cutoff_pmf(10, -1, 10)
+        with pytest.raises(ValueError):
+            powerlaw_cutoff_pmf(10, 1.6, 0)
+
+
+class TestDegreeSampler:
+    def test_mean_calibration(self):
+        rng = np.random.default_rng(0)
+        degrees = sample_powerlaw_degrees(20_000, 11.54, rng=rng)
+        assert degrees.mean() == pytest.approx(11.54, rel=0.05)
+
+    def test_minimum_one(self):
+        rng = np.random.default_rng(1)
+        degrees = sample_powerlaw_degrees(5000, 3.0, rng=rng)
+        assert degrees.min() >= 1
+
+    def test_heavy_tail_present(self):
+        rng = np.random.default_rng(2)
+        degrees = sample_powerlaw_degrees(20_000, 10.0, rng=rng)
+        assert degrees.max() > 10 * degrees.mean()
+
+    def test_mean_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            sample_powerlaw_degrees(100, 0.5)
+
+    def test_unreachable_mean_rejected(self):
+        with pytest.raises(ValueError):
+            sample_powerlaw_degrees(100, 900.0, max_degree=100)
+
+
+class TestZipfWeights:
+    def test_normalised_and_decreasing(self):
+        w = zipf_weights(100, 0.8)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(w) <= 0)
+
+    def test_exponent_zero_uniform(self):
+        w = zipf_weights(10, 0.0)
+        assert np.allclose(w, 0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(10, -0.1)
