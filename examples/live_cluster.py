@@ -14,15 +14,27 @@ Run:  python examples/live_cluster.py
 """
 
 from repro.core.bundling import Bundler
+from repro.faults.health import HealthTracker
 from repro.hashing.rch import RangedConsistentHashPlacer
 from repro.protocol.consistency import atomic_update
 from repro.protocol.memclient import MemcachedConnection
 from repro.protocol.memserver import MemcachedServer, serve_tcp
 from repro.protocol.rnbclient import RnBProtocolClient
+from repro.protocol.retry import RetryPolicy
 from repro.protocol.transport import TCPTransport
 
 N_SERVERS = 4
 REPLICATION = 3
+
+# one config object carries every network knob end-to-end: socket
+# timeouts, bounded retries, and the backoff schedule between them
+POLICY = RetryPolicy(
+    connect_timeout=2.0,
+    request_timeout=1.0,
+    max_retries=2,
+    backoff_base=0.02,
+    backoff_max=0.2,
+)
 
 
 def main() -> None:
@@ -33,11 +45,19 @@ def main() -> None:
             server, (host, port) = serve_tcp(backend)
             backends[sid] = backend
             tcp_servers.append(server)
-            conns[sid] = MemcachedConnection(TCPTransport(host, port))
+            conns[sid] = MemcachedConnection(
+                TCPTransport(host, port, policy=POLICY), policy=POLICY
+            )
             print(f"server {sid} listening on {host}:{port}")
 
         placer = RangedConsistentHashPlacer(N_SERVERS, REPLICATION)
-        client = RnBProtocolClient(conns, placer, bundler=Bundler(placer))
+        client = RnBProtocolClient(
+            conns,
+            placer,
+            bundler=Bundler(placer),
+            retry_policy=POLICY,
+            health=HealthTracker(N_SERVERS),
+        )
 
         # --- replicated writes ---
         keys = [f"user:{i}:status" for i in range(40)]

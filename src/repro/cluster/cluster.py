@@ -88,10 +88,38 @@ class Cluster:
             for sid in placer.servers_for(item)[1:]:
                 self.servers[sid].store.put(item)
 
+        #: optional fault-injection gate (see repro.faults.injector); when
+        #: attached, server accesses may raise ServerDown / ServerTimeout
+        self.injector = None
+
     # -- access -----------------------------------------------------------
 
     def server(self, sid: int) -> Server:
+        """The server behind ``sid`` — the *faultable* access path.
+
+        With an injector attached this raises
+        :class:`repro.errors.ServerDown` for crash-stopped servers and
+        :class:`repro.errors.ServerTimeout` for transiently failing
+        attempts; callers that need raw access (provisioning, metrics)
+        should index ``cluster.servers`` directly.
+        """
+        if self.injector is not None:
+            self.injector.check(sid)
         return self.servers[sid]
+
+    def attach_injector(self, injector) -> "Cluster":
+        """Gate ``server()`` accesses through a fault injector.
+
+        Also stamps per-server latency multipliers for slow servers.
+        Pass ``None`` to detach.  Returns the cluster for chaining.
+        """
+        self.injector = injector
+        if injector is not None:
+            injector.apply_latency(self)
+        else:
+            for server in self.servers:
+                server.latency_multiplier = 1.0
+        return self
 
     def __len__(self) -> int:
         return self.n_servers

@@ -72,6 +72,9 @@ class Server:
         # PriorityClassStore for the shared-budget policy ablation)
         self.store = store if store is not None else PinnedLRU(replica_capacity)
         self.counters = ServerCounters()
+        #: latency inflation for slow servers (set by the fault injector;
+        #: consumed by latency models — 1.0 means healthy)
+        self.latency_multiplier: float = 1.0
 
     # -- provisioning ---------------------------------------------------
 

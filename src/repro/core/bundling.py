@@ -23,7 +23,7 @@ Two refinements from the paper are applied after the cover:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Sequence
+from typing import AbstractSet, Sequence
 
 import numpy as np
 
@@ -67,8 +67,18 @@ class Bundler:
 
     # -- plan construction -------------------------------------------------
 
-    def plan(self, request: Request) -> FetchPlan:
-        """Compute the first-round transactions for ``request``."""
+    def plan(
+        self, request: Request, *, exclude: AbstractSet[int] | None = None
+    ) -> FetchPlan:
+        """Compute the first-round transactions for ``request``.
+
+        ``exclude`` names servers currently believed unavailable (from a
+        :class:`repro.faults.health.HealthTracker` or a failed first
+        attempt): they are never chosen, residual items are covered from
+        surviving replicas, and items with no surviving replica are left
+        out of the plan entirely — the caller reports them as a partial
+        (degraded) result.
+        """
         items: Sequence[ItemId] = request.items
         n = len(items)
         if n == 0:
@@ -89,6 +99,8 @@ class Bundler:
             request.required_items,
             tie_break=self.tie_break,
             rng=self.rng,
+            exclude=exclude,
+            allow_partial=bool(exclude),
         )
 
         # server -> list of request-local indices assigned to it
@@ -97,7 +109,9 @@ class Bundler:
         }
 
         if self.single_item_rule:
-            assigned = self._apply_single_item_rule(assigned, replica_sets)
+            assigned = self._apply_single_item_rule(
+                assigned, replica_sets, exclude=exclude
+            )
 
         transactions = []
         for server in sorted(assigned):
@@ -119,6 +133,8 @@ class Bundler:
         self,
         assigned: dict[int, list[int]],
         replica_sets: Sequence[Sequence[int]],
+        *,
+        exclude: AbstractSet[int] | None = None,
     ) -> dict[int, list[int]]:
         """Redirect un-bundled (single-item) transactions to distinguished copies.
 
@@ -128,6 +144,11 @@ class Bundler:
         two-item transaction rather than being processed order-dependently.
         A redirected item never *misses* (distinguished copies are pinned),
         so the redirection can only reduce LRU pollution.
+
+        Under failures the redirection target is the item's first *live*
+        replica: a singleton is never sent to an excluded server (its
+        current assignment is live by construction, so staying put is
+        always a valid fallback).
         """
         singles: list[int] = []
         kept: dict[int, list[int]] = {}
@@ -140,7 +161,10 @@ class Bundler:
             return assigned
         moved = defaultdict(list, kept)
         for idx in singles:
-            home = replica_sets[idx][0]
+            if exclude:
+                home = next(s for s in replica_sets[idx] if s not in exclude)
+            else:
+                home = replica_sets[idx][0]
             moved[home].append(idx)
         # keep item order stable within each transaction
         return {s: sorted(v) for s, v in moved.items()}

@@ -22,11 +22,19 @@ with :func:`repro.core.setcover.greedy_set_cover`.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import AbstractSet, Mapping, Sequence
 
 from repro.core.setcover import CoverResult
 from repro.errors import CoverError
 from repro.utils.rng import ensure_rng
+
+
+def _drop_excluded(
+    subsets: Mapping[int, int], exclude: AbstractSet[int] | None
+) -> Mapping[int, int]:
+    if not exclude:
+        return subsets
+    return {k: v for k, v in subsets.items() if k not in exclude}
 
 
 def _validate(subsets: Mapping[int, int], n_elements: int) -> int:
@@ -59,17 +67,24 @@ def _assignment_from_selection(
     )
 
 
-def exact_min_cover(subsets: Mapping[int, int], n_elements: int) -> CoverResult:
+def exact_min_cover(
+    subsets: Mapping[int, int],
+    n_elements: int,
+    *,
+    exclude: AbstractSet[int] | None = None,
+) -> CoverResult:
     """Optimal minimum set cover via branch-and-bound.
 
     Branches on the lowest uncovered element (it must be covered by one
     of the sets containing it), pruning with the best size found so far
     and a trivial ceil(remaining / max-set-size) lower bound.  Worst-case
     exponential; practical for the M <= ~200, N <= ~64 instances RnB
-    requests produce.
+    requests produce.  ``exclude`` removes unavailable servers before
+    solving (the instance must stay feasible without them).
     """
     if n_elements == 0:
         return CoverResult(selected=(), assignment={}, covered=0, n_elements=0)
+    subsets = _drop_excluded(subsets, exclude)
     _validate(subsets, n_elements)
     keys = sorted(subsets, key=lambda k: -subsets[k].bit_count())
     masks = {k: subsets[k] for k in keys}
@@ -103,6 +118,8 @@ def exact_min_cover(subsets: Mapping[int, int], n_elements: int) -> CoverResult:
 
 def first_fit_cover(
     replica_lists: Sequence[Sequence[int]],
+    *,
+    exclude: AbstractSet[int] | None = None,
 ) -> CoverResult:
     """O(M·R) cover with zero coverage counting.
 
@@ -111,21 +128,25 @@ def first_fit_cover(
     open its distinguished server (replica 0).  This is the natural
     "streaming" client implementation and the floor the greedy cover is
     judged against.
+
+    With ``exclude``, unavailable servers are never opened: an item falls
+    back to its first *surviving* replica, and an item with no surviving
+    replica is left uncovered (partial result — check ``is_full_cover``).
     """
-    subsets: dict[int, int] = {}
-    for i, servers in enumerate(replica_lists):
-        if not servers:
-            raise CoverError(f"element {i} has an empty replica list")
-        for s in servers:
-            subsets[s] = subsets.get(s, 0) | (1 << i)
+    exclude = exclude or frozenset()
 
     opened: list[int] = []
     opened_set: set[int] = set()
     assignment: dict[int, int] = {}
     for i, servers in enumerate(replica_lists):
-        chosen = next((s for s in servers if s in opened_set), None)
+        if not servers and not exclude:
+            raise CoverError(f"element {i} has an empty replica list")
+        live = [s for s in servers if s not in exclude]
+        if not live:
+            continue  # every replica is down: degraded read, item missing
+        chosen = next((s for s in live if s in opened_set), None)
         if chosen is None:
-            chosen = servers[0]
+            chosen = live[0]
             opened.append(chosen)
             opened_set.add(chosen)
         assignment[chosen] = assignment.get(chosen, 0) | (1 << i)
@@ -146,14 +167,17 @@ def random_cover(
     n_elements: int,
     *,
     rng=None,
+    exclude: AbstractSet[int] | None = None,
 ) -> CoverResult:
     """Pick uniformly random *useful* servers until everything is covered.
 
     A useful server covers at least one uncovered element.  This is the
-    "no bundling intelligence at all" reference point.
+    "no bundling intelligence at all" reference point.  ``exclude``
+    removes unavailable servers first (the instance must stay feasible).
     """
     if n_elements == 0:
         return CoverResult(selected=(), assignment={}, covered=0, n_elements=0)
+    subsets = _drop_excluded(subsets, exclude)
     _validate(subsets, n_elements)
     rng = ensure_rng(rng)
     uncovered = (1 << n_elements) - 1

@@ -23,7 +23,7 @@ ablation that quantifies this effect.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import AbstractSet, Mapping, Sequence
 
 import numpy as np
 
@@ -58,6 +58,21 @@ class CoverResult:
     def is_full_cover(self) -> bool:
         return self.n_covered == self.n_elements
 
+    def missing_indices(self) -> tuple[int, ...]:
+        """Element indices left uncovered (empty for a full cover).
+
+        Non-empty only for partial covers: LIMIT requests that stopped
+        early, or degraded covers where every replica of an element sat
+        on an excluded (failed) server.
+        """
+        missing = ~self.covered & ((1 << self.n_elements) - 1)
+        out = []
+        while missing:
+            low = missing & -missing
+            out.append(low.bit_length() - 1)
+            missing ^= low
+        return tuple(out)
+
 
 def _resolve_tie_break(tie_break, rng: np.random.Generator | None):
     if callable(tie_break):
@@ -78,6 +93,8 @@ def greedy_partial_cover(
     *,
     tie_break="lowest",
     rng: np.random.Generator | None = None,
+    exclude: AbstractSet[int] | None = None,
+    allow_partial: bool = False,
 ) -> CoverResult:
     """Greedy cover stopping once ``required`` elements are covered.
 
@@ -96,25 +113,39 @@ def greedy_partial_cover(
     tie_break:
         ``"lowest"`` (stable, locality-friendly), ``"random"`` (ablation),
         or a callable receiving the tied candidate keys.
+    exclude:
+        Set keys (server ids) that must not be chosen — the failover
+        path passes the servers currently believed down.  Excluded keys
+        are removed before the union feasibility check, so an element
+        whose every replica is excluded counts as uncoverable.
+    allow_partial:
+        Degraded-read mode: instead of raising on an infeasible
+        instance, cover as many of the required elements as the
+        surviving subsets allow and return a partial
+        :class:`CoverResult` (``missing_indices`` lists the casualties).
 
     Raises
     ------
     CoverError
         If fewer than ``required`` elements appear in the union of all
-        subsets (infeasible instance).
+        (non-excluded) subsets and ``allow_partial`` is false.
     """
     if not (0 <= required <= n_elements):
         raise ValueError(f"required must be in [0, n_elements]; got {required}")
     pick = _resolve_tie_break(tie_break, rng)
+    if exclude:
+        subsets = {k: v for k, v in subsets.items() if k not in exclude}
 
     union = 0
     for mask in subsets.values():
         union |= mask
     if union.bit_count() < required:
-        raise CoverError(
-            f"instance is infeasible: union covers {union.bit_count()} of the "
-            f"{required} required elements"
-        )
+        if not allow_partial:
+            raise CoverError(
+                f"instance is infeasible: union covers {union.bit_count()} of the "
+                f"{required} required elements"
+            )
+        required = union.bit_count()
 
     # Work on a mutable copy; keys sorted once so "lowest" tie-break and
     # iteration order are deterministic regardless of dict order.
@@ -171,10 +202,18 @@ def greedy_set_cover(
     *,
     tie_break="lowest",
     rng: np.random.Generator | None = None,
+    exclude: AbstractSet[int] | None = None,
+    allow_partial: bool = False,
 ) -> CoverResult:
     """Full greedy set cover (cover every element)."""
     return greedy_partial_cover(
-        subsets, n_elements, n_elements, tie_break=tie_break, rng=rng
+        subsets,
+        n_elements,
+        n_elements,
+        tie_break=tie_break,
+        rng=rng,
+        exclude=exclude,
+        allow_partial=allow_partial,
     )
 
 
@@ -184,21 +223,34 @@ def cover_from_replica_lists(
     required: int | None = None,
     tie_break="lowest",
     rng: np.random.Generator | None = None,
+    exclude: AbstractSet[int] | None = None,
+    allow_partial: bool = False,
 ) -> CoverResult:
     """Convenience wrapper: build server bitmasks from per-item replica lists.
 
     ``replica_lists[i]`` is the list of servers holding element ``i``.
     This is the exact shape the bundler produces; exposed separately so
     tests and the Monte-Carlo simulator can call the solver directly.
+
+    With ``exclude`` / ``allow_partial`` this is the failover re-cover:
+    residual items are covered from surviving replicas only, and items
+    with no surviving replica are reported via ``missing_indices()``
+    instead of raising (when ``allow_partial`` is set).
     """
     subsets: dict[int, int] = {}
     for i, servers in enumerate(replica_lists):
-        if not servers:
+        if not servers and not allow_partial:
             raise CoverError(f"element {i} has an empty replica list")
         bit = 1 << i
         for s in servers:
             subsets[s] = subsets.get(s, 0) | bit
     n = len(replica_lists)
     return greedy_partial_cover(
-        subsets, n, n if required is None else required, tie_break=tie_break, rng=rng
+        subsets,
+        n,
+        n if required is None else required,
+        tie_break=tie_break,
+        rng=rng,
+        exclude=exclude,
+        allow_partial=allow_partial,
     )

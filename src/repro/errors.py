@@ -45,3 +45,27 @@ class CoverError(RnBError):
     replica set (it is stored nowhere), which indicates a placement bug
     or a request for an unknown key.
     """
+
+
+class ServerFault(RnBError):
+    """A storage server could not serve a transaction.
+
+    Base class for the failure modes the fault-injection layer models
+    and the read path must survive (docs/FAULTS.md).
+    """
+
+
+class ServerDown(ServerFault, ConnectionError):
+    """Crash-stop failure: the server is gone and will not come back.
+
+    Also a :class:`ConnectionError` so transports and clients that
+    predate the fault layer (``FAILOVER_ERRORS``) keep catching it.
+    """
+
+
+class ServerTimeout(ServerFault, TimeoutError):
+    """Transient failure: the transaction timed out; a retry may succeed.
+
+    Also a :class:`TimeoutError` (hence :class:`OSError`) so socket-level
+    timeout handling treats injected and real timeouts identically.
+    """

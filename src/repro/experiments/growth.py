@@ -47,7 +47,9 @@ def _churn(kind: str, n_servers: int, replication: int, n_items: int) -> float:
     return moved / total
 
 
-def _tpr(kind: str, n_servers: int, replication: int, n_items: int, rng, m: int, trials: int) -> float:
+def _tpr(
+    kind: str, n_servers: int, replication: int, n_items: int, rng, m: int, trials: int
+) -> float:
     placer = make_placer(kind, n_servers, replication, seed=0)
     tprs = []
     for _ in range(trials):

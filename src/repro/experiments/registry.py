@@ -8,6 +8,7 @@ from repro.errors import ConfigurationError
 from repro.experiments import (
     ablations,
     cover_quality,
+    fault_tolerance,
     fig02,
     fig03,
     fig04_05,
@@ -43,6 +44,7 @@ EXPERIMENTS: dict[str, Callable[..., list[ExperimentResult]]] = {
     "fig13_14": fig13_14.run,
     "ablations": ablations.run,
     "cover_quality": cover_quality.run,
+    "fault_tolerance": fault_tolerance.run,
     "scalability": scalability.run,
     "latency": latency.run,
     "limit_memory": limit_memory.run,

@@ -1,0 +1,30 @@
+"""Fault injection, health tracking and fault-tolerant reads.
+
+The paper keeps R replicas of every item on R distinct servers for
+throughput; this package cashes in the reliability dividend (paper
+sections I-C, III-B): deterministic failure schedules
+(:class:`FaultPlan`), error-driven per-server health
+(:class:`HealthTracker`), a cluster gate that injects the failures
+(:class:`FaultInjector`), and a read path that routes around them
+(:class:`FaultTolerantRnBClient`).  See docs/FAULTS.md for the failure
+model and the degraded-read semantics.
+"""
+
+from repro.faults.ftclient import DegradedFetchResult, FaultTolerantRnBClient
+from repro.faults.health import ALIVE, DEAD, SUSPECTED, HealthTracker, ServerHealth
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultConfig, FaultEvent, FaultPlan
+
+__all__ = [
+    "ALIVE",
+    "DEAD",
+    "SUSPECTED",
+    "DegradedFetchResult",
+    "FaultConfig",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultTolerantRnBClient",
+    "HealthTracker",
+    "ServerHealth",
+]

@@ -1,0 +1,303 @@
+"""The fault-tolerant RnB read path (simulator side).
+
+:class:`FaultTolerantRnBClient` is :class:`repro.core.client.RnBClient`
+hardened against the failure modes of :mod:`repro.faults.plan`:
+
+1. **Plan around known failures** — the cover excludes servers the
+   :class:`~repro.faults.health.HealthTracker` believes dead, re-covering
+   items from surviving replicas (degraded-read covers, mirroring the
+   paper's LIMIT-style partial covers).
+2. **Retry with bounds** — a transaction that times out is retried up to
+   ``max_retries`` times (transient faults draw independently per
+   attempt); a crash-stop refusal is not retried at all.
+3. **Failover re-dispatch** — items of a failed bundle are re-covered
+   onto alternate replica holders, the distinguished copy first; every
+   replica is tried before an item is given up.
+4. **Degraded results** — items whose replicas are *all* unreachable are
+   reported in ``DegradedFetchResult.unavailable`` instead of failing
+   the whole request; items evicted everywhere reachable are repaired
+   from the backing store (counted as ``db_fallbacks``).
+
+The guarantee (property-tested): a request whose every item has at least
+one live replica is always fully served.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.cluster.cluster import Cluster
+from repro.core.bundling import Bundler
+from repro.errors import ConfigurationError, ServerDown, ServerFault, ServerTimeout
+from repro.faults.health import HealthTracker
+from repro.types import ItemId, Request
+
+
+@dataclass(slots=True)
+class DegradedFetchResult:
+    """Outcome of one fault-tolerant read (degraded-read semantics).
+
+    ``unavailable`` lists items whose entire replica set was unreachable
+    — the request still *completes*, partially, instead of erroring.
+    """
+
+    request: Request
+    transactions: int
+    items_fetched: int
+    misses: int
+    retries: int
+    failovers: int
+    db_fallbacks: int
+    second_round_transactions: int
+    unavailable: tuple[ItemId, ...] = ()
+    servers_contacted: tuple[int, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.unavailable)
+
+    @property
+    def unavailable_fraction(self) -> float:
+        n = self.request.size
+        return len(self.unavailable) / n if n else 0.0
+
+
+class FaultTolerantRnBClient:
+    """RnB reads that survive crash-stop, timeout and slow servers.
+
+    Parameters
+    ----------
+    cluster:
+        The fleet; if a fault injector is attached
+        (:meth:`Cluster.attach_injector`), its logical clock is advanced
+        once per request.
+    bundler:
+        Plan builder sharing the cluster's placer.
+    health:
+        Error-driven server state; a fresh all-alive tracker is built
+        when omitted.
+    max_retries:
+        Bounded retries per transaction after the first attempt
+        (timeouts only — crash-stop failures are not retried).
+    write_back:
+        Repair evicted replicas onto the first-picked server, as the
+        paper's miss path does.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        bundler: Bundler,
+        *,
+        health: HealthTracker | None = None,
+        max_retries: int = 2,
+        timeout_strikes: int = 2,
+        write_back: bool = True,
+    ) -> None:
+        if bundler.placer is not cluster.placer:
+            raise ConfigurationError(
+                "bundler and cluster must share the same placer instance"
+            )
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if timeout_strikes < 1:
+            raise ConfigurationError("timeout_strikes must be >= 1")
+        self.cluster = cluster
+        self.bundler = bundler
+        self.health = health or HealthTracker(cluster.n_servers)
+        self.max_retries = max_retries
+        #: how many times per request a server may exhaust its retries by
+        #: *timeout* before being treated as down; crash-stop refusals are
+        #: final immediately.  A timeout-exhausted server is merely flaky
+        #: (it is alive!), so giving up on it would strand items whose
+        #: only live replica it holds.
+        self.timeout_strikes = timeout_strikes
+        self.write_back = write_back
+
+    # -- public API -----------------------------------------------------------
+
+    def execute(self, request: Request) -> DegradedFetchResult:
+        """Serve one request, routing around whatever is down."""
+        injector = self.cluster.injector
+        if injector is not None:
+            injector.advance()
+
+        counters = {"retries": 0, "transactions": 0}
+        servers_contacted: list[int] = []
+
+        exclude = self.health.exclusions()
+        plan = self.bundler.plan(request, exclude=exclude)
+
+        obtained: set[ItemId] = set()
+        misses = 0
+        failovers = 0
+        db_fallbacks = 0
+        second_round = 0
+        # item -> servers *conclusively* tried for it: crashed, evicted the
+        # item, or timed out ``timeout_strikes`` times this request.  A
+        # merely-flaky server stays out of the set so later waves retry it
+        # (fresh timeout draws) — otherwise an item whose only live replica
+        # it holds would be stranded.
+        tried: dict[ItemId, set[int]] = {}
+        pending: set[ItemId] = set()
+        strikes: dict[int, int] = defaultdict(int)  # server -> timeout exhaustions
+
+        # ---- round one: the (possibly degraded) planned cover ----
+        for txn in plan.transactions:
+            status, result = self._attempt(
+                txn.server, txn.primary, txn.hitchhikers, counters
+            )
+            if status != "ok":
+                failovers += 1
+                if status == "timeout":
+                    strikes[txn.server] += 1
+                final = (
+                    status == "down"
+                    or strikes[txn.server] >= self.timeout_strikes
+                )
+                for item in txn.primary:
+                    tried[item] = {txn.server} if final else set()
+                    pending.add(item)
+                continue
+            servers_contacted.append(txn.server)
+            hits, missed_items, hh_hits = result
+            obtained.update(hits)
+            obtained.update(hh_hits)
+            for item in missed_items:
+                # evicted replica: repair write-back, then refetch from the
+                # distinguished copy (or survivors) in the failover waves
+                misses += 1
+                if self.write_back:
+                    self.cluster.servers[txn.server].write_back(item)
+                tried[item] = {txn.server}
+                pending.add(item)
+
+        # items planned nowhere (all replicas excluded by health) still get
+        # a chance: health can be stale, so the waves try every replica
+        planned = plan.planned_items()
+        for item in request.items:
+            if item not in planned and item not in obtained and item not in tried:
+                tried[item] = set()
+                pending.add(item)
+        pending -= obtained
+
+        # ---- failover waves: walk each item's surviving replicas ----
+        required = request.required_items
+        unavailable: list[ItemId] = []
+        believed_dead = self.health.exclusions()
+        while pending and len(obtained) < required:
+            groups: dict[int, list[ItemId]] = defaultdict(list)
+            for item in sorted(pending):
+                candidates = [
+                    s
+                    for s in self.bundler.placer.servers_for(item)
+                    if s not in tried[item]
+                ]
+                if not candidates:
+                    pending.discard(item)
+                    if self._reached_any(item, tried[item]):
+                        # every reachable replica evicted the item: repair
+                        # from the backing store (always possible — the
+                        # simulator's DB never fails) onto a live replica
+                        db_fallbacks += 1
+                        obtained.add(item)
+                        self._db_repair(item, tried[item])
+                    else:
+                        unavailable.append(item)
+                    continue
+                # believed-dead servers last: they usually cost a failed
+                # attempt, but stale health must not strand the item
+                candidates.sort(key=lambda s: s in believed_dead)
+                groups[candidates[0]].append(item)
+            if not groups:
+                break
+            wave_order = sorted(groups.items(), key=lambda kv: (-len(kv[1]), kv[0]))
+            for sid, group in wave_order:
+                if len(obtained) >= required:
+                    break
+                if request.limit_fraction is not None:
+                    group = group[: required - len(obtained)]
+                status, result = self._attempt(sid, tuple(group), (), counters)
+                if status != "ok":
+                    failovers += 1
+                    if status == "timeout":
+                        strikes[sid] += 1
+                    if status == "down" or strikes[sid] >= self.timeout_strikes:
+                        for item in group:
+                            tried[item].add(sid)
+                    # else: leave the group pending — the next wave retries
+                    # the same (alive, flaky) server with fresh draws
+                    continue
+                for item in group:
+                    tried[item].add(sid)
+                servers_contacted.append(sid)
+                second_round += 1
+                hits, missed_items, _ = result
+                misses += len(missed_items)
+                obtained.update(hits)
+                pending.difference_update(hits)
+
+        # LIMIT satisfied early: whatever is still pending was simply not
+        # needed — it is neither fetched nor unavailable
+        return DegradedFetchResult(
+            request=request,
+            transactions=counters["transactions"],
+            items_fetched=len(obtained),
+            misses=misses,
+            retries=counters["retries"],
+            failovers=failovers,
+            db_fallbacks=db_fallbacks,
+            second_round_transactions=second_round,
+            unavailable=tuple(sorted(unavailable)),
+            servers_contacted=tuple(servers_contacted),
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _attempt(self, sid, primary, hitchhikers, counters):
+        """One transaction with bounded retries.
+
+        Returns ``(status, result)`` where status is ``"ok"``, ``"down"``
+        (crash-stop refusal: final) or ``"timeout"`` (retries exhausted —
+        the server is alive but flaky; the caller may re-dispatch to it
+        in a later wave, which rolls fresh timeout draws).
+        """
+        attempt = 0
+        while True:
+            try:
+                server = self.cluster.server(sid)
+            except ServerDown:
+                self.health.record_error(sid)
+                return "down", None
+            except ServerTimeout:
+                self.health.record_error(sid)
+                if attempt >= self.max_retries:
+                    return "timeout", None
+                attempt += 1
+                counters["retries"] += 1
+                continue
+            except ServerFault:  # pragma: no cover - future fault kinds
+                self.health.record_error(sid)
+                return "down", None
+            result = server.multi_get(primary, hitchhikers)
+            self.health.record_success(sid)
+            counters["transactions"] += 1
+            return "ok", result
+
+    def _reached_any(self, item: ItemId, tried_servers: set[int]) -> bool:
+        """Did any tried replica actually answer (i.e. the item was evicted,
+        not unreachable)?  True iff some tried server is not crashed/erroring
+        from this request's perspective: we approximate with the health
+        tracker — a server with a recorded success since its last error
+        answered us."""
+        return any(self.health.state(s) == "alive" for s in tried_servers)
+
+    def _db_repair(self, item: ItemId, tried_servers: set[int]) -> None:
+        """Re-materialise an everywhere-evicted item onto a live replica."""
+        if not self.write_back:
+            return
+        for sid in self.bundler.placer.servers_for(item):
+            if sid in tried_servers and self.health.state(sid) == "alive":
+                self.cluster.servers[sid].write_back(item)
+                return

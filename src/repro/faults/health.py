@@ -1,0 +1,124 @@
+"""Per-server health accounting driven by observed errors.
+
+The client side of fault tolerance: a :class:`HealthTracker` watches the
+outcomes of transactions and classifies each server as *alive*,
+*suspected* (recent consecutive errors) or *dead* (errors past the
+``dead_after`` threshold).  The tracker is deliberately passive — it
+never probes; it only folds in what the read path already observed —
+which matches how memcached client rings mark hosts down in production.
+
+The ``exclusions()`` set feeds straight into
+:meth:`repro.core.bundling.Bundler.plan`: dead servers are never chosen
+by the cover, and (optionally) suspected ones are avoided too.  A single
+success fully rehabilitates a server — crash-stop servers never produce
+one, while servers that merely timed out transiently rejoin immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+ALIVE = "alive"
+SUSPECTED = "suspected"
+DEAD = "dead"
+
+
+@dataclass(slots=True)
+class ServerHealth:
+    """Mutable health record for one server."""
+
+    state: str = ALIVE
+    consecutive_errors: int = 0
+    total_errors: int = 0
+    total_successes: int = 0
+
+
+class HealthTracker:
+    """Error-driven alive / suspected / dead state machine per server.
+
+    Parameters
+    ----------
+    n_servers:
+        Fleet size (server ids ``0..n_servers-1``).
+    suspect_after:
+        Consecutive errors after which a server becomes *suspected*.
+    dead_after:
+        Consecutive errors after which it is declared *dead*.  Must be
+        >= ``suspect_after``.
+    """
+
+    def __init__(
+        self, n_servers: int, *, suspect_after: int = 1, dead_after: int = 3
+    ) -> None:
+        if n_servers < 1:
+            raise ConfigurationError("n_servers must be >= 1")
+        if suspect_after < 1 or dead_after < suspect_after:
+            raise ConfigurationError(
+                "need 1 <= suspect_after <= dead_after; got "
+                f"suspect_after={suspect_after}, dead_after={dead_after}"
+            )
+        self.n_servers = n_servers
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self._health = [ServerHealth() for _ in range(n_servers)]
+
+    # -- observations -----------------------------------------------------
+
+    def record_success(self, server: int) -> None:
+        """A transaction completed: the server is (back) alive."""
+        h = self._health[server]
+        h.consecutive_errors = 0
+        h.total_successes += 1
+        h.state = ALIVE
+
+    def record_error(self, server: int) -> None:
+        """A transaction failed (timeout or connection error)."""
+        h = self._health[server]
+        h.consecutive_errors += 1
+        h.total_errors += 1
+        if h.consecutive_errors >= self.dead_after:
+            h.state = DEAD
+        elif h.consecutive_errors >= self.suspect_after:
+            h.state = SUSPECTED
+
+    # -- queries ------------------------------------------------------------
+
+    def state(self, server: int) -> str:
+        return self._health[server].state
+
+    def is_available(self, server: int) -> bool:
+        """Dead servers are unavailable; suspected ones still get traffic."""
+        return self._health[server].state != DEAD
+
+    def exclusions(self, *, include_suspected: bool = False) -> frozenset[int]:
+        """Servers the cover should avoid."""
+        banned = (DEAD, SUSPECTED) if include_suspected else (DEAD,)
+        return frozenset(
+            sid for sid, h in enumerate(self._health) if h.state in banned
+        )
+
+    def alive_servers(self) -> frozenset[int]:
+        return frozenset(
+            sid for sid, h in enumerate(self._health) if h.state != DEAD
+        )
+
+    def snapshot(self) -> dict[int, ServerHealth]:
+        """Copy of the per-server records (for metrics/debugging)."""
+        return {
+            sid: ServerHealth(
+                state=h.state,
+                consecutive_errors=h.consecutive_errors,
+                total_errors=h.total_errors,
+                total_successes=h.total_successes,
+            )
+            for sid, h in enumerate(self._health)
+        }
+
+    def counts(self) -> dict[str, int]:
+        """How many servers are in each state."""
+        out = {ALIVE: 0, SUSPECTED: 0, DEAD: 0}
+        for h in self._health:
+            out[h.state] += 1
+        return out

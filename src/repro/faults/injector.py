@@ -1,0 +1,71 @@
+"""Wiring a :class:`FaultPlan` into a simulated cluster.
+
+The injector sits between the client and :class:`repro.cluster.cluster.
+Cluster`: once attached (``cluster.attach_injector(...)``), every
+``cluster.server(sid)`` access is vetted against the plan at the current
+logical tick — crashed servers raise :class:`repro.errors.ServerDown`,
+transiently faulty attempts raise :class:`repro.errors.ServerTimeout`,
+and slow servers have ``Server.latency_multiplier`` inflated so latency
+models price them correctly.
+
+Attempt numbering: repeated accesses to the same server within one tick
+are counted, and each gets an independent timeout draw from the plan —
+that is what makes bounded retries effective against transient faults
+while remaining fully deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.errors import ServerDown, ServerTimeout
+from repro.faults.plan import FaultPlan
+
+
+class FaultInjector:
+    """Stateful clock + counters around a deterministic :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.tick = 0
+        self._attempts: Counter[int] = Counter()  # per-server, this tick
+        self.down_rejections = 0
+        self.timeouts_injected = 0
+
+    # -- clock -----------------------------------------------------------
+
+    def advance(self, ticks: int = 1) -> None:
+        """Move the logical clock (one tick per request in the simulator)."""
+        self.tick += ticks
+        self._attempts.clear()
+
+    # -- the gate ----------------------------------------------------------
+
+    def check(self, server: int) -> None:
+        """Vet one access; raises :class:`ServerDown` / :class:`ServerTimeout`.
+
+        Called by ``Cluster.server`` on every access when attached.
+        """
+        if self.plan.is_crashed(server, self.tick):
+            self.down_rejections += 1
+            raise ServerDown(f"server {server} crashed (tick {self.tick})")
+        attempt = self._attempts[server]
+        self._attempts[server] += 1
+        if self.plan.is_timeout(server, self.tick, attempt):
+            self.timeouts_injected += 1
+            raise ServerTimeout(
+                f"server {server} timed out (tick {self.tick}, attempt {attempt})"
+            )
+
+    # -- convenience --------------------------------------------------------
+
+    def crashed_now(self) -> frozenset[int]:
+        """Servers dead at the current tick (oracle view, for metrics)."""
+        return self.plan.crashed_at(self.tick)
+
+    def apply_latency(self, cluster) -> None:
+        """Stamp ``latency_multiplier`` onto the cluster's servers."""
+        for server in cluster:
+            server.latency_multiplier = self.plan.latency_multiplier(
+                server.server_id
+            )

@@ -10,19 +10,57 @@ baseline for :class:`repro.protocol.rnbclient.RnBProtocolClient`.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 
 from repro.errors import ProtocolError
 from repro.hashing.hashring import ConsistentHashRing
 from repro.protocol.codec import Command, encode_command
+from repro.protocol.retry import RetryPolicy, call_with_retries
 
 
 class MemcachedConnection:
-    """One client connection to one server."""
+    """One client connection to one server.
 
-    def __init__(self, transport):
+    With a :class:`repro.protocol.retry.RetryPolicy` attached, the
+    *idempotent* operations (retrieval and plain ``set``) are retried
+    under its bounded backoff schedule; non-idempotent ops (``add``,
+    ``append``, ``cas``, counters, ``delete``) always run single-shot —
+    a retried ``incr`` after an ambiguous timeout could double-count.
+    ``sleep`` and ``rng`` are injectable so tests stay instant and
+    deterministic.
+    """
+
+    def __init__(
+        self,
+        transport,
+        *,
+        policy: RetryPolicy | None = None,
+        rng=None,
+        sleep=time.sleep,
+    ):
         self.transport = transport
+        self.policy = policy
+        self.rng = rng
+        self.sleep = sleep
         self.transactions = 0
+        self.retries = 0
+
+    def _exchange_idempotent(self, payload: bytes):
+        """Exchange with retries (when a policy is set) for safe-to-repeat ops."""
+        if self.policy is None:
+            return self.transport.exchange(payload)
+
+        def _count(attempt, exc):
+            self.retries += 1
+
+        return call_with_retries(
+            lambda: self.transport.exchange(payload),
+            self.policy,
+            rng=self.rng,
+            sleep=self.sleep,
+            on_retry=_count,
+        )
 
     # -- retrieval -------------------------------------------------------
 
@@ -36,7 +74,7 @@ class MemcachedConnection:
         if not keys:
             return {}
         name = "gets" if with_cas else "get"
-        [resp] = self.transport.exchange(encode_command(Command(name=name, keys=keys)))
+        [resp] = self._exchange_idempotent(encode_command(Command(name=name, keys=keys)))
         if resp.status != "END":
             raise ProtocolError(f"unexpected retrieval status: {resp.status}")
         self.transactions += 1
@@ -50,7 +88,8 @@ class MemcachedConnection:
     # -- storage ------------------------------------------------------------
 
     def set(self, key: str, value: bytes, *, flags: int = 0, exptime: int = 0) -> bool:
-        [resp] = self.transport.exchange(
+        # plain set is idempotent (last-writer-wins), so it may retry
+        [resp] = self._exchange_idempotent(
             encode_command(
                 Command(name="set", keys=(key,), flags=flags, exptime=exptime, data=value)
             )

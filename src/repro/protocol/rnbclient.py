@@ -14,21 +14,31 @@
 * **server failures** degrade gracefully: a transaction to a dead server
   is treated as a full miss, and the affected items are re-fetched from
   their surviving replicas — the "replication already exists for
-  reliability" dividend the paper points at (sections I-C, III-B).
+  reliability" dividend the paper points at (sections I-C, III-B);
+* **retry/backoff/health** (docs/FAULTS.md): with a
+  :class:`repro.protocol.retry.RetryPolicy`, transient transport errors
+  are retried under bounded exponential backoff before failover kicks
+  in, and a :class:`repro.faults.health.HealthTracker` learns which
+  servers are dead so later plans exclude them up front.
 """
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.cluster.placement import ReplicaPlacer
 from repro.core.bundling import Bundler
 from repro.errors import ConfigurationError, ProtocolError
+from repro.faults.health import HealthTracker
 from repro.protocol.memclient import MemcachedConnection
+from repro.protocol.retry import RetryPolicy, call_with_retries
 from repro.types import Request
 
-#: transport/socket errors treated as a server being down
+#: transport/socket errors treated as a server being down (ServerDown and
+#: ServerTimeout from repro.errors are ConnectionError/TimeoutError
+#: subclasses, so injected and real failures are caught alike)
 FAILOVER_ERRORS = (ProtocolError, ConnectionError, OSError)
 
 
@@ -40,6 +50,7 @@ class MultiGetOutcome:
     transactions: int = 0
     second_round_transactions: int = 0
     misses_repaired: int = 0
+    retries: int = 0
     missing: tuple[str, ...] = ()
     failed_servers: tuple[int, ...] = ()
 
@@ -54,6 +65,10 @@ class RnBProtocolClient:
         *,
         bundler: Bundler | None = None,
         write_back: bool = True,
+        retry_policy: RetryPolicy | None = None,
+        health: HealthTracker | None = None,
+        rng=None,
+        sleep=time.sleep,
     ) -> None:
         if set(connections) != set(range(placer.n_servers)):
             raise ConfigurationError(
@@ -65,6 +80,53 @@ class RnBProtocolClient:
         if self.bundler.placer is not placer:
             raise ConfigurationError("bundler must share the client's placer")
         self.write_back = write_back
+        #: one config object for every network knob (timeouts + retries);
+        #: None preserves the legacy single-attempt behaviour
+        self.retry_policy = retry_policy
+        #: error-driven server state; dead servers are excluded from plans
+        self.health = health
+        self.rng = rng
+        self.sleep = sleep
+
+    # -- fault plumbing ------------------------------------------------------
+
+    def _fetch(self, sid: int, keys, counters: dict | None = None) -> dict:
+        """One server's multi-get under the retry policy + health tracking.
+
+        If the connection itself already retries (it was built with its
+        own policy), the client does not retry on top — attempts would
+        compound to ``(max_retries+1)^2`` otherwise.
+        """
+        conn = self.connections[sid]
+
+        def attempt():
+            return conn.get_multi(keys)
+
+        try:
+            if self.retry_policy is None or getattr(conn, "policy", None) is not None:
+                got = attempt()
+            else:
+
+                def _on_retry(attempt_no, exc):
+                    if counters is not None:
+                        counters["retries"] = counters.get("retries", 0) + 1
+                    if self.health is not None:
+                        self.health.record_error(sid)
+
+                got = call_with_retries(
+                    attempt,
+                    self.retry_policy,
+                    rng=self.rng,
+                    sleep=self.sleep,
+                    on_retry=_on_retry,
+                )
+        except FAILOVER_ERRORS:
+            if self.health is not None:
+                self.health.record_error(sid)
+            raise
+        if self.health is not None:
+            self.health.record_success(sid)
+        return got
 
     # -- write path --------------------------------------------------------
 
@@ -94,16 +156,17 @@ class RnBProtocolClient:
         if not keys:
             return MultiGetOutcome()
         request = Request(items=keys, limit_fraction=limit_fraction)
-        plan = self.bundler.plan(request)
+        exclude = self.health.exclusions() if self.health is not None else frozenset()
+        plan = self.bundler.plan(request, exclude=exclude or None)
 
+        counters: dict[str, int] = {}
         outcome = MultiGetOutcome()
         failed: set[int] = set()
         missed_primary: dict[str, int] = {}
         for txn in plan.transactions:
-            conn = self.connections[txn.server]
             asked = (*txn.primary, *txn.hitchhikers)
             try:
-                got = conn.get_multi(asked)
+                got = self._fetch(txn.server, asked, counters)
             except FAILOVER_ERRORS:
                 # dead server: every primary becomes a miss to repair from
                 # the item's surviving replicas
@@ -159,7 +222,7 @@ class RnBProtocolClient:
                 if request.limit_fraction is not None:
                     group = group[: required - len(outcome.values)]
                 try:
-                    got = self.connections[sid].get_multi(group)
+                    got = self._fetch(sid, group, counters)
                 except FAILOVER_ERRORS:
                     failed.add(sid)
                     continue
@@ -182,6 +245,7 @@ class RnBProtocolClient:
 
         outcome.missing = tuple(k for k in keys if k not in outcome.values)
         outcome.failed_servers = tuple(sorted(failed))
+        outcome.retries = counters.get("retries", 0)
         return outcome
 
     def get(self, key: str) -> bytes | None:

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import socket
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ServerTimeout
 from repro.protocol import codec
 from repro.protocol.codec import IncompleteResponse, Response
 from repro.protocol.memserver import MemcachedServer
+from repro.protocol.retry import DEFAULT_POLICY, RetryPolicy
 
 
 class LoopbackTransport:
@@ -44,30 +45,76 @@ class LoopbackTransport:
 
 
 class TCPTransport:
-    """Blocking TCP transport with incremental response parsing."""
+    """Blocking TCP transport with incremental response parsing.
 
-    def __init__(self, host: str, port: int, *, timeout: float = 5.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    Timeouts come from a :class:`repro.protocol.retry.RetryPolicy` —
+    ``connect_timeout`` bounds connection establishment and
+    ``request_timeout`` bounds each exchange — so the same config object
+    that tunes client retries tunes the socket (previously a hard-coded
+    ``timeout=5.0``).  The legacy ``timeout`` keyword still works and
+    overrides both, for callers that only care about one number.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        policy: RetryPolicy | None = None,
+        timeout: float | None = None,
+    ):
+        self.host = host
+        self.port = port
+        self.policy = policy or DEFAULT_POLICY
+        self._connect_timeout = (
+            timeout if timeout is not None else self.policy.connect_timeout
+        )
+        self._request_timeout = (
+            timeout if timeout is not None else self.policy.request_timeout
+        )
+        self._sock: socket.socket | None = None
+        self._buf = b""
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self._connect_timeout
+        )
+        self._sock.settimeout(self._request_timeout)
         self._buf = b""
 
     def exchange(self, request: bytes, n_responses: int = 1) -> list[Response]:
-        self._sock.sendall(request)
-        responses: list[Response] = []
-        while len(responses) < n_responses:
-            try:
-                resp, self._buf = codec.parse_response(self._buf)
-                responses.append(resp)
-                continue
-            except IncompleteResponse:
-                pass
-            chunk = self._sock.recv(65536)
-            if not chunk:
-                raise ProtocolError("connection closed mid-response")
-            self._buf += chunk
-        return responses
+        if self._sock is None:
+            # previous exchange timed out mid-stream: reconnect so a stale
+            # late response cannot desync request/response pairing
+            self._connect()
+        try:
+            self._sock.sendall(request)
+            responses: list[Response] = []
+            while len(responses) < n_responses:
+                try:
+                    resp, self._buf = codec.parse_response(self._buf)
+                    responses.append(resp)
+                    continue
+                except IncompleteResponse:
+                    pass
+                chunk = self._sock.recv(65536)
+                if not chunk:
+                    raise ProtocolError("connection closed mid-response")
+                self._buf += chunk
+            return responses
+        except socket.timeout as exc:
+            self.close()
+            raise ServerTimeout(
+                f"no complete response within {self._request_timeout}s"
+            ) from exc
 
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except OSError:  # pragma: no cover - best-effort cleanup
             pass
+        self._sock = None
+        self._buf = b""

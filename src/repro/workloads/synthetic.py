@@ -115,7 +115,11 @@ def synthesize_graph(
     mean = target_edges / n
 
     degrees = sample_powerlaw_degrees(
-        n, mean, alpha=spec.alpha, max_degree=min(max_degree, max(1000, int(mean * 300))), rng=rng
+        n,
+        mean,
+        alpha=spec.alpha,
+        max_degree=min(max_degree, max(1000, int(mean * 300))),
+        rng=rng,
     )
     degrees = _adjust_degrees(degrees, target_edges, max_degree, rng)
 

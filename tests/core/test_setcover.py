@@ -16,7 +16,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.setcover import (
-    CoverResult,
     cover_from_replica_lists,
     greedy_partial_cover,
     greedy_set_cover,

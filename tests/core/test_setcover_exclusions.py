@@ -1,0 +1,153 @@
+"""Failover-aware covering: exclusion sets + degraded (partial) covers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.covers import exact_min_cover, first_fit_cover, random_cover
+from repro.core.setcover import (
+    cover_from_replica_lists,
+    greedy_partial_cover,
+    greedy_set_cover,
+)
+from repro.errors import CoverError
+
+# element i is held by replica_lists[i]; servers 0..3
+REPLICAS = [
+    [0, 1],
+    [0, 2],
+    [1, 2],
+    [2, 3],
+    [3, 0],
+]
+
+
+def masks(replica_lists):
+    subsets: dict[int, int] = {}
+    for i, servers in enumerate(replica_lists):
+        for s in servers:
+            subsets[s] = subsets.get(s, 0) | (1 << i)
+    return subsets
+
+
+class TestGreedyExclusions:
+    def test_excluded_never_chosen(self):
+        result = cover_from_replica_lists(REPLICAS, exclude={0})
+        assert 0 not in result.selected
+        assert result.is_full_cover()
+        assert result.missing_indices() == ()
+
+    def test_residual_recovered_from_survivors(self):
+        # without exclusions greedy picks server 2 (covers 1, 2, 3);
+        # excluding it must re-cover those elements elsewhere
+        baseline = cover_from_replica_lists(REPLICAS)
+        assert 2 in baseline.selected
+        result = cover_from_replica_lists(REPLICAS, exclude={2})
+        assert 2 not in result.selected
+        assert result.is_full_cover()
+
+    def test_infeasible_raises_without_allow_partial(self):
+        with pytest.raises(CoverError):
+            cover_from_replica_lists(REPLICAS, exclude={0, 1, 2})
+
+    def test_partial_reports_missing(self):
+        # only server 3 survives: it holds elements 3 and 4
+        result = cover_from_replica_lists(
+            REPLICAS, exclude={0, 1, 2}, allow_partial=True
+        )
+        assert result.selected == (3,)
+        assert not result.is_full_cover()
+        assert result.missing_indices() == (0, 1, 2)
+        assert result.n_selected == 1
+
+    def test_item_with_no_replicas_allowed_when_partial(self):
+        lists = [[0], [], [1]]
+        with pytest.raises(CoverError):
+            cover_from_replica_lists(lists)
+        result = cover_from_replica_lists(lists, allow_partial=True)
+        assert result.missing_indices() == (1,)
+
+    def test_partial_cover_respects_required(self):
+        subsets = masks(REPLICAS)
+        result = greedy_partial_cover(
+            subsets, 5, 2, exclude={2}, allow_partial=True
+        )
+        assert result.covered.bit_count() >= 2
+        assert 2 not in result.selected
+
+    def test_exclude_everything_partial_is_empty(self):
+        result = greedy_set_cover(
+            masks(REPLICAS), 5, exclude={0, 1, 2, 3}, allow_partial=True
+        )
+        assert result.selected == ()
+        assert result.missing_indices() == (0, 1, 2, 3, 4)
+
+
+class TestAlternativeCovers:
+    def test_exact_min_cover_exclusions(self):
+        result = exact_min_cover(masks(REPLICAS), 5, exclude={2})
+        assert 2 not in result.selected
+        assert result.is_full_cover()
+        # optimality is preserved on the surviving instance
+        unrestricted = exact_min_cover(masks(REPLICAS), 5)
+        assert result.n_selected >= unrestricted.n_selected
+
+    def test_exact_min_cover_infeasible(self):
+        with pytest.raises(CoverError):
+            exact_min_cover(masks(REPLICAS), 5, exclude={2, 3})
+
+    def test_random_cover_exclusions(self, rng):
+        for _ in range(10):
+            result = random_cover(masks(REPLICAS), 5, rng=rng, exclude={1})
+            assert 1 not in result.selected
+            assert result.is_full_cover()
+
+    def test_first_fit_exclusions_fall_back(self):
+        result = first_fit_cover(REPLICAS, exclude={0})
+        assert 0 not in result.selected
+        assert result.is_full_cover()
+        # element 0's distinguished copy (server 0) is down: it must be
+        # served by its surviving replica, server 1
+        assert result.assignment[1] & 1
+
+    def test_first_fit_partial_when_all_replicas_down(self):
+        lists = [[0, 1], [2]]
+        result = first_fit_cover(lists, exclude={2})
+        assert not result.is_full_cover()
+        assert result.missing_indices() == (1,)
+
+
+@given(
+    n_servers=st.integers(2, 8),
+    data=st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_survivor_cover_is_complete(n_servers, data):
+    """If every element keeps >= 1 live replica, the cover stays full and
+    never touches an excluded server."""
+    n_elements = data.draw(st.integers(1, 10))
+    replica_lists = [
+        data.draw(
+            st.lists(
+                st.integers(0, n_servers - 1), min_size=1, max_size=3, unique=True
+            )
+        )
+        for _ in range(n_elements)
+    ]
+    exclude = data.draw(
+        st.sets(st.integers(0, n_servers - 1), max_size=n_servers - 1)
+    )
+    result = cover_from_replica_lists(
+        replica_lists, exclude=exclude, allow_partial=True
+    )
+    assert not set(result.selected) & exclude
+    expected_missing = tuple(
+        i
+        for i, servers in enumerate(replica_lists)
+        if all(s in exclude for s in servers)
+    )
+    assert result.missing_indices() == expected_missing
+    if not expected_missing:
+        assert result.is_full_cover()

@@ -1,0 +1,83 @@
+"""The fault-tolerance experiment: acceptance-bar checks."""
+
+from __future__ import annotations
+
+from repro.experiments import fault_tolerance
+from repro.experiments.registry import EXPERIMENTS
+from repro.workloads.synthetic import make_slashdot_like
+
+
+def small_run(seed=2013):
+    graph = make_slashdot_like(seed=seed, scale=0.02)
+    return fault_tolerance.run(
+        graph,
+        n_servers=8,
+        replications=(1, 2),
+        failure_rates=(0.0, 0.1),
+        n_requests=100,
+        seed=seed,
+    )
+
+
+class TestRegistration:
+    def test_registered(self):
+        assert EXPERIMENTS["fault_tolerance"] is fault_tolerance.run
+
+    def test_result_shapes(self):
+        results = small_run()
+        names = [r.name for r in results]
+        assert names == [
+            "fault_tolerance_tpr",
+            "fault_tolerance_unavailable",
+            "fault_tolerance_retries",
+        ]
+        for r in results:
+            assert r.x_values == [0.0, 0.1]
+            assert set(r.series) == {"R=1", "R=2"}
+            assert all(len(v) == 2 for v in r.series.values())
+
+
+class TestAcceptance:
+    def test_live_replica_guarantee_at_ten_percent(self):
+        """10% crash-stop, R >= 2: every item with a live replica is read."""
+        results = small_run()
+        assert results[0].meta["live_covered_min"] == 1.0
+
+    def test_same_seed_reproduces_identically(self):
+        def fingerprint():
+            return [
+                (r.name, tuple(r.x_values), {k: tuple(v) for k, v in r.series.items()})
+                for r in small_run()
+            ]
+
+        assert fingerprint() == fingerprint()
+
+    def test_zero_failure_rate_is_clean(self):
+        results = small_run()
+        unavail = results[1].series
+        retries = results[2].series
+        for series in (unavail, retries):
+            for values in series.values():
+                assert values[0] == 0.0  # rate 0.0: nothing fails, no retries
+
+    def test_replication_buys_availability(self):
+        point_r1 = fault_tolerance.run_point(
+            make_slashdot_like(seed=3, scale=0.02),
+            n_servers=8,
+            replication=1,
+            crash_rate=0.3,
+            timeout_rate=0.0,
+            n_requests=100,
+            seed=3,
+        )
+        point_r3 = fault_tolerance.run_point(
+            make_slashdot_like(seed=3, scale=0.02),
+            n_servers=8,
+            replication=3,
+            crash_rate=0.3,
+            timeout_rate=0.0,
+            n_requests=100,
+            seed=3,
+        )
+        assert point_r1["unavailable_fraction"] > point_r3["unavailable_fraction"]
+        assert point_r3["live_covered_fraction"] == 1.0

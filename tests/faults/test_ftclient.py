@@ -1,0 +1,206 @@
+"""The fault-tolerant read path: failover, degraded reads, the guarantee."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.core.bundling import Bundler
+from repro.errors import ConfigurationError
+from repro.faults.ftclient import DegradedFetchResult, FaultTolerantRnBClient
+from repro.faults.health import HealthTracker
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.types import Request
+
+N_ITEMS = 60
+
+
+def make_stack(
+    *,
+    n_servers: int = 6,
+    replication: int = 2,
+    crash_rate: float = 0.0,
+    timeout_rate: float = 0.0,
+    seed: int = 0,
+    horizon: int = 64,
+    **client_kwargs,
+):
+    placer = RangedConsistentHashPlacer(n_servers, replication, vnodes=32, seed=0)
+    cluster = Cluster(placer, range(N_ITEMS), memory_factor=None)
+    plan = FaultPlan(
+        n_servers,
+        FaultConfig(
+            crash_rate=crash_rate,
+            timeout_rate=timeout_rate,
+            horizon=horizon,
+            seed=seed,
+        ),
+    )
+    injector = FaultInjector(plan)
+    cluster.attach_injector(injector)
+    client = FaultTolerantRnBClient(cluster, Bundler(placer), **client_kwargs)
+    return placer, cluster, injector, client
+
+
+class TestValidation:
+    def test_placer_mismatch(self):
+        placer, cluster, _, _ = make_stack()
+        other = RangedConsistentHashPlacer(6, 2, vnodes=32, seed=1)
+        with pytest.raises(ConfigurationError):
+            FaultTolerantRnBClient(cluster, Bundler(other))
+
+    def test_bad_knobs(self):
+        placer, cluster, _, _ = make_stack()
+        with pytest.raises(ConfigurationError):
+            FaultTolerantRnBClient(cluster, Bundler(placer), max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            FaultTolerantRnBClient(cluster, Bundler(placer), timeout_strikes=0)
+
+
+class TestHealthyPath:
+    def test_no_faults_full_fetch(self):
+        _, _, _, client = make_stack()
+        request = Request(items=tuple(range(12)))
+        result = client.execute(request)
+        assert isinstance(result, DegradedFetchResult)
+        assert result.items_fetched == 12
+        assert result.unavailable == ()
+        assert not result.degraded
+        assert result.unavailable_fraction == 0.0
+        assert result.failovers == 0
+        assert result.retries == 0
+        assert result.transactions >= 1
+
+    def test_empty_request(self):
+        _, _, _, client = make_stack()
+        result = client.execute(Request(items=()))
+        assert result.items_fetched == 0
+        assert result.transactions == 0
+
+
+class TestCrashStop:
+    def test_failover_reads_everything_with_a_live_replica(self):
+        placer, _, injector, client = make_stack(
+            crash_rate=0.4, replication=2, seed=13
+        )
+        for start in range(0, N_ITEMS, 10):
+            request = Request(items=tuple(range(start, start + 10)))
+            result = client.execute(request)
+            dead = injector.crashed_now()
+            for item in request.items:
+                if any(s not in dead for s in placer.servers_for(item)):
+                    assert item not in result.unavailable
+            assert result.items_fetched + len(result.unavailable) == request.size
+
+    def test_all_replicas_dead_is_degraded_not_fatal(self):
+        placer, _, injector, client = make_stack(
+            n_servers=4, replication=2, crash_rate=1.0, horizon=1, seed=3
+        )
+        request = Request(items=tuple(range(10)))
+        result = client.execute(request)  # tick 1: everything is down
+        assert injector.crashed_now() == frozenset(range(4))
+        assert result.items_fetched == 0
+        assert set(result.unavailable) == set(range(10))
+        assert result.degraded
+        assert result.unavailable_fraction == 1.0
+
+    def test_health_learns_and_plans_route_around(self):
+        health = HealthTracker(6, dead_after=1)
+        placer, _, injector, client = make_stack(
+            crash_rate=0.4, replication=2, seed=13, horizon=1, health=health
+        )
+        request = Request(items=tuple(range(N_ITEMS)))
+        first = client.execute(request)
+        assert first.failovers > 0  # paid for discovering the dead
+        assert health.exclusions() == injector.crashed_now()
+        second = client.execute(request)
+        # the plan now routes around the dead: every *successful*
+        # transaction lands on a live server (the remaining failovers are
+        # the waves re-probing believed-dead servers for items with no
+        # surviving replica — stale health must not strand an item)
+        assert set(second.servers_contacted).isdisjoint(injector.crashed_now())
+        assert set(second.unavailable) == set(first.unavailable)
+
+
+class TestTransientTimeouts:
+    def test_retries_ride_out_flakiness(self):
+        _, _, injector, client = make_stack(
+            timeout_rate=0.3, seed=21, max_retries=4, timeout_strikes=4
+        )
+        total_unavailable = 0
+        retries = 0
+        for start in range(0, N_ITEMS, 10):
+            result = client.execute(Request(items=tuple(range(start, start + 10))))
+            total_unavailable += len(result.unavailable)
+            retries += result.retries
+        assert injector.timeouts_injected > 0
+        assert retries > 0
+        # nobody actually died: every item is readable with enough patience
+        assert total_unavailable == 0
+
+    def test_zero_retries_still_fail_over(self):
+        # max_retries=0 disables in-place retry, but waves still re-dispatch
+        _, _, injector, client = make_stack(
+            timeout_rate=0.3, seed=21, max_retries=0, timeout_strikes=6
+        )
+        result = client.execute(Request(items=tuple(range(20))))
+        assert result.retries == 0
+        assert result.unavailable == ()
+
+
+class TestLimitRequests:
+    def test_limit_satisfied_under_crashes(self):
+        _, _, _, client = make_stack(crash_rate=0.3, replication=2, seed=5)
+        request = Request(items=tuple(range(20)), limit_fraction=0.5)
+        result = client.execute(request)
+        assert result.items_fetched >= request.required_items
+        assert result.unavailable == ()  # quota met: nothing is "unavailable"
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        def run():
+            _, _, _, client = make_stack(
+                crash_rate=0.3, timeout_rate=0.2, replication=2, seed=99
+            )
+            out = []
+            for start in range(0, N_ITEMS, 10):
+                r = client.execute(Request(items=tuple(range(start, start + 10))))
+                out.append(
+                    (
+                        r.transactions,
+                        r.items_fetched,
+                        r.retries,
+                        r.failovers,
+                        r.unavailable,
+                        r.servers_contacted,
+                    )
+                )
+            return out
+
+        assert run() == run()
+
+
+@given(
+    seed=st.integers(0, 1_000),
+    crash_rate=st.floats(0.0, 0.6),
+    items=st.lists(
+        st.integers(0, N_ITEMS - 1), min_size=1, max_size=15, unique=True
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_live_replica_implies_served(seed, crash_rate, items):
+    """Crash-only faults: any item with >= 1 live replica is always read."""
+    placer, _, injector, client = make_stack(
+        crash_rate=crash_rate, replication=2, seed=seed
+    )
+    result = client.execute(Request(items=tuple(items)))
+    dead = injector.crashed_now()
+    for item in items:
+        if any(s not in dead for s in placer.servers_for(item)):
+            assert item not in result.unavailable
+    assert result.items_fetched + len(result.unavailable) == len(items)

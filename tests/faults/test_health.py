@@ -1,0 +1,76 @@
+"""The alive / suspected / dead state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.health import ALIVE, DEAD, SUSPECTED, HealthTracker
+
+
+class TestValidation:
+    def test_bad_shapes(self):
+        with pytest.raises(ConfigurationError):
+            HealthTracker(0)
+        with pytest.raises(ConfigurationError):
+            HealthTracker(4, suspect_after=0)
+        with pytest.raises(ConfigurationError):
+            HealthTracker(4, suspect_after=3, dead_after=2)
+
+
+class TestStateMachine:
+    def test_starts_all_alive(self):
+        t = HealthTracker(4)
+        assert t.counts() == {ALIVE: 4, SUSPECTED: 0, DEAD: 0}
+        assert t.exclusions() == frozenset()
+        assert t.alive_servers() == frozenset(range(4))
+
+    def test_thresholds(self):
+        t = HealthTracker(2, suspect_after=1, dead_after=3)
+        t.record_error(0)
+        assert t.state(0) == SUSPECTED
+        t.record_error(0)
+        assert t.state(0) == SUSPECTED
+        t.record_error(0)
+        assert t.state(0) == DEAD
+        assert t.state(1) == ALIVE
+
+    def test_success_fully_rehabilitates(self):
+        t = HealthTracker(1, dead_after=2)
+        t.record_error(0)
+        t.record_error(0)
+        assert t.state(0) == DEAD
+        t.record_success(0)
+        assert t.state(0) == ALIVE
+        # the error streak restarts from zero
+        t.record_error(0)
+        assert t.state(0) == SUSPECTED
+
+    def test_non_consecutive_errors_do_not_kill(self):
+        t = HealthTracker(1, dead_after=3)
+        for _ in range(10):
+            t.record_error(0)
+            t.record_error(0)
+            t.record_success(0)
+        assert t.state(0) == ALIVE
+        assert t.snapshot()[0].total_errors == 20
+        assert t.snapshot()[0].total_successes == 10
+
+
+class TestExclusions:
+    def test_dead_only_by_default(self):
+        t = HealthTracker(3, suspect_after=1, dead_after=2)
+        t.record_error(0)  # suspected
+        t.record_error(1)
+        t.record_error(1)  # dead
+        assert t.exclusions() == frozenset({1})
+        assert t.exclusions(include_suspected=True) == frozenset({0, 1})
+        assert t.is_available(0)
+        assert not t.is_available(1)
+        assert t.alive_servers() == frozenset({0, 2})
+
+    def test_snapshot_is_a_copy(self):
+        t = HealthTracker(1)
+        snap = t.snapshot()
+        snap[0].state = DEAD
+        assert t.state(0) == ALIVE
