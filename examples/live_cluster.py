@@ -8,14 +8,22 @@ from paper section IV:
 * replicated writes via Ranged Consistent Hashing;
 * bundled multi-gets (watch the per-server transaction counters);
 * miss repair from the distinguished copy after a replica is evicted;
-* the atomic-update scheme (strip replicas, CAS the distinguished copy).
+* the atomic-update scheme (strip replicas, CAS the distinguished copy);
+* **self-healing**: one server is killed for real, the client's dead
+  verdict commits a topology epoch, and re-replication repair restores
+  full R on the survivors (docs/RECOVERY.md).
 
 Run:  python examples/live_cluster.py
 """
 
 from repro.core.bundling import Bundler
 from repro.faults.health import HealthTracker
-from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.membership import (
+    EpochedPlacer,
+    MembershipService,
+    RepairExecutor,
+    protocol_repair_fns,
+)
 from repro.protocol.consistency import atomic_update
 from repro.protocol.memclient import MemcachedConnection
 from repro.protocol.memserver import MemcachedServer, serve_tcp
@@ -50,17 +58,23 @@ def main() -> None:
             )
             print(f"server {sid} listening on {host}:{port}")
 
-        placer = RangedConsistentHashPlacer(N_SERVERS, REPLICATION)
+        placer = EpochedPlacer("rch", N_SERVERS, REPLICATION)
+        keys = [f"user:{i}:status" for i in range(40)]
+        copy_fn, drop_fn = protocol_repair_fns(conns)
+        membership = MembershipService(
+            placer, keys, executor=RepairExecutor(copy_fn, drop_fn)
+        )
+        health = HealthTracker(N_SERVERS, dead_after=2)
         client = RnBProtocolClient(
             conns,
             placer,
             bundler=Bundler(placer),
             retry_policy=POLICY,
-            health=HealthTracker(N_SERVERS),
+            health=health,
+            membership=membership,
         )
 
         # --- replicated writes ---
-        keys = [f"user:{i}:status" for i in range(40)]
         for i, key in enumerate(keys):
             client.set(key, f"status update #{i}".encode())
         print(f"\nwrote {len(keys)} keys, {REPLICATION} replicas each")
@@ -92,6 +106,28 @@ def main() -> None:
             client, victim, lambda old: (old or b"") + b" (edited)", repopulate=True
         )
         print(f"atomic update: {victim!r} -> {client.get(victim)!r}")
+
+        # --- self-healing: kill a server for real ---
+        dead_sid = 3
+        tcp_servers[dead_sid].shutdown()
+        tcp_servers[dead_sid].server_close()
+        conns[dead_sid].transport.close()
+        print(f"\nkilled server {dead_sid} (socket closed)")
+        on_dead = [k for k in keys if dead_sid in placer.servers_for(k)]
+        while True:  # reads keep completing while the verdict forms
+            out = client.get_multi(on_dead)
+            assert not out.missing, "surviving replicas cover every read"
+            if out.membership_commits:
+                break
+        event = membership.events[-1]
+        membership.tick()  # unthrottled: drain the repair queue
+        out = client.get_multi(keys)
+        assert not out.missing
+        print(
+            f"epoch {placer.epoch}: removed server {dead_sid}, repaired "
+            f"{event.repair_items} replicas onto the survivors; all "
+            f"{len(keys)} keys at full R={REPLICATION} again"
+        )
 
     finally:
         for server in tcp_servers:

@@ -121,6 +121,43 @@ class Cluster:
                 server.latency_multiplier = 1.0
         return self
 
+    def add_server(self, sid: int) -> Server:
+        """Provision empty server slots up through id ``sid`` (elastic join).
+
+        New servers start with nothing resident; membership repair (or
+        foreground misses) populates them.  Under limited memory each
+        new server gets the same replica budget existing ones got —
+        joining grows the fleet's total memory, as in the paper's
+        provisioning model.
+        """
+        while len(self.servers) <= sid:
+            new_id = len(self.servers)
+            if self.memory_factor is None:
+                store = (
+                    PinnedLRU(None)
+                    if self.lru_policy == "pinned"
+                    else PriorityClassStore(None)
+                )
+            elif self.lru_policy == "pinned":
+                extra_total = (self.memory_factor - 1.0) * len(self.items)
+                store = PinnedLRU(int(round(extra_total / self.n_servers)))
+            else:
+                budget = int(
+                    round(self.memory_factor * len(self.items) / self.n_servers)
+                )
+                store = PriorityClassStore(max(budget, 1))
+            self.servers.append(Server(new_id, store=store))
+        self.n_servers = len(self.servers)
+        return self.servers[sid]
+
+    def wipe_server(self, sid: int) -> None:
+        """Simulate a crash losing server ``sid``'s memory (not its budget).
+
+        The fleet keeps serving; re-replication (``repro.membership``)
+        is responsible for restoring the lost copies elsewhere.
+        """
+        self.servers[sid].wipe()
+
     def __len__(self) -> int:
         return self.n_servers
 

@@ -160,6 +160,15 @@ class PinnedLRU:
     def replica_keys(self) -> list:
         return self._lru.keys()
 
+    def wipe(self) -> None:
+        """Drop every entry, pinned or not, keeping the capacity.
+
+        Models a server restart after a crash: the memory is gone but the
+        provisioned budget is unchanged (re-replication must repopulate).
+        """
+        self._pinned.clear()
+        self._lru = LRUCache(self._lru.capacity)
+
 
 class PriorityClassStore:
     """A :class:`PinnedLRU`-compatible store backed by :class:`PriorityLRU`.
@@ -242,6 +251,11 @@ class PriorityClassStore:
 
     def replica_keys(self) -> list:
         return [k for k in self._lru._b.keys()]
+
+    def wipe(self) -> None:
+        """Drop every entry, keeping the capacity (server restart)."""
+        self._distinguished.clear()
+        self._lru = PriorityLRU(self._lru.capacity)
 
 
 class PartitionedLRU:

@@ -132,6 +132,10 @@ class Server:
         self.store.put(item)
         self.counters.writes += 1
 
+    def wipe(self) -> None:
+        """Lose all stored data (crash): capacity survives, contents do not."""
+        self.store.wipe()
+
     # -- introspection ----------------------------------------------------
 
     @property

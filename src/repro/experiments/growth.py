@@ -15,11 +15,18 @@ and multi-hash placement:
 
 * **churn** — the fraction of (item, replica) assignments that move when
   server N+1 joins (data that must be re-copied);
+* **shrink churn** — the same fraction when one server *leaves* (the
+  repair traffic a failure costs, via the membership epoch delta);
 * **TPR continuity** — mean TPR before and after the join.
 
 For contrast it also reports the *minimum growth stride* of full-system
 replication: a k-bank fleet of N servers can only grow by N/k servers at
 a time, a constant fraction of the installed base.
+
+Both churn directions are measured with
+:func:`repro.membership.repair.compute_epoch_delta` — the exact planner
+the online repair path executes, so the numbers here are the repair
+traffic a real reconfiguration would ship.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import numpy as np
 from repro.cluster.placement import make_placer
 from repro.core.setcover import cover_from_replica_lists
 from repro.experiments.base import ExperimentResult
+from repro.membership import EpochedPlacer, compute_epoch_delta
 from repro.utils.rng import derive_rng
 
 DEFAULT_FLEET_SIZES = (8, 16, 32, 64)
@@ -38,13 +46,24 @@ def _churn(kind: str, n_servers: int, replication: int, n_items: int) -> float:
     """Fraction of replica assignments that move when one server joins."""
     before = make_placer(kind, n_servers, replication, seed=0)
     after = make_placer(kind, n_servers + 1, replication, seed=0)
-    moved = 0
-    total = n_items * replication
-    for item in range(n_items):
-        old = before.servers_for(item)
-        new = after.servers_for(item)
-        moved += len(set(old) - set(new))
-    return moved / total
+    delta = compute_epoch_delta(
+        before.servers_for, after.servers_for, range(n_items)
+    )
+    return delta.churn_fraction
+
+
+def _shrink_churn(kind: str, n_servers: int, replication: int, n_items: int) -> float:
+    """Fraction of assignments that must be re-copied when one server dies."""
+    placer = EpochedPlacer(kind, n_servers, replication, seed=0)
+    before = {item: placer.servers_for(item) for item in range(n_items)}
+    placer.install_view(placer.view.without(n_servers - 1))
+    delta = compute_epoch_delta(
+        before.__getitem__,
+        placer.servers_for,
+        range(n_items),
+        alive=placer.view.alive_servers,
+    )
+    return delta.churn_fraction
 
 
 def _tpr(
@@ -78,6 +97,11 @@ def run(
     churn_series["ideal churn R/(N+1)"] = [
         replication / (n + 1) / replication for n in fleet_sizes
     ]
+    for kind in ("rch", "multihash"):
+        churn_series[f"{kind} shrink churn"] = [
+            _shrink_churn(kind, n, replication, n_items) for n in fleet_sizes
+        ]
+    churn_series["ideal shrink churn 1/N"] = [1 / n for n in fleet_sizes]
     # full replication cannot grow by one server at all; its minimum
     # stride is one whole bank = N/k servers (k = replication banks)
     churn_series["full-repl min stride (servers)"] = [
@@ -104,7 +128,8 @@ def run(
             expectation=(
                 "RCH churn tracks the consistent-hashing ideal ~1/(N+1); "
                 "multi-hash remaps a larger share; full replication cannot "
-                "grow by one server at all (stride = N/banks)"
+                "grow by one server at all (stride = N/banks); shrink churn "
+                "(one failure) stays near 1/N for both under the epoch overlay"
             ),
         ),
         ExperimentResult(

@@ -7,6 +7,7 @@ from typing import Callable
 from repro.errors import ConfigurationError
 from repro.experiments import (
     ablations,
+    chaos,
     cover_quality,
     fault_tolerance,
     fig02,
@@ -43,6 +44,7 @@ EXPERIMENTS: dict[str, Callable[..., list[ExperimentResult]]] = {
     "fig12": fig12.run,
     "fig13_14": fig13_14.run,
     "ablations": ablations.run,
+    "chaos": chaos.run,
     "cover_quality": cover_quality.run,
     "fault_tolerance": fault_tolerance.run,
     "scalability": scalability.run,

@@ -52,6 +52,14 @@ class DegradedFetchResult:
     second_round_transactions: int
     unavailable: tuple[ItemId, ...] = ()
     servers_contacted: tuple[int, ...] = ()
+    #: topology epoch the request finished under (None without an
+    #: epoch-aware placer)
+    epoch: int | None = None
+    #: membership changes this request's dead-verdicts committed
+    membership_commits: int = 0
+    #: the client noticed the topology moved since its last request and
+    #: refreshed its view before planning
+    view_refreshed: bool = False
 
     @property
     def degraded(self) -> bool:
@@ -83,6 +91,14 @@ class FaultTolerantRnBClient:
     write_back:
         Repair evicted replicas onto the first-picked server, as the
         paper's miss path does.
+    membership:
+        Optional :class:`repro.membership.service.MembershipService`.
+        When given, a health-tracker "dead" verdict is promoted into a
+        removal proposal (this client instance as the source); if the
+        proposal commits, the shared epoched placer switches views and
+        the request's remaining failover waves re-cover onto the
+        promoted / surviving replicas — epoch handling happens *inside*
+        the read, not between requests.
     """
 
     def __init__(
@@ -94,6 +110,7 @@ class FaultTolerantRnBClient:
         max_retries: int = 2,
         timeout_strikes: int = 2,
         write_back: bool = True,
+        membership=None,
     ) -> None:
         if bundler.placer is not cluster.placer:
             raise ConfigurationError(
@@ -114,6 +131,10 @@ class FaultTolerantRnBClient:
         #: only live replica it holds.
         self.timeout_strikes = timeout_strikes
         self.write_back = write_back
+        self.membership = membership
+        #: last topology epoch this client planned under (stale-view
+        #: detection; None when the placer is not epoch-aware)
+        self.seen_epoch: int | None = getattr(bundler.placer, "epoch", None)
 
     # -- public API -----------------------------------------------------------
 
@@ -123,8 +144,15 @@ class FaultTolerantRnBClient:
         if injector is not None:
             injector.advance()
 
-        counters = {"retries": 0, "transactions": 0}
+        counters = {"retries": 0, "transactions": 0, "commits": 0}
         servers_contacted: list[int] = []
+
+        # stale-view check: another client (or the repair path) may have
+        # moved the topology since our last request — refresh before
+        # planning so the cover is computed over the current epoch
+        epoch_now = getattr(self.bundler.placer, "epoch", None)
+        view_refreshed = epoch_now is not None and epoch_now != self.seen_epoch
+        self.seen_epoch = epoch_now
 
         exclude = self.health.exclusions()
         plan = self.bundler.plan(request, exclude=exclude)
@@ -251,6 +279,9 @@ class FaultTolerantRnBClient:
             second_round_transactions=second_round,
             unavailable=tuple(sorted(unavailable)),
             servers_contacted=tuple(servers_contacted),
+            epoch=self.seen_epoch,
+            membership_commits=counters["commits"],
+            view_refreshed=view_refreshed,
         )
 
     # -- helpers ---------------------------------------------------------------
@@ -269,6 +300,7 @@ class FaultTolerantRnBClient:
                 server = self.cluster.server(sid)
             except ServerDown:
                 self.health.record_error(sid)
+                self._propose_if_dead(sid, counters)
                 return "down", None
             except ServerTimeout:
                 self.health.record_error(sid)
@@ -279,11 +311,25 @@ class FaultTolerantRnBClient:
                 continue
             except ServerFault:  # pragma: no cover - future fault kinds
                 self.health.record_error(sid)
+                self._propose_if_dead(sid, counters)
                 return "down", None
             result = server.multi_get(primary, hitchhikers)
             self.health.record_success(sid)
             counters["transactions"] += 1
             return "ok", result
+
+    def _propose_if_dead(self, sid: int, counters: dict) -> None:
+        """Promote a health-tracker dead verdict into a membership proposal.
+
+        On commit the shared placer's epoch advances, so the remaining
+        failover waves of the *current* request already re-cover over the
+        new view (candidates are recomputed from the placer each wave).
+        """
+        if self.membership is None or self.health.state(sid) != "dead":
+            return
+        if self.membership.propose_removal(sid, source=self):
+            counters["commits"] += 1
+            self.seen_epoch = getattr(self.bundler.placer, "epoch", None)
 
     def _reached_any(self, item: ItemId, tried_servers: set[int]) -> bool:
         """Did any tried replica actually answer (i.e. the item was evicted,

@@ -33,6 +33,9 @@ class ServerHealth:
     consecutive_errors: int = 0
     total_errors: int = 0
     total_successes: int = 0
+    consecutive_successes: int = 0
+    #: times this server transitioned into DEAD (flap history)
+    flaps: int = 0
 
 
 class HealthTracker:
@@ -47,10 +50,23 @@ class HealthTracker:
     dead_after:
         Consecutive errors after which it is declared *dead*.  Must be
         >= ``suspect_after``.
+    flap_threshold:
+        Opt-in flap damping.  ``None`` (the default) keeps the classic
+        behaviour: one success fully rehabilitates.  When set, a server
+        that has already died **at least twice** must produce this many
+        *consecutive* successes before a DEAD verdict is lifted — so a
+        host that oscillates between up and down stops being re-trusted
+        on every blip.  The first death stays cheap to recover from
+        (crashes happen; flapping is the pattern being damped).
     """
 
     def __init__(
-        self, n_servers: int, *, suspect_after: int = 1, dead_after: int = 3
+        self,
+        n_servers: int,
+        *,
+        suspect_after: int = 1,
+        dead_after: int = 3,
+        flap_threshold: int | None = None,
     ) -> None:
         if n_servers < 1:
             raise ConfigurationError("n_servers must be >= 1")
@@ -59,18 +75,43 @@ class HealthTracker:
                 "need 1 <= suspect_after <= dead_after; got "
                 f"suspect_after={suspect_after}, dead_after={dead_after}"
             )
+        if flap_threshold is not None and flap_threshold < 1:
+            raise ConfigurationError("flap_threshold must be >= 1 or None")
         self.n_servers = n_servers
         self.suspect_after = suspect_after
         self.dead_after = dead_after
+        self.flap_threshold = flap_threshold
         self._health = [ServerHealth() for _ in range(n_servers)]
+
+    # -- fleet size ---------------------------------------------------------
+
+    def ensure_capacity(self, n_servers: int) -> None:
+        """Grow the tracked id space (elastic join); never shrinks."""
+        while len(self._health) < n_servers:
+            self._health.append(ServerHealth())
+        self.n_servers = len(self._health)
 
     # -- observations -----------------------------------------------------
 
     def record_success(self, server: int) -> None:
-        """A transaction completed: the server is (back) alive."""
+        """A transaction completed: the server is (back) alive.
+
+        Without flap damping a single success fully rehabilitates.  With
+        ``flap_threshold`` set, a repeat offender (two or more deaths)
+        must string together ``flap_threshold`` consecutive successes
+        before its DEAD verdict is lifted.
+        """
         h = self._health[server]
         h.consecutive_errors = 0
         h.total_successes += 1
+        h.consecutive_successes += 1
+        if (
+            h.state == DEAD
+            and self.flap_threshold is not None
+            and h.flaps >= 2
+            and h.consecutive_successes < self.flap_threshold
+        ):
+            return  # damped: still not trusted
         h.state = ALIVE
 
     def record_error(self, server: int) -> None:
@@ -78,10 +119,26 @@ class HealthTracker:
         h = self._health[server]
         h.consecutive_errors += 1
         h.total_errors += 1
+        h.consecutive_successes = 0
         if h.consecutive_errors >= self.dead_after:
+            if h.state != DEAD:
+                h.flaps += 1
             h.state = DEAD
         elif h.consecutive_errors >= self.suspect_after:
             h.state = SUSPECTED
+
+    def record_recovery(self, server: int) -> None:
+        """Authoritative recovery signal (operator / membership service).
+
+        Unlike :meth:`record_success` this is not an inference from one
+        lucky transaction: the server is *known* restarted, so the
+        verdict resets unconditionally — flap damping does not apply.
+        Counters persist; only the live state machine resets.
+        """
+        h = self._health[server]
+        h.state = ALIVE
+        h.consecutive_errors = 0
+        h.consecutive_successes = 0
 
     # -- queries ------------------------------------------------------------
 
@@ -112,6 +169,8 @@ class HealthTracker:
                 consecutive_errors=h.consecutive_errors,
                 total_errors=h.total_errors,
                 total_successes=h.total_successes,
+                consecutive_successes=h.consecutive_successes,
+                flaps=h.flaps,
             )
             for sid, h in enumerate(self._health)
         }

@@ -18,8 +18,11 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro.errors import ServerDown, ServerTimeout
+from repro.errors import ConfigurationError, ServerDown, ServerTimeout
 from repro.faults.plan import FaultPlan
+from repro.hashing.hashfns import hash64_int
+
+_MASK64 = (1 << 64) - 1
 
 
 class FaultInjector:
@@ -69,3 +72,73 @@ class FaultInjector:
             server.latency_multiplier = self.plan.latency_multiplier(
                 server.server_id
             )
+
+
+class DynamicFaultInjector:
+    """An injector whose down-set is edited at runtime (no fixed plan).
+
+    The chaos harness (``repro.experiments.chaos``) drives kills,
+    restarts and joins from an explicit schedule rather than a
+    probability model, so it needs ground truth it can mutate:
+    :meth:`kill` takes a server down (every later access raises
+    :class:`ServerDown` until :meth:`restore`), and ``timeout_rate``
+    optionally layers deterministic per-attempt transient timeouts on
+    the live servers via the same stateless mixer :class:`repro.faults.
+    plan.FaultPlan` uses.
+
+    Satisfies the same interface :meth:`repro.cluster.cluster.Cluster.
+    attach_injector` expects (``check`` / ``advance`` /
+    ``apply_latency``).
+    """
+
+    def __init__(self, *, timeout_rate: float = 0.0, seed: int = 0) -> None:
+        if not (0.0 <= timeout_rate <= 1.0):
+            raise ConfigurationError(
+                f"timeout_rate must be in [0, 1]; got {timeout_rate}"
+            )
+        self.timeout_rate = timeout_rate
+        self.seed = seed
+        self.tick = 0
+        self.down: set[int] = set()
+        self._attempts: Counter[int] = Counter()
+        self.down_rejections = 0
+        self.timeouts_injected = 0
+
+    # -- schedule edits ----------------------------------------------------
+
+    def kill(self, server: int) -> None:
+        self.down.add(server)
+
+    def restore(self, server: int) -> None:
+        self.down.discard(server)
+
+    # -- clock -------------------------------------------------------------
+
+    def advance(self, ticks: int = 1) -> None:
+        self.tick += ticks
+        self._attempts.clear()
+
+    # -- the gate ------------------------------------------------------------
+
+    def check(self, server: int) -> None:
+        if server in self.down:
+            self.down_rejections += 1
+            raise ServerDown(f"server {server} is down (tick {self.tick})")
+        if self.timeout_rate > 0.0:
+            attempt = self._attempts[server]
+            self._attempts[server] += 1
+            key = (self.tick * 65_521 + server) * 8191 + attempt
+            draw = hash64_int(key, seed=self.seed ^ 0xC4A0) / (_MASK64 + 1)
+            if draw < self.timeout_rate:
+                self.timeouts_injected += 1
+                raise ServerTimeout(
+                    f"server {server} timed out (tick {self.tick}, attempt {attempt})"
+                )
+
+    # -- convenience --------------------------------------------------------
+
+    def crashed_now(self) -> frozenset[int]:
+        return frozenset(self.down)
+
+    def apply_latency(self, cluster) -> None:
+        """Dynamic outages carry no latency model; leave multipliers as-is."""

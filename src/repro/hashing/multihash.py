@@ -33,13 +33,31 @@ class MultiHashPlacer:
         *,
         seed: int = 0,
         cache_size: int = 1 << 20,
+        server_ids=None,
     ) -> None:
+        """``server_ids`` restricts placement to a subset of the id space
+        ``0 .. n_servers-1`` (used by :class:`repro.membership.EpochedPlacer`
+        to place over a surviving sub-fleet).  Hashes stay modulo the full
+        id space and re-probe past absent ids, so removing one server only
+        moves the assignments it held."""
         if n_servers <= 0:
             raise ConfigurationError("n_servers must be positive")
-        if not (1 <= replication <= n_servers):
+        if server_ids is None:
+            self._allowed: frozenset[int] | None = None
+            n_usable = n_servers
+        else:
+            self._allowed = frozenset(server_ids)
+            if not self._allowed:
+                raise ConfigurationError("server_ids must be non-empty")
+            if not all(0 <= s < n_servers for s in self._allowed):
+                raise ConfigurationError(
+                    "server_ids must lie in the id space [0, n_servers)"
+                )
+            n_usable = len(self._allowed)
+        if not (1 <= replication <= n_usable):
             raise ConfigurationError(
-                f"replication must be in [1, n_servers]; got {replication} for "
-                f"{n_servers} servers"
+                f"replication must be in [1, {n_usable}]; got {replication} for "
+                f"{n_usable} servers"
             )
         self.n_servers = n_servers
         self.replication = replication
@@ -56,11 +74,12 @@ class MultiHashPlacer:
     def _compute(self, item) -> tuple:
         chosen: list[int] = []
         used: set[int] = set()
+        allowed = self._allowed
         for j in range(self.replication):
             probe = 0
             while True:
                 s = self._hash(item, j, probe) % self.n_servers
-                if s not in used:
+                if s not in used and (allowed is None or s in allowed):
                     break
                 probe += 1
             chosen.append(s)

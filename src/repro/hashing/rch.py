@@ -37,11 +37,18 @@ class RangedConsistentHashPlacer:
     Parameters
     ----------
     n_servers:
-        Servers are the ids ``0 .. n_servers-1``.
+        Servers are the ids ``0 .. n_servers-1`` (ignored as an id source
+        when ``server_ids`` is given, but still validated against it).
     replication:
         Number of distinct replica servers per item (``R``).
     vnodes, seed:
         Forwarded to the underlying :class:`ConsistentHashRing`.
+    server_ids:
+        Optional explicit server id set to build the ring over (used by
+        :class:`repro.membership.EpochedPlacer` to place over a surviving
+        sub-fleet).  A server's vnode positions depend only on its id and
+        the seed, so rings built over overlapping id sets agree on every
+        shared server — removals move only the dead server's arcs.
     """
 
     def __init__(
@@ -52,17 +59,22 @@ class RangedConsistentHashPlacer:
         vnodes: int = 128,
         seed: int = 0,
         cache_size: int = 1 << 20,
+        server_ids=None,
     ) -> None:
         if n_servers <= 0:
             raise ConfigurationError("n_servers must be positive")
-        if not (1 <= replication <= n_servers):
+        ids = tuple(range(n_servers)) if server_ids is None else tuple(sorted(server_ids))
+        if not ids:
+            raise ConfigurationError("server_ids must be non-empty")
+        if not (1 <= replication <= len(ids)):
             raise ConfigurationError(
-                f"replication must be in [1, n_servers]; got {replication} for "
-                f"{n_servers} servers"
+                f"replication must be in [1, {len(ids)}]; got {replication} for "
+                f"{len(ids)} servers"
             )
-        self.n_servers = n_servers
+        self.n_servers = n_servers if server_ids is None else len(ids)
+        self.server_ids = ids
         self.replication = replication
-        self.ring = ConsistentHashRing(range(n_servers), vnodes=vnodes, seed=seed)
+        self.ring = ConsistentHashRing(ids, vnodes=vnodes, seed=seed)
         # Placement is a pure function of the item id, so memoise it: the
         # simulator looks up the same hot items millions of times.
         self._servers_for = lru_cache(maxsize=cache_size)(self._compute)

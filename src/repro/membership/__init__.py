@@ -1,0 +1,43 @@
+"""Self-healing membership: topology epochs, epoch-aware placement,
+re-replication repair and the coordinating service.
+
+The subsystem closes the loop the static fault model leaves open:
+clients detect failures (``repro.faults.health``), propose membership
+changes, the service commits a new epoch, the epoched placer re-derives
+placement with distinguished-copy promotion, and the repair executor
+re-replicates at a bounded rate until every item is back to full R.
+"""
+
+from repro.membership.epoched import EpochedPlacer
+from repro.membership.repair import (
+    CopyOp,
+    DropOp,
+    EpochDelta,
+    PinOp,
+    RepairExecutor,
+    cluster_repair_fns,
+    compute_epoch_delta,
+    protocol_repair_fns,
+)
+from repro.membership.service import (
+    MembershipEvent,
+    MembershipService,
+    make_cluster_service,
+)
+from repro.membership.view import ClusterView
+
+__all__ = [
+    "ClusterView",
+    "CopyOp",
+    "DropOp",
+    "EpochDelta",
+    "EpochedPlacer",
+    "MembershipEvent",
+    "MembershipService",
+    "PinOp",
+    "RepairExecutor",
+    "cluster_repair_fns",
+    "compute_epoch_delta",
+    "make_cluster_service",
+    "protocol_repair_fns",
+]

@@ -1,0 +1,181 @@
+"""Epoch-aware replica placement over a changing fleet.
+
+:class:`EpochedPlacer` wraps the library's hash placers (RCH or
+multi-hash) and re-derives placement for whatever :class:`ClusterView`
+is installed, so ``replicas_for`` / ``distinguished_for`` stay *total*
+functions of the item even after servers are removed — the paper's §IV
+placement extended with the self-healing semantics the static model
+lacks.
+
+Placement under a view is an **overlay** of two derivations:
+
+1. the *canonical* placement over all member ids (what the fleet would
+   use if everyone were alive), and
+2. a *survivor* placement over the alive ids only.
+
+For each item, the canonical replica list is filtered to alive servers
+— preserving order, which yields **distinguished-copy promotion**: when
+replica 0's server dies, replica 1 becomes the new home — and then
+topped up from the survivor stream until ``min(R, n_alive)`` distinct
+alive replicas are reached.
+
+Consequences (property-tested in ``tests/membership``):
+
+* an item with no replica on a removed server keeps its exact replica
+  list — removal churn touches only the items the dead server held;
+* every item always has ``min(R, n_alive)`` distinct alive replicas;
+* when every member is alive the placement equals the plain placer's,
+  so installing epoch 0 is a no-op relative to the classic deployment.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import ConfigurationError
+from repro.hashing.multihash import MultiHashPlacer
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.membership.view import ClusterView
+from repro.types import ReplicaSet
+
+
+class EpochedPlacer:
+    """A ``ReplicaPlacer`` that follows cluster membership epochs.
+
+    Parameters
+    ----------
+    kind:
+        ``"rch"`` (Ranged Consistent Hashing) or ``"multihash"``.
+    n_servers:
+        Initial fleet size (ids ``0..n_servers-1``, all alive) when no
+        explicit ``view`` is given.
+    replication:
+        Target replica count ``R``; the effective count is
+        ``min(R, n_alive)`` under the installed view.
+    seed, vnodes, cache_size:
+        Forwarded to the underlying placers.  ``vnodes`` only applies to
+        RCH.
+    view:
+        Optional initial :class:`ClusterView` (defaults to
+        ``ClusterView.initial(n_servers)``).
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        n_servers: int,
+        replication: int,
+        *,
+        seed: int = 0,
+        vnodes: int = 128,
+        cache_size: int = 1 << 20,
+        view: ClusterView | None = None,
+    ) -> None:
+        if kind not in ("rch", "multihash"):
+            raise ConfigurationError(
+                f"kind must be 'rch' or 'multihash'; got {kind!r}"
+            )
+        if replication < 1:
+            raise ConfigurationError("replication must be >= 1")
+        self.kind = kind
+        self.replication = replication
+        self.seed = seed
+        self.vnodes = vnodes
+        self._cache_size = cache_size
+        self.view: ClusterView = view or ClusterView.initial(n_servers)
+        self._rebuild()
+
+    # -- view management ---------------------------------------------------
+
+    def install_view(self, view: ClusterView) -> "ClusterView":
+        """Switch to ``view``; placement memoisation is rebuilt.
+
+        Installing a view with a lower epoch than the current one raises:
+        epochs are monotone, and a client holding an older view must
+        refresh, never roll the placer back.  Returns the previous view.
+        """
+        if view.epoch < self.view.epoch:
+            raise ConfigurationError(
+                f"cannot install epoch {view.epoch} over epoch {self.view.epoch}"
+            )
+        previous = self.view
+        self.view = view
+        self._rebuild()
+        return previous
+
+    @property
+    def epoch(self) -> int:
+        return self.view.epoch
+
+    @property
+    def n_servers(self) -> int:
+        """Size of the id space (so a :class:`Cluster` allocates a slot
+        per member id, including currently-dead ones)."""
+        return self.view.id_space
+
+    @property
+    def replication_effective(self) -> int:
+        return min(self.replication, self.view.n_alive)
+
+    # -- placement ----------------------------------------------------------
+
+    def _make(self, server_ids: tuple, replication: int):
+        if self.kind == "rch":
+            return RangedConsistentHashPlacer(
+                len(server_ids),
+                replication,
+                vnodes=self.vnodes,
+                seed=self.seed,
+                cache_size=self._cache_size,
+                server_ids=server_ids,
+            )
+        return MultiHashPlacer(
+            self.view.id_space,
+            replication,
+            seed=self.seed,
+            cache_size=self._cache_size,
+            server_ids=server_ids,
+        )
+
+    def _rebuild(self) -> None:
+        view = self.view
+        r_canonical = min(self.replication, view.n_members)
+        self._canonical = self._make(view.members, r_canonical)
+        if view.n_alive == view.n_members:
+            self._survivor = self._canonical
+        else:
+            self._survivor = self._make(
+                tuple(sorted(view.alive_servers)), self.replication_effective
+            )
+        self._servers_for = lru_cache(maxsize=self._cache_size)(self._compute)
+
+    def _compute(self, item) -> tuple:
+        alive = self.view.alive_servers
+        canonical = self._canonical.servers_for(item)
+        keep = [s for s in canonical if s in alive]
+        r_eff = self.replication_effective
+        need = r_eff - len(keep)
+        if need <= 0:
+            return tuple(keep[:r_eff])
+        # Top up from the survivor stream.  The stream has r_eff distinct
+        # alive servers, of which at most len(keep) coincide with the kept
+        # prefix, so it always yields the `need` replacements.
+        extras = [s for s in self._survivor.servers_for(item) if s not in keep]
+        return tuple((*keep, *extras[:need]))
+
+    def replicas_for(self, item) -> ReplicaSet:
+        """Ordered replica set under the current view; index 0 is the
+        (possibly promoted) distinguished copy."""
+        return ReplicaSet(item=item, servers=self._servers_for(item))
+
+    def servers_for(self, item) -> tuple:
+        return self._servers_for(item)
+
+    def distinguished_for(self, item) -> int:
+        return self._servers_for(item)[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"EpochedPlacer(kind={self.kind!r}, R={self.replication}, "
+            f"{self.view.describe()})"
+        )

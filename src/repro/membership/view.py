@@ -1,0 +1,139 @@
+"""Topology epochs: who is in the cluster, and since when.
+
+A :class:`ClusterView` is an immutable snapshot of cluster membership —
+the *epoch* (a monotone version number), the set of *member* server ids
+(the id space, dead or alive) and the subset currently believed *alive*.
+Every reconfiguration (permanent removal, recovery, join) produces a new
+view with ``epoch + 1``; components compare epochs to detect stale
+topology, exactly how production caches version their server rings
+(and how Harmonia-style designs reason about availability under
+reconfiguration).
+
+Views are values: they can be passed between the membership service,
+placers, repair planners and clients without aliasing hazards, and two
+views are interchangeable iff they compare equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterView:
+    """One immutable epoch of cluster membership.
+
+    Parameters
+    ----------
+    epoch:
+        Monotone topology version; bumped by every membership change.
+    alive_servers:
+        Ids of servers currently serving traffic.
+    members:
+        The full id space (alive plus known-dead ids).  Defaults to
+        ``alive_servers``.  Keeping dead ids as members means a recovered
+        server returns to exactly its canonical placement arcs.
+    """
+
+    epoch: int
+    alive_servers: frozenset[int]
+    members: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        alive = frozenset(self.alive_servers)
+        members = tuple(sorted(self.members)) if self.members else tuple(sorted(alive))
+        object.__setattr__(self, "alive_servers", alive)
+        object.__setattr__(self, "members", members)
+        if self.epoch < 0:
+            raise ConfigurationError("epoch must be non-negative")
+        if not alive:
+            raise ConfigurationError("a view must have at least one alive server")
+        if not alive <= set(members):
+            raise ConfigurationError("alive servers must be members")
+        if any(s < 0 for s in members):
+            raise ConfigurationError("server ids must be non-negative")
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def initial(cls, n_servers: int) -> "ClusterView":
+        """Epoch 0: servers ``0..n_servers-1``, all alive."""
+        if n_servers < 1:
+            raise ConfigurationError("n_servers must be >= 1")
+        ids = frozenset(range(n_servers))
+        return cls(epoch=0, alive_servers=ids, members=tuple(range(n_servers)))
+
+    # -- transitions (each returns a NEW view with epoch + 1) --------------
+
+    def without(self, server: int) -> "ClusterView":
+        """Permanent-loss transition: ``server`` leaves the alive set.
+
+        The id stays a member so a later :meth:`with_recovered` restores
+        its canonical placement.
+        """
+        if server not in self.alive_servers:
+            raise ConfigurationError(f"server {server} is not alive in epoch {self.epoch}")
+        if len(self.alive_servers) == 1:
+            raise ConfigurationError("cannot remove the last alive server")
+        return ClusterView(
+            epoch=self.epoch + 1,
+            alive_servers=self.alive_servers - {server},
+            members=self.members,
+        )
+
+    def with_recovered(self, server: int) -> "ClusterView":
+        """A known member rejoins the alive set (restart after crash)."""
+        if server not in self.members:
+            raise ConfigurationError(
+                f"server {server} is not a member; use with_join for new servers"
+            )
+        if server in self.alive_servers:
+            raise ConfigurationError(f"server {server} is already alive")
+        return ClusterView(
+            epoch=self.epoch + 1,
+            alive_servers=self.alive_servers | {server},
+            members=self.members,
+        )
+
+    def with_join(self, server: int) -> "ClusterView":
+        """A brand-new server id joins the fleet (elastic growth)."""
+        if server in self.members:
+            raise ConfigurationError(
+                f"server {server} is already a member; use with_recovered"
+            )
+        return ClusterView(
+            epoch=self.epoch + 1,
+            alive_servers=self.alive_servers | {server},
+            members=tuple(sorted((*self.members, server))),
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def n_alive(self) -> int:
+        return len(self.alive_servers)
+
+    @property
+    def n_members(self) -> int:
+        return len(self.members)
+
+    @property
+    def id_space(self) -> int:
+        """Smallest ``n`` such that every member id is in ``[0, n)``."""
+        return self.members[-1] + 1
+
+    @property
+    def dead_servers(self) -> frozenset[int]:
+        return frozenset(self.members) - self.alive_servers
+
+    def is_alive(self, server: int) -> bool:
+        return server in self.alive_servers
+
+    def describe(self) -> str:
+        dead = sorted(self.dead_servers)
+        return (
+            f"epoch {self.epoch}: {self.n_alive}/{self.n_members} alive"
+            + (f", dead={dead}" if dead else "")
+        )

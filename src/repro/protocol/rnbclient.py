@@ -53,6 +53,11 @@ class MultiGetOutcome:
     retries: int = 0
     missing: tuple[str, ...] = ()
     failed_servers: tuple[int, ...] = ()
+    #: topology epoch the request finished under (None without an
+    #: epoch-aware placer)
+    epoch: int | None = None
+    #: membership changes committed from this request's dead verdicts
+    membership_commits: int = 0
 
 
 class RnBProtocolClient:
@@ -69,10 +74,22 @@ class RnBProtocolClient:
         health: HealthTracker | None = None,
         rng=None,
         sleep=time.sleep,
+        membership=None,
     ) -> None:
-        if set(connections) != set(range(placer.n_servers)):
+        # An epoch-aware placer only routes to servers alive in its view,
+        # so connections must cover those; a static placer needs the full
+        # id range.  Extra connections (e.g. for servers expected to join)
+        # are allowed either way.
+        view = getattr(placer, "view", None)
+        needed = (
+            set(view.alive_servers)
+            if view is not None
+            else set(range(placer.n_servers))
+        )
+        if not needed <= set(connections):
             raise ConfigurationError(
-                "connections must cover server ids 0..n_servers-1 of the placer"
+                "connections must cover every server the placer can route to; "
+                f"missing {sorted(needed - set(connections))}"
             )
         self.connections = dict(connections)
         self.placer = placer
@@ -87,6 +104,11 @@ class RnBProtocolClient:
         self.health = health
         self.rng = rng
         self.sleep = sleep
+        #: optional MembershipService: dead verdicts become removal
+        #: proposals, and a mid-request epoch change triggers one
+        #: re-plan round over the new view for still-missing keys
+        self.membership = membership
+        self.seen_epoch: int | None = getattr(placer, "epoch", None)
 
     # -- fault plumbing ------------------------------------------------------
 
@@ -123,10 +145,24 @@ class RnBProtocolClient:
         except FAILOVER_ERRORS:
             if self.health is not None:
                 self.health.record_error(sid)
+            if self._propose_if_dead(sid) and counters is not None:
+                counters["commits"] = counters.get("commits", 0) + 1
             raise
         if self.health is not None:
             self.health.record_success(sid)
         return got
+
+    def _propose_if_dead(self, sid: int) -> bool:
+        """Promote a health "dead" verdict into a membership proposal.
+
+        Returns True iff the proposal committed a new epoch (the shared
+        epoched placer now routes around ``sid``).
+        """
+        if self.membership is None or self.health is None:
+            return False
+        if self.health.state(sid) != "dead":
+            return False
+        return self.membership.propose_removal(sid, source=self)
 
     # -- write path --------------------------------------------------------
 
@@ -243,9 +279,41 @@ class RnBProtocolClient:
                             except FAILOVER_ERRORS:
                                 failed.add(target)
 
+        # Epoch refresh: if this request's dead verdicts (or another
+        # client's) moved the topology mid-flight, give still-missing
+        # keys one re-plan round over the NEW view — promoted replicas
+        # and repair copies may hold them even though every replica of
+        # the old view was exhausted.
+        epoch_now = getattr(self.placer, "epoch", None)
+        still_missing = [k for k in keys if k not in outcome.values]
+        if (
+            still_missing
+            and epoch_now is not None
+            and epoch_now != self.seen_epoch
+            and len(outcome.values) < required
+        ):
+            replan = self.bundler.plan(Request(items=tuple(still_missing)))
+            for txn in replan.transactions:
+                if txn.server in failed:
+                    continue
+                try:
+                    got = self._fetch(
+                        txn.server, (*txn.primary, *txn.hitchhikers), counters
+                    )
+                except FAILOVER_ERRORS:
+                    failed.add(txn.server)
+                    continue
+                outcome.transactions += 1
+                outcome.second_round_transactions += 1
+                outcome.values.update(got)
+                outcome.misses_repaired += len(got)
+        self.seen_epoch = epoch_now
+
         outcome.missing = tuple(k for k in keys if k not in outcome.values)
         outcome.failed_servers = tuple(sorted(failed))
         outcome.retries = counters.get("retries", 0)
+        outcome.epoch = epoch_now
+        outcome.membership_commits = counters.get("commits", 0)
         return outcome
 
     def get(self, key: str) -> bytes | None:

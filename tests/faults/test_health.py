@@ -57,6 +57,80 @@ class TestStateMachine:
         assert t.snapshot()[0].total_successes == 10
 
 
+class TestRecovery:
+    def test_record_recovery_resets_state(self):
+        t = HealthTracker(2, dead_after=2)
+        t.record_error(0)
+        t.record_error(0)
+        assert t.state(0) == DEAD
+        t.record_recovery(0)
+        assert t.state(0) == ALIVE
+        # the streak restarts, history counters persist
+        t.record_error(0)
+        assert t.state(0) == SUSPECTED
+        assert t.snapshot()[0].total_errors == 3
+
+    def test_record_recovery_bypasses_flap_damping(self):
+        t = HealthTracker(1, dead_after=1, flap_threshold=3)
+        for _ in range(3):  # a serial flapper
+            t.record_error(0)
+            t.record_recovery(0)
+        assert t.state(0) == ALIVE
+
+    def test_ensure_capacity_grows_only(self):
+        t = HealthTracker(2)
+        t.ensure_capacity(4)
+        assert t.n_servers == 4
+        assert t.state(3) == ALIVE
+        t.ensure_capacity(1)  # never shrinks
+        assert t.n_servers == 4
+
+
+class TestFlapDamping:
+    def test_default_off_single_success_rehabilitates(self):
+        t = HealthTracker(1, dead_after=1)
+        for _ in range(5):
+            t.record_error(0)
+            t.record_success(0)
+        assert t.state(0) == ALIVE
+
+    def test_first_death_recovers_cheaply(self):
+        t = HealthTracker(1, dead_after=1, flap_threshold=3)
+        t.record_error(0)
+        assert t.state(0) == DEAD
+        t.record_success(0)  # one death is not a flap pattern
+        assert t.state(0) == ALIVE
+
+    def test_repeat_offender_needs_consecutive_successes(self):
+        t = HealthTracker(1, dead_after=1, flap_threshold=3)
+        t.record_error(0)
+        t.record_success(0)  # first death: cheap recovery
+        t.record_error(0)  # second death: now damped
+        assert t.state(0) == DEAD
+        t.record_success(0)
+        t.record_success(0)
+        assert t.state(0) == DEAD  # 2 of 3 — still not trusted
+        t.record_success(0)
+        assert t.state(0) == ALIVE
+        assert t.snapshot()[0].flaps == 2
+
+    def test_error_resets_the_success_streak(self):
+        t = HealthTracker(1, dead_after=1, flap_threshold=2)
+        t.record_error(0)
+        t.record_success(0)
+        t.record_error(0)  # flap #2 -> damped
+        t.record_success(0)
+        t.record_error(0)  # streak broken while still dead
+        t.record_success(0)
+        assert t.state(0) == DEAD
+        t.record_success(0)
+        assert t.state(0) == ALIVE
+
+    def test_flap_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            HealthTracker(1, flap_threshold=0)
+
+
 class TestExclusions:
     def test_dead_only_by_default(self):
         t = HealthTracker(3, suspect_after=1, dead_after=2)

@@ -1,0 +1,125 @@
+"""Epoch delta computation and the throttled repair executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ConfigurationError
+from repro.membership import (
+    EpochedPlacer,
+    RepairExecutor,
+    cluster_repair_fns,
+    compute_epoch_delta,
+)
+
+
+def delta_between(old_map, new_map, items, **kw):
+    return compute_epoch_delta(old_map.__getitem__, new_map.__getitem__, items, **kw)
+
+
+class TestComputeEpochDelta:
+    def test_identical_placements_need_nothing(self):
+        m = {0: (0, 1), 1: (1, 2)}
+        d = delta_between(m, m, [0, 1])
+        assert not d.copies and not d.drops and d.items_touched == 0
+        assert d.churn_fraction == 0.0
+
+    def test_new_assignment_becomes_copy_with_surviving_source(self):
+        d = delta_between({0: (0, 1)}, {0: (0, 2)}, [0])
+        assert len(d.copies) == 1
+        op = d.copies[0]
+        assert (op.item, op.target, op.source) == (0, 2, 0)
+        assert d.drops == tuple([type(d.drops[0])(item=0, server=1)])
+
+    def test_dead_server_cannot_source(self):
+        # server 0 held the item but is dead; source must be server 1
+        d = delta_between({0: (0, 1)}, {0: (1, 2)}, [0], alive={1, 2})
+        assert d.copies[0].source == 1
+
+    def test_no_survivor_means_backing_store_fetch(self):
+        d = delta_between({0: (0,)}, {0: (1,)}, [0], alive={1})
+        assert d.copies[0].source is None
+
+    def test_promotion_accounting(self):
+        # old home 0 dies; replica 1 is promoted, a fresh copy lands on 2
+        d = delta_between({0: (0, 1)}, {0: (1, 2)}, [0], alive={1, 2})
+        assert d.promotions == 1
+        # the promoted server already holds the item -> pin flip, no copy
+        assert [(p.item, p.server) for p in d.pin_flips] == [(0, 1)]
+        copy_targets = {c.target for c in d.copies}
+        assert copy_targets == {2}
+
+    def test_demotion_when_old_home_survives_as_replica(self):
+        # recovery: canonical home 0 comes back, 1 returns to plain replica
+        d = delta_between({0: (1, 2)}, {0: (0, 1)}, [0], alive={0, 1, 2})
+        assert d.promotions == 1
+        assert [(x.item, x.server) for x in d.demotions] == [(0, 1)]
+        assert d.copies[0].target == 0 and d.copies[0].pin
+
+    def test_per_server_traffic_accounting(self):
+        d = delta_between(
+            {0: (0, 1), 1: (0, 1)}, {0: (0, 2), 1: (0, 3)}, [0, 1]
+        )
+        assert d.per_server_incoming == {2: 1, 3: 1}
+        assert d.per_server_outgoing == {0: 2}
+        assert d.repair_traffic_items == 2
+        assert d.n_assignments == 4
+        assert d.churn_fraction == pytest.approx(0.5)
+
+
+class TestRepairExecutor:
+    def test_throttled_drain_and_completion_stamp(self):
+        applied = []
+        ex = RepairExecutor(lambda op: applied.append(op.item))
+        d = delta_between({i: (0,) for i in range(5)}, {i: (1,) for i in range(5)}, range(5))
+        record = ex.submit(d, tag="e1")
+        assert record["completed_at"] is None and ex.pending() == 5
+        assert ex.step(2, clock=10) == 2
+        assert record["completed_at"] is None
+        assert ex.step(99, clock=11) == 3
+        assert record["completed_at"] == 11
+        assert applied == [0, 1, 2, 3, 4]
+        assert ex.copies_applied == 5 and ex.pending() == 0
+
+    def test_empty_delta_completes_immediately(self):
+        ex = RepairExecutor(lambda op: None)
+        d = delta_between({0: (0,)}, {0: (0,)}, [0])
+        assert ex.submit(d)["completed_at"] == "immediate"
+
+    def test_two_batches_fifo(self):
+        ex = RepairExecutor(lambda op: None)
+        d1 = delta_between({0: (0,)}, {0: (1,)}, [0])
+        d2 = delta_between({1: (0,)}, {1: (1,)}, [1])
+        r1, r2 = ex.submit(d1), ex.submit(d2)
+        ex.step(1, clock=1)
+        assert r1["completed_at"] == 1 and r2["completed_at"] is None
+        ex.step(1, clock=2)
+        assert r2["completed_at"] == 2
+
+    def test_negative_budget_rejected(self):
+        ex = RepairExecutor(lambda op: None)
+        with pytest.raises(ConfigurationError):
+            ex.step(-1)
+
+
+class TestClusterRepairFns:
+    def test_copy_drop_demote_pin_against_stores(self):
+        placer = EpochedPlacer("rch", 4, 2, seed=3)
+        cluster = Cluster(placer, range(50))
+        before = {i: placer.servers_for(i) for i in range(50)}
+        placer.install_view(placer.view.without(0))
+        delta = compute_epoch_delta(
+            before.__getitem__,
+            placer.servers_for,
+            range(50),
+            alive=placer.view.alive_servers,
+        )
+        ex = RepairExecutor(*cluster_repair_fns(cluster, placer))
+        ex.submit(delta, tag=1)
+        ex.drain(clock=0)
+        for i in range(50):
+            servers = placer.servers_for(i)
+            assert cluster.servers[servers[0]].store.is_pinned(i)
+            for s in servers[1:]:
+                assert i in cluster.servers[s].store

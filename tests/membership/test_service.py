@@ -1,0 +1,123 @@
+"""MembershipService: proposals, commits, and the repair pump."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.errors import ConfigurationError
+from repro.membership import EpochedPlacer, MembershipService, make_cluster_service
+
+
+def make(n=6, r=3, items=120, **kw):
+    placer = EpochedPlacer("rch", n, r, seed=1)
+    cluster = Cluster(placer, range(items))
+    return cluster, placer, make_cluster_service(cluster, placer, **kw)
+
+
+class TestProposals:
+    def test_single_source_commits_at_confirm_after_1(self):
+        _, placer, svc = make()
+        assert svc.propose_removal(2)
+        assert placer.epoch == 1
+        assert 2 not in svc.view.alive_servers
+
+    def test_quorum_of_sources(self):
+        _, placer, svc = make(confirm_after=2)
+        assert not svc.propose_removal(2, source="client-a")
+        assert placer.epoch == 0
+        # same source again does not advance the count
+        assert not svc.propose_removal(2, source="client-a")
+        assert svc.propose_removal(2, source="client-b")
+        assert placer.epoch == 1
+
+    def test_stale_proposals_ignored(self):
+        _, placer, svc = make()
+        svc.propose_removal(2)
+        # 2 is already gone; a stale client's proposal is a no-op
+        assert not svc.propose_removal(2)
+        assert placer.epoch == 1
+
+    def test_never_removes_last_server(self):
+        _, placer, svc = make(n=2, r=1)
+        assert svc.propose_removal(0)
+        assert not svc.propose_removal(1)
+        assert 1 in svc.view.alive_servers
+
+    def test_proposals_reset_after_commit(self):
+        _, placer, svc = make(confirm_after=2)
+        svc.propose_removal(2, source="a")
+        svc.propose_removal(3, source="a")
+        svc.propose_removal(2, source="b")  # commits removal of 2
+        # the half-confirmed proposal for 3 must not survive the epoch:
+        # "b" is only the FIRST source again, and "c" completes the quorum
+        assert not svc.propose_removal(3, source="b")
+        assert svc.propose_removal(3, source="c")
+
+
+class TestRepairPump:
+    def test_throttle_budget_per_tick(self):
+        _, placer, svc = make(repair_rate=10)
+        svc.propose_removal(1)
+        total = svc.pending_repair()
+        assert total > 10
+        assert svc.tick(clock=0) == 10
+        assert svc.pending_repair() == total - 10
+        ticks = 1
+        while svc.pending_repair():
+            assert svc.tick(clock=ticks) <= 10
+            ticks += 1
+        event = svc.events[-1]
+        assert event.repair_completed_at == ticks - 1
+
+    def test_unthrottled_tick_drains_everything(self):
+        _, _, svc = make(repair_rate=None)
+        svc.propose_removal(1)
+        svc.tick(clock=0)
+        assert svc.pending_repair() == 0
+
+    def test_event_log_records_the_story(self):
+        cluster, placer, svc = make()
+        svc.propose_removal(4)
+        svc.tick(clock=0)
+        svc.announce_recovery(4)
+        svc.tick(clock=1)
+        cluster.add_server(6)
+        svc.announce_join(6)
+        svc.tick(clock=2)
+        kinds = [(e.kind, e.server, e.epoch) for e in svc.events]
+        assert kinds == [("remove", 4, 1), ("recover", 4, 2), ("join", 6, 3)]
+        assert all(e.repair_items > 0 for e in svc.events)
+
+    def test_join_then_full_replication_on_new_server(self):
+        cluster, placer, svc = make(n=4, r=2, items=80)
+        cluster.add_server(4)
+        svc.announce_join(4)
+        svc.tick(clock=0)
+        for i in range(80):
+            for s in placer.servers_for(i):
+                assert i in cluster.servers[s].store
+
+    def test_config_validation(self):
+        placer = EpochedPlacer("rch", 4, 2, seed=1)
+        with pytest.raises(ConfigurationError):
+            MembershipService(placer, range(10), confirm_after=0)
+        with pytest.raises(ConfigurationError):
+            MembershipService(placer, range(10), repair_rate=-1)
+
+
+class TestEpochedPlacerGuards:
+    def test_stale_view_install_refused(self):
+        placer = EpochedPlacer("rch", 4, 2, seed=1)
+        v0 = placer.view
+        placer.install_view(v0.without(1))
+        with pytest.raises(ConfigurationError):
+            placer.install_view(v0)
+
+    def test_same_epoch_reinstall_allowed(self):
+        placer = EpochedPlacer("rch", 4, 2, seed=1)
+        placer.install_view(placer.view)  # idempotent refresh
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EpochedPlacer("mod", 4, 2)

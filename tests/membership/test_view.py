@@ -1,0 +1,97 @@
+"""ClusterView: epochs, transitions, and their guard rails."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.membership import ClusterView
+
+
+class TestInitial:
+    def test_initial_view(self):
+        v = ClusterView.initial(4)
+        assert v.epoch == 0
+        assert v.alive_servers == frozenset(range(4))
+        assert v.members == (0, 1, 2, 3)
+        assert v.n_alive == v.n_members == 4
+        assert v.id_space == 4
+        assert not v.dead_servers
+
+    def test_initial_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            ClusterView.initial(0)
+
+    def test_alive_must_be_members(self):
+        with pytest.raises(ConfigurationError):
+            ClusterView(epoch=0, alive_servers=frozenset({5}), members=(0, 1))
+
+    def test_views_are_values(self):
+        a = ClusterView.initial(3)
+        b = ClusterView(epoch=0, alive_servers=frozenset({0, 1, 2}))
+        assert a == b
+
+
+class TestTransitions:
+    def test_without_keeps_membership(self):
+        v = ClusterView.initial(3).without(1)
+        assert v.epoch == 1
+        assert v.alive_servers == frozenset({0, 2})
+        assert v.members == (0, 1, 2)  # id stays a member
+        assert v.dead_servers == frozenset({1})
+        assert v.id_space == 3
+
+    def test_without_last_server_refused(self):
+        v = ClusterView.initial(2).without(0)
+        with pytest.raises(ConfigurationError):
+            v.without(1)
+
+    def test_without_dead_server_refused(self):
+        v = ClusterView.initial(3).without(1)
+        with pytest.raises(ConfigurationError):
+            v.without(1)
+
+    def test_recovery_roundtrip(self):
+        v0 = ClusterView.initial(3)
+        v2 = v0.without(2).with_recovered(2)
+        assert v2.epoch == 2
+        assert v2.alive_servers == v0.alive_servers
+        assert v2.members == v0.members
+
+    def test_recover_requires_membership(self):
+        v = ClusterView.initial(3)
+        with pytest.raises(ConfigurationError):
+            v.with_recovered(7)
+
+    def test_recover_alive_refused(self):
+        v = ClusterView.initial(3)
+        with pytest.raises(ConfigurationError):
+            v.with_recovered(1)
+
+    def test_join_new_id(self):
+        v = ClusterView.initial(3).with_join(3)
+        assert v.members == (0, 1, 2, 3)
+        assert v.alive_servers == frozenset(range(4))
+        assert v.id_space == 4
+
+    def test_join_existing_member_refused(self):
+        v = ClusterView.initial(3).without(1)
+        with pytest.raises(ConfigurationError):
+            v.with_join(1)  # dead member: with_recovered, not with_join
+
+    def test_epochs_are_monotone_across_any_walk(self):
+        v = ClusterView.initial(4)
+        epochs = [v.epoch]
+        for step in (
+            lambda x: x.without(0),
+            lambda x: x.with_join(4),
+            lambda x: x.with_recovered(0),
+            lambda x: x.without(3),
+        ):
+            v = step(v)
+            epochs.append(v.epoch)
+        assert epochs == sorted(epochs) == list(range(5))
+
+    def test_describe_mentions_dead(self):
+        v = ClusterView.initial(3).without(1)
+        assert "dead=[1]" in v.describe()

@@ -1,0 +1,106 @@
+"""Hypothesis properties of epoch-aware placement (satellite of the
+self-healing PR): minimal churn and invariant replica counts.
+
+The two load-bearing claims of :class:`~repro.membership.epoched.
+EpochedPlacer`:
+
+1. removing one server moves **only** items that had a replica on it —
+   everything else keeps its exact replica list (minimal churn);
+2. after any single removal, every item still has exactly
+   ``min(R, n_alive)`` *distinct, alive* replicas, and a promoted home
+   is the old replica 1 whenever the old home died.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.membership import EpochedPlacer
+
+# (kind, n_servers, replication, victim, seed)
+placer_params = st.tuples(
+    st.sampled_from(["rch", "multihash"]),
+    st.integers(2, 10),
+    st.integers(1, 4),
+    st.integers(0, 9),
+    st.integers(0, 2**16),
+).map(lambda t: (t[0], t[1], min(t[2], t[1]), t[3] % t[1], t[4]))
+
+N_ITEMS = 80
+
+
+@settings(max_examples=60, deadline=None)
+@given(placer_params)
+def test_removal_moves_only_items_the_victim_held(params):
+    kind, n, r, victim, seed = params
+    placer = EpochedPlacer(kind, n, r, seed=seed, vnodes=32)
+    before = {i: placer.servers_for(i) for i in range(N_ITEMS)}
+    placer.install_view(placer.view.without(victim))
+    for i in range(N_ITEMS):
+        after = placer.servers_for(i)
+        if victim not in before[i]:
+            assert after == before[i], (
+                f"item {i} moved without holding a replica on {victim}"
+            )
+
+
+@settings(max_examples=60, deadline=None)
+@given(placer_params)
+def test_survivors_keep_full_effective_replication(params):
+    kind, n, r, victim, seed = params
+    placer = EpochedPlacer(kind, n, r, seed=seed, vnodes=32)
+    placer.install_view(placer.view.without(victim))
+    alive = placer.view.alive_servers
+    r_eff = min(r, len(alive))
+    assert placer.replication_effective == r_eff
+    for i in range(N_ITEMS):
+        servers = placer.servers_for(i)
+        assert len(servers) == len(set(servers)) == r_eff
+        assert set(servers) <= alive
+
+
+@settings(max_examples=60, deadline=None)
+@given(placer_params)
+def test_promotion_is_old_replica_one(params):
+    kind, n, r, victim, seed = params
+    placer = EpochedPlacer(kind, n, r, seed=seed, vnodes=32)
+    before = {i: placer.servers_for(i) for i in range(N_ITEMS)}
+    placer.install_view(placer.view.without(victim))
+    for i in range(N_ITEMS):
+        old = before[i]
+        if old[0] == victim and len(old) > 1:
+            assert placer.servers_for(i)[0] == old[1]
+
+
+@settings(max_examples=40, deadline=None)
+@given(placer_params)
+def test_recovery_restores_the_original_placement(params):
+    kind, n, r, victim, seed = params
+    placer = EpochedPlacer(kind, n, r, seed=seed, vnodes=32)
+    before = {i: placer.servers_for(i) for i in range(N_ITEMS)}
+    placer.install_view(placer.view.without(victim))
+    placer.install_view(placer.view.with_recovered(victim))
+    assert {i: placer.servers_for(i) for i in range(N_ITEMS)} == before
+
+
+@settings(max_examples=40, deadline=None)
+@given(placer_params, st.integers(0, 9))
+def test_double_failure_still_covers_when_possible(params, second):
+    """Two sequential removals: every item keeps min(R, n_alive) distinct
+    alive replicas (availability floor under multi-failure)."""
+    kind, n, r, victim, seed = params
+    if n < 3:
+        return
+    second = second % n
+    if second == victim:
+        second = (second + 1) % n
+    placer = EpochedPlacer(kind, n, r, seed=seed, vnodes=32)
+    placer.install_view(placer.view.without(victim))
+    placer.install_view(placer.view.without(second))
+    alive = placer.view.alive_servers
+    r_eff = min(r, len(alive))
+    for i in range(N_ITEMS):
+        servers = placer.servers_for(i)
+        assert len(set(servers)) == r_eff
+        assert set(servers) <= alive
