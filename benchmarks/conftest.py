@@ -9,7 +9,9 @@ can cite them.
 Scale knobs:
 
 * default — laptop-quick (~seconds per figure, scaled-down graphs);
-* ``RNB_BENCH_FULL=1`` — paper-scale graphs and request counts (minutes).
+* ``RNB_BENCH_FULL=1`` — paper-scale graphs and request counts (minutes);
+* ``RNB_BENCH_WORKERS=N`` — worker count for sweep parallelism in the
+  full profile (default: all cores but one).
 
 Run with ``pytest benchmarks/ --benchmark-only``.
 """
@@ -31,12 +33,17 @@ FULL_SCALE = os.environ.get("RNB_BENCH_FULL", "") not in ("", "0")
 def bench_profile() -> dict:
     """Size parameters for experiment drivers, quick vs full."""
     if FULL_SCALE:
+        workers_env = os.environ.get("RNB_BENCH_WORKERS", "")
+        if workers_env:
+            max_workers = max(1, int(workers_env))
+        else:
+            max_workers = max(1, (os.cpu_count() or 1) - 1)
         return {
             "scale": 1.0,
             "n_requests": 4000,
             "warmup_requests": 20_000,
             "mc_trials": 1000,
-            "max_workers": max(1, (os.cpu_count() or 1) - 1),
+            "max_workers": max_workers,
         }
     return {
         "scale": 0.1,

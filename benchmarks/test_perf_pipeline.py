@@ -1,0 +1,69 @@
+"""Bench: the fast-path read pipeline (PR 4's perf-regression net).
+
+Runs the same three layers as ``rnb perfbench`` — cover kernel, batched
+planning, end-to-end simulation — under pytest-benchmark, plus a
+regression gate comparing the measured speedups against the committed
+``BENCH_PR4.json`` baseline.  Absolute rates are machine-dependent, so
+only *speedups* (fast vs baseline arm, same machine, same run) are
+gated, with the generous tolerance ``repro.perf.bench`` defaults to.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import (
+    compare_against_baseline,
+    run_perfbench,
+)
+from repro.sim.config import ClientConfig, ClusterConfig, SimConfig
+from repro.sim.engine import run_simulation
+from repro.workloads.synthetic import make_slashdot_like
+
+from .conftest import run_once
+
+BASELINE_PATH = Path(__file__).parent.parent / "BENCH_PR4.json"
+
+
+@pytest.fixture(scope="module")
+def graph(bench_profile):
+    return make_slashdot_like(scale=bench_profile["scale"], seed=7)
+
+
+def _config(fast_path: bool, bench_profile) -> SimConfig:
+    return SimConfig(
+        cluster=ClusterConfig(n_servers=16, replication=3),
+        client=ClientConfig(mode="rnb"),
+        n_requests=bench_profile["n_requests"],
+        warmup_requests=0,
+        seed=2013,
+        fast_path=fast_path,
+    )
+
+
+def test_end_to_end_fast(benchmark, graph, bench_profile):
+    run_once(benchmark, run_simulation, graph, _config(True, bench_profile))
+
+
+def test_end_to_end_reference(benchmark, graph, bench_profile):
+    run_once(benchmark, run_simulation, graph, _config(False, bench_profile))
+
+
+def test_fast_path_bit_identical(graph, bench_profile):
+    """The acceptance invariant: both arms produce the same numbers."""
+    fast = run_simulation(graph, _config(True, bench_profile))
+    slow = run_simulation(graph, _config(False, bench_profile))
+    assert fast.stats == slow.stats
+    assert fast.txn_histogram == slow.txn_histogram
+    assert fast.meta == slow.meta
+
+
+def test_perfbench_regression_gate(benchmark):
+    """Quick perfbench run compared against the committed baseline."""
+    doc = run_once(benchmark, run_perfbench, quick=True)
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = compare_against_baseline(doc, baseline)
+    assert not failures, "\n".join(failures)

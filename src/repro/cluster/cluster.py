@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable
 
+import numpy as np
+
 from repro.cluster.lru import PinnedLRU, PriorityClassStore
 from repro.cluster.placement import ReplicaPlacer
 from repro.cluster.server import Server
@@ -54,9 +56,21 @@ class Cluster:
         self.lru_policy = lru_policy
         self.n_servers = placer.n_servers
 
-        homes: dict[int, list[ItemId]] = defaultdict(list)
-        for item in self.items:
-            homes[placer.distinguished_for(item)].append(item)
+        # When the placer is a compiled table covering exactly our items,
+        # grouping by home server is an argsort instead of a per-item loop
+        # (order-equivalent: stable sort keeps items ascending per group,
+        # exactly as appending while iterating items in order does).
+        table = getattr(placer, "table", None)
+        if table is not None and self.items == tuple(range(table.shape[0])):
+            grouped = self._group_by_server(np.arange(len(self.items)), table[:, 0])
+            homes: dict[int, list[ItemId]] = {
+                sid: items.tolist() for sid, items in grouped
+            }
+        else:
+            table = None
+            homes = defaultdict(list)
+            for item in self.items:
+                homes[placer.distinguished_for(item)].append(item)
 
         self.servers: list[Server] = []
         for sid in range(self.n_servers):
@@ -84,13 +98,37 @@ class Cluster:
         # and the warmup phase then re-orders survivors by actual use.
         # With memory_factor=None (naive allocation) everything stays
         # resident, giving exactly Fig 6's setting.
-        for item in self.items:
-            for sid in placer.servers_for(item)[1:]:
-                self.servers[sid].store.put(item)
+        if table is not None:
+            # Each server receives its replica items in ascending item
+            # order either way (an item never maps twice to one server),
+            # so bulk insertion reproduces the per-item load exactly.
+            replicas = table[:, 1:]
+            if replicas.size:
+                flat_item = np.repeat(
+                    np.arange(len(self.items)), replicas.shape[1]
+                )
+                for sid, items in self._group_by_server(flat_item, replicas.ravel()):
+                    self.servers[sid].store.put_all(items.tolist())
+        else:
+            for item in self.items:
+                for sid in placer.servers_for(item)[1:]:
+                    self.servers[sid].store.put(item)
 
         #: optional fault-injection gate (see repro.faults.injector); when
         #: attached, server accesses may raise ServerDown / ServerTimeout
         self.injector = None
+
+    @staticmethod
+    def _group_by_server(items: np.ndarray, sids: np.ndarray):
+        """Group ``items`` by server id, items ascending within each group."""
+        order = np.lexsort((items, sids))
+        sids_sorted = sids[order]
+        items_sorted = items[order]
+        boundaries = np.flatnonzero(np.diff(sids_sorted)) + 1
+        starts = np.concatenate(([0], boundaries))
+        return zip(
+            sids_sorted[starts].tolist(), np.split(items_sorted, boundaries)
+        )
 
     # -- access -----------------------------------------------------------
 

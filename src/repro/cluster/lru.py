@@ -77,6 +77,25 @@ class LRUCache:
                 self.evictions += 1
         self._entries[key] = None
 
+    def put_all(self, keys: Iterable[Hashable]) -> None:
+        """Insert many keys; equivalent to ``put`` per key, in order.
+
+        With unlimited capacity and *fresh* keys the per-key path reduces
+        to appending each key, so a single bulk dict update — which
+        preserves iteration order for new keys — produces the identical
+        LRU state without a Python-level loop.  Any key already present,
+        or any capacity bound, falls back to the per-key path (``update``
+        would skip the move-to-end refresh an existing key gets).
+        """
+        if self.capacity is None:
+            fresh = dict.fromkeys(keys)
+            if not self._entries or not any(k in self._entries for k in fresh):
+                self._entries.update(fresh)
+                return
+            keys = fresh
+        for key in keys:
+            self.put(key)
+
     def discard(self, key: Hashable) -> bool:
         if key in self._entries:
             del self._entries[key]
@@ -115,6 +134,10 @@ class PinnedLRU:
         self._lru.discard(key)
 
     def pin_all(self, keys: Iterable[Hashable]) -> None:
+        if not len(self._lru):
+            # nothing to displace: pinning is a plain set update
+            self._pinned.update(keys)
+            return
         for k in keys:
             self.pin(k)
 
@@ -146,6 +169,13 @@ class PinnedLRU:
         if key in self._pinned:
             return
         self._lru.put(key)
+
+    def put_all(self, keys: Iterable[Hashable]) -> None:
+        """Bulk :meth:`put`; order-equivalent to putting one at a time."""
+        pinned = self._pinned
+        if pinned:
+            keys = [k for k in keys if k not in pinned]
+        self._lru.put_all(keys)
 
     def discard(self, key: Hashable) -> bool:
         """Remove a replica copy; pinned entries cannot be discarded."""
@@ -236,6 +266,11 @@ class PriorityClassStore:
             self._lru.touch(key)
             return
         self._lru.put(key, CLASS_REPLICA)
+
+    def put_all(self, keys: Iterable[Hashable]) -> None:
+        """Bulk :meth:`put`; order-equivalent to putting one at a time."""
+        for key in keys:
+            self.put(key)
 
     def discard(self, key: Hashable) -> bool:
         if key in self._distinguished:

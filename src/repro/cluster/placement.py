@@ -17,7 +17,6 @@ server ids (index 0 = distinguished copy).  The library ships four:
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import Protocol, runtime_checkable
 
 from repro.errors import ConfigurationError
@@ -97,20 +96,30 @@ class FullReplicationPlacer:
         self._inner = RangedConsistentHashPlacer(
             self.bank_size, 1, vnodes=vnodes, seed=seed
         )
-        self._servers_for = lru_cache(maxsize=1 << 20)(self._compute)
+        # Plain dict memo (see RangedConsistentHashPlacer for why not an
+        # instance-bound lru_cache).
+        self._cache: dict = {}
+        self._cache_size = 1 << 20
 
     def _compute(self, item) -> tuple:
         pos = self._inner.distinguished_for(item)
         return tuple(pos + b * self.bank_size for b in range(self.banks))
 
     def replicas_for(self, item) -> ReplicaSet:
-        return ReplicaSet(item=item, servers=self._servers_for(item))
+        return ReplicaSet(item=item, servers=self.servers_for(item))
 
     def servers_for(self, item) -> tuple:
-        return self._servers_for(item)
+        cache = self._cache
+        servers = cache.get(item)
+        if servers is None:
+            servers = self._compute(item)
+            if len(cache) >= self._cache_size:
+                cache.clear()
+            cache[item] = servers
+        return servers
 
     def distinguished_for(self, item) -> int:
-        return self._servers_for(item)[0]
+        return self.servers_for(item)[0]
 
 
 class RandomPlacer:
@@ -128,7 +137,10 @@ class RandomPlacer:
         self.n_servers = n_servers
         self.replication = replication
         self.seed = seed
-        self._servers_for = lru_cache(maxsize=1 << 20)(self._compute)
+        # Plain dict memo (see RangedConsistentHashPlacer for why not an
+        # instance-bound lru_cache).
+        self._cache: dict = {}
+        self._cache_size = 1 << 20
 
     def _compute(self, item) -> tuple:
         # Deterministic "random" choice derived from the item id: do a
@@ -146,13 +158,20 @@ class RandomPlacer:
         return tuple(out)
 
     def replicas_for(self, item) -> ReplicaSet:
-        return ReplicaSet(item=item, servers=self._servers_for(item))
+        return ReplicaSet(item=item, servers=self.servers_for(item))
 
     def servers_for(self, item) -> tuple:
-        return self._servers_for(item)
+        cache = self._cache
+        servers = cache.get(item)
+        if servers is None:
+            servers = self._compute(item)
+            if len(cache) >= self._cache_size:
+                cache.clear()
+            cache[item] = servers
+        return servers
 
     def distinguished_for(self, item) -> int:
-        return self._servers_for(item)[0]
+        return self.servers_for(item)[0]
 
 
 _PLACER_FACTORIES = {

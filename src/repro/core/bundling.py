@@ -23,12 +23,20 @@ Two refinements from the paper are applied after the cover:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import AbstractSet, Sequence
+from typing import AbstractSet, Iterable, Sequence
 
 import numpy as np
 
 from repro.cluster.placement import ReplicaPlacer
 from repro.core.setcover import greedy_partial_cover
+from repro.errors import CoverError
+from repro.perf.batchcover import (
+    HAS_BITWISE_COUNT,
+    MAX_BATCH_ELEMENTS,
+    batch_greedy_cover,
+    batch_greedy_cover_wide,
+    batch_masks,
+)
 from repro.types import FetchPlan, ItemId, Request, Transaction
 from repro.utils.bitset import iter_bits
 
@@ -107,7 +115,283 @@ class Bundler:
         assigned: dict[int, list[int]] = {
             server: list(iter_bits(mask)) for server, mask in cover.assignment.items()
         }
+        return self._finish(request, items, replica_sets, assigned, exclude)
 
+    def plan_batch(
+        self, requests: Iterable[Request], *, exclude: AbstractSet[int] | None = None
+    ) -> list[FetchPlan]:
+        """Plan a chunk of requests at once; same plans as :meth:`plan`.
+
+        When the placer is a compiled :class:`repro.perf.PlacementTable`
+        and the chunk is on the default path (no exclusions, ``lowest``
+        tie-break), placement lookups run as one batch array index and the
+        greedy covers run lock-step in NumPy (single-lane kernel for
+        requests of at most 63 items, multi-lane for wider ones).
+        Requests the vectorised cover cannot express — empty, LIMIT, or
+        with items outside the compiled universe — fall back to
+        :meth:`plan` individually, so ``plan_batch(reqs)[i]`` equals
+        ``plan(reqs[i])`` for *every* request (property-tested).
+        """
+        requests = list(requests)
+        lookup = getattr(self.placer, "lookup", None)
+        if (
+            lookup is None
+            or exclude is not None
+            or self.tie_break != "lowest"
+            or not HAS_BITWISE_COUNT
+        ):
+            return [self.plan(r, exclude=exclude) for r in requests]
+
+        eligible = [
+            i
+            for i, r in enumerate(requests)
+            if 0 < len(r.items) and r.required_items == len(r.items)
+        ]
+        plans: list[FetchPlan | None] = [None] * len(requests)
+        if eligible:
+            flat = [item for i in eligible for item in requests[i].items]
+            try:
+                items_arr = np.array(flat, dtype=np.int64)
+            except (TypeError, ValueError, OverflowError):
+                items_arr = None  # non-integer item ids: scalar path
+            if items_arr is not None and (
+                items_arr.min() < 0 or items_arr.max() >= self.placer.n_items
+            ):
+                items_arr = None  # outside the compiled universe
+            if items_arr is None:
+                eligible = []
+        if eligible:
+            counts = np.array([len(requests[i].items) for i in eligible])
+            offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            servers = lookup(items_arr)
+            try:
+                picks = self._batch_covers(counts, offsets, servers)
+            except CoverError:
+                # Re-plan individually so the failing request raises the
+                # scalar solver's precise error.
+                eligible = []
+            else:
+                server_rows = servers.tolist()
+                bounds = offsets.tolist()
+                sizes = counts.tolist()
+                fast_finish = not self.hitchhiking
+                for row, i in enumerate(eligible):
+                    request = requests[i]
+                    lo = bounds[row]
+                    replica_sets = server_rows[lo : lo + sizes[row]]
+                    if fast_finish:
+                        plans[i] = self._finish_masks(
+                            request, request.items, replica_sets, picks[row]
+                        )
+                    else:
+                        assigned = {
+                            server: list(iter_bits(mask)) for server, mask in picks[row]
+                        }
+                        plans[i] = self._finish(
+                            request, request.items, replica_sets, assigned, None
+                        )
+        for i, plan in enumerate(plans):
+            if plan is None:
+                plans[i] = self.plan(requests[i])
+        return plans
+
+    def plan_footprints(
+        self, requests: Iterable[Request]
+    ) -> list[tuple[tuple[int, int], ...]]:
+        """Per request, the ``(server, n_primary)`` pairs of its plan.
+
+        Exactly ``tuple((t.server, len(t.primary)) for t in
+        plan(r).transactions)`` for every request, but computed without
+        materialising :class:`FetchPlan` / :class:`Transaction` objects:
+        in the no-miss regime (see ``RnBClient.tally_footprint``) the
+        executor only ever reads transaction servers and sizes, so
+        decoding assignment masks back into item tuples is pure overhead.
+        Falls back to :meth:`plan` per request off the vectorised
+        envelope.  Hitchhiking bundlers always fall back (hitchhikers
+        change transaction payloads, which a footprint does not carry).
+        """
+        requests = list(requests)
+        lookup = getattr(self.placer, "lookup", None)
+        footprints: list[tuple[tuple[int, int], ...] | None] = [None] * len(requests)
+        eligible: list[int] = []
+        if (
+            lookup is not None
+            and not self.hitchhiking
+            and self.tie_break == "lowest"
+            and HAS_BITWISE_COUNT
+        ):
+            eligible = [
+                i
+                for i, r in enumerate(requests)
+                if 0 < len(r.items) and r.required_items == len(r.items)
+            ]
+        if eligible:
+            flat = [item for i in eligible for item in requests[i].items]
+            try:
+                items_arr = np.array(flat, dtype=np.int64)
+            except (TypeError, ValueError, OverflowError):
+                items_arr = None
+            if items_arr is not None and (
+                items_arr.min() < 0 or items_arr.max() >= self.placer.n_items
+            ):
+                items_arr = None
+            if items_arr is None:
+                eligible = []
+        if eligible:
+            counts = np.array([len(requests[i].items) for i in eligible])
+            offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            servers = lookup(items_arr)
+            try:
+                picks = self._batch_covers(counts, offsets, servers)
+            except CoverError:
+                eligible = []
+            else:
+                home_col = servers[:, 0].tolist()
+                bounds = offsets.tolist()
+                single_rule = self.single_item_rule
+                for row, i in enumerate(eligible):
+                    merged: dict[int, int] = {}
+                    if single_rule:
+                        lo = bounds[row]
+                        singles: list[int] = []
+                        for server, mask in picks[row]:
+                            if mask & (mask - 1):
+                                merged[server] = mask
+                            else:
+                                singles.append(mask)
+                        for mask in singles:
+                            home = home_col[lo + mask.bit_length() - 1]
+                            merged[home] = merged.get(home, 0) | mask
+                    else:
+                        merged.update(picks[row])
+                    footprints[i] = tuple(
+                        (server, merged[server].bit_count())
+                        for server in sorted(merged)
+                    )
+        for i, footprint in enumerate(footprints):
+            if footprint is None:
+                footprints[i] = tuple(
+                    (t.server, len(t.primary))
+                    for t in self.plan(requests[i]).transactions
+                )
+        return footprints
+
+    def _batch_covers(
+        self, counts: np.ndarray, offsets: np.ndarray, servers: np.ndarray
+    ) -> list[list[tuple[int, int]]]:
+        """Greedy covers for a flattened chunk: per request, ``[(server,
+        assignment_mask), ...]`` in selection order.
+
+        Requests up to 63 items go through the single-lane kernel in one
+        call; the heavy tail goes through the multi-lane kernel.
+        """
+        n_requests = counts.shape[0]
+        n_servers = self.placer.n_servers
+        req_of_item = np.repeat(np.arange(n_requests), counts)
+        local = np.arange(servers.shape[0]) - offsets[req_of_item]
+        picks: list[list[tuple[int, int]]] = [[] for _ in range(n_requests)]
+
+        narrow = counts <= MAX_BATCH_ELEMENTS
+        narrow_rows = np.flatnonzero(narrow)
+        if narrow_rows.size:
+            sel = narrow[req_of_item]
+            row_of = np.cumsum(narrow) - 1  # chunk row -> narrow row
+            masks = batch_masks(
+                row_of[req_of_item[sel]],
+                np.uint64(1) << local[sel].astype(np.uint64),
+                servers[sel],
+                narrow_rows.size,
+                n_servers,
+            )
+            full = (np.uint64(1) << counts[narrow_rows].astype(np.uint64)) - np.uint64(
+                1
+            )
+            for row, row_picks in zip(
+                narrow_rows.tolist(), batch_greedy_cover(masks, full)
+            ):
+                picks[row] = row_picks
+
+        wide_rows = np.flatnonzero(~narrow)
+        if wide_rows.size:
+            sel = ~narrow[req_of_item]
+            row_of = np.cumsum(~narrow) - 1
+            n_lanes = int(counts[wide_rows].max() + MAX_BATCH_ELEMENTS - 1) // (
+                MAX_BATCH_ELEMENTS
+            )
+            lane = local[sel] // MAX_BATCH_ELEMENTS
+            bit = np.uint64(1) << (local[sel] % MAX_BATCH_ELEMENTS).astype(np.uint64)
+            replication = servers.shape[1]
+            masks = np.zeros((wide_rows.size, n_servers, n_lanes), dtype=np.uint64)
+            np.bitwise_or.at(
+                masks,
+                (
+                    np.repeat(row_of[req_of_item[sel]], replication),
+                    servers[sel].ravel(),
+                    np.repeat(lane, replication),
+                ),
+                np.repeat(bit, replication),
+            )
+            lane_bits = counts[wide_rows, None] - MAX_BATCH_ELEMENTS * np.arange(
+                n_lanes
+            )
+            lane_bits = np.clip(lane_bits, 0, MAX_BATCH_ELEMENTS)
+            full = (np.uint64(1) << lane_bits.astype(np.uint64)) - np.uint64(1)
+            for row, row_picks in zip(
+                wide_rows.tolist(), batch_greedy_cover_wide(masks, full)
+            ):
+                picks[row] = row_picks
+        return picks
+
+    def _finish_masks(
+        self,
+        request: Request,
+        items: Sequence[ItemId],
+        replica_sets: Sequence[Sequence[int]],
+        picks: list[tuple[int, int]],
+    ) -> FetchPlan:
+        """Mask-native :meth:`_finish` for the no-hitchhiking batch path.
+
+        Operates on the cover's ``(server, assignment_mask)`` picks
+        directly — the single-item rule is one bit trick per pick
+        (``mask & (mask - 1)`` is zero exactly for singletons) and
+        transaction item lists decode straight from the merged masks.
+        Produces the identical :class:`FetchPlan` as ``_finish`` over the
+        decoded index lists (property-tested).
+        """
+        merged: dict[int, int] = {}
+        if self.single_item_rule:
+            singles: list[int] = []
+            for server, mask in picks:
+                if mask & (mask - 1):
+                    merged[server] = mask
+                else:
+                    singles.append(mask)
+            for mask in singles:
+                home = replica_sets[mask.bit_length() - 1][0]
+                merged[home] = merged.get(home, 0) | mask
+        else:
+            merged.update(picks)
+
+        transactions = []
+        for server in sorted(merged):
+            mask = merged[server]
+            primary = []
+            while mask:
+                low = mask & -mask
+                primary.append(items[low.bit_length() - 1])
+                mask ^= low
+            transactions.append(Transaction(server=server, primary=tuple(primary)))
+        return FetchPlan(request=request, transactions=tuple(transactions))
+
+    def _finish(
+        self,
+        request: Request,
+        items: Sequence[ItemId],
+        replica_sets: Sequence[Sequence[int]],
+        assigned: dict[int, list[int]],
+        exclude: AbstractSet[int] | None,
+    ) -> FetchPlan:
+        """Shared tail of planning: enhancements + transaction assembly."""
         if self.single_item_rule:
             assigned = self._apply_single_item_rule(
                 assigned, replica_sets, exclude=exclude

@@ -131,6 +131,82 @@ class RnBClient:
             txn_sizes=tuple(txn_sizes),
         )
 
+    def tally_plan(self, plan: FetchPlan) -> FetchResult:
+        """Account a plan that cannot miss, without walking the stores.
+
+        Precondition (the caller's to guarantee — the simulation engine
+        checks it once per run): every planned primary item is resident on
+        its transaction's server and *stays* resident, i.e. unlimited
+        memory (``memory_factor=None``) with the pinned LRU policy, no
+        hitchhikers, and no fault injection.  Under naive allocation every
+        logical replica is preloaded and nothing is ever evicted, so each
+        ``multi_get`` would return all-hits and the recency reordering it
+        performs can never influence anything observable.  This method
+        applies exactly the counter updates those all-hit transactions
+        would and returns the identical :class:`FetchResult`
+        (property-tested against :meth:`execute_plan`).
+        """
+        items_total = 0
+        servers_contacted: list[int] = []
+        txn_sizes: list[int] = []
+        servers = self.cluster.servers
+        for txn in plan.transactions:
+            n = len(txn.primary)
+            c = servers[txn.server].counters
+            c.transactions += 1
+            c.items_requested += n
+            c.items_returned += n
+            c.hits += n
+            c.txn_sizes.add(n)
+            servers_contacted.append(txn.server)
+            txn_sizes.append(n)
+            items_total += n
+        return FetchResult(
+            request=plan.request,
+            transactions=len(plan.transactions),
+            items_fetched=items_total,
+            items_transferred=items_total,
+            misses=0,
+            second_round_transactions=0,
+            servers_contacted=tuple(servers_contacted),
+            txn_sizes=tuple(txn_sizes),
+        )
+
+    def tally_footprint(
+        self, request: Request, footprint: tuple[tuple[int, int], ...]
+    ) -> FetchResult:
+        """Account a plan *footprint* — ``(server, n_primary)`` pairs.
+
+        Same precondition and counter updates as :meth:`tally_plan`, but
+        driven by ``Bundler.plan_footprints`` output so the fast path
+        never materialises plan objects at all.  Returns the identical
+        :class:`FetchResult` that ``execute_plan(plan(request))`` would.
+        """
+        items_total = 0
+        servers = self.cluster.servers
+        txn_sizes = []
+        servers_contacted = []
+        for sid, n in footprint:
+            c = servers[sid].counters
+            c.transactions += 1
+            c.items_requested += n
+            c.items_returned += n
+            c.hits += n
+            c.txn_sizes.add(n)
+            servers_contacted.append(sid)
+            txn_sizes.append(n)
+            items_total += n
+        return FetchResult(
+            request=request,
+            transactions=len(footprint),
+            items_fetched=items_total,
+            items_transferred=items_total,
+            misses=0,
+            second_round_transactions=0,
+            servers_contacted=tuple(servers_contacted),
+            txn_sizes=tuple(txn_sizes),
+        )
+
     # -- helpers ---------------------------------------------------------------
 
     @staticmethod

@@ -13,6 +13,21 @@ number of CPU cycles"), sets are Python integers used as bit vectors over
 the request's items, so one greedy step over an N-server candidate list
 costs N ``and``/``popcount`` machine-word operations.
 
+Two implementations share the same contract:
+
+* :func:`greedy_partial_cover` — the production kernel.  It is an
+  *incremental* (lazy-decreasing) greedy: per-server gains live in a
+  priority heap and are revalidated only when a server reaches the top
+  (Minoux's accelerated greedy, 1978).  Because gains are submodular —
+  covering elements can only shrink another server's marginal gain — a
+  heap entry whose recorded gain matches its recomputed gain is globally
+  maximal, so each pick touches only the handful of servers whose gains
+  went stale instead of rescanning every candidate.
+* :func:`greedy_partial_cover_reference` — the original O(S·picks)
+  rescan loop, kept as the executable specification.  Property tests
+  assert the kernel matches it pick-for-pick (selection order,
+  assignment masks, rng consumption) on random instances.
+
 Tie-breaking matters for RnB beyond determinism: breaking ties toward the
 lowest server id makes replica choices *sticky* across similar requests,
 which is what lets per-server LRUs identify globally cold replicas
@@ -22,14 +37,17 @@ ablation that quantifies this effect.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import AbstractSet, Mapping, Sequence
+from typing import AbstractSet, Callable, Mapping, Sequence, TypeAlias
 
 import numpy as np
 
 from repro.errors import CoverError
 
-TieBreak = "str | Callable[[Sequence[int]], int]"
+#: Tie-break policy: ``"lowest"`` / ``"random"``, or a callable that
+#: receives the tied candidate keys (ascending) and returns the winner.
+TieBreak: TypeAlias = "str | Callable[[Sequence[int]], int]"
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,7 +92,7 @@ class CoverResult:
         return tuple(out)
 
 
-def _resolve_tie_break(tie_break, rng: np.random.Generator | None):
+def _resolve_tie_break(tie_break: TieBreak, rng: np.random.Generator | None):
     if callable(tie_break):
         return tie_break
     if tie_break == "lowest":
@@ -86,17 +104,33 @@ def _resolve_tie_break(tie_break, rng: np.random.Generator | None):
     raise ValueError(f"unknown tie_break {tie_break!r}")
 
 
+def _trim_overshoot(newly: int, need: int) -> int:
+    """LIMIT trimming: keep only ``need`` elements of ``newly`` (lowest
+    element indices first, deterministic)."""
+    trimmed = 0
+    for _ in range(need):
+        low = newly & -newly
+        trimmed |= low
+        newly ^= low
+    return trimmed
+
+
 def greedy_partial_cover(
     subsets: Mapping[int, int],
     n_elements: int,
     required: int,
     *,
-    tie_break="lowest",
+    tie_break: TieBreak = "lowest",
     rng: np.random.Generator | None = None,
     exclude: AbstractSet[int] | None = None,
     allow_partial: bool = False,
 ) -> CoverResult:
     """Greedy cover stopping once ``required`` elements are covered.
+
+    Incremental (lazy-decreasing) kernel: picks are identical to
+    :func:`greedy_partial_cover_reference`, but each greedy step costs
+    O(stale log S) heap work instead of an O(S) rescan of every
+    candidate.
 
     Parameters
     ----------
@@ -129,6 +163,131 @@ def greedy_partial_cover(
     CoverError
         If fewer than ``required`` elements appear in the union of all
         (non-excluded) subsets and ``allow_partial`` is false.
+    """
+    if not (0 <= required <= n_elements):
+        raise ValueError(f"required must be in [0, n_elements]; got {required}")
+    lowest = tie_break == "lowest"
+    pick = None if lowest else _resolve_tie_break(tie_break, rng)
+    if exclude:
+        subsets = {k: v for k, v in subsets.items() if k not in exclude}
+    # The no-exclude path reads ``subsets`` in place: the kernel never
+    # mutates the mapping, so no defensive copy is needed.
+
+    union = 0
+    for mask in subsets.values():
+        union |= mask
+    if union.bit_count() < required:
+        if not allow_partial:
+            raise CoverError(
+                f"instance is infeasible: union covers {union.bit_count()} of the "
+                f"{required} required elements"
+            )
+        required = union.bit_count()
+
+    selected: list[int] = []
+    assignment: dict[int, int] = {}
+    covered = 0
+    if required == 0:
+        return CoverResult(
+            selected=(), assignment=assignment, covered=0, n_elements=n_elements
+        )
+
+    # Heap of (-recorded_gain, key).  Recorded gains are upper bounds on
+    # the true marginal gain (gains only decrease as coverage grows), so
+    # an entry whose recomputed gain equals its recorded gain is maximal.
+    # Keys are inserted in ascending order purely for determinism of the
+    # initial heapify; correctness rests on tuple ordering alone.
+    heap: list[tuple[int, int]] = []
+    for key in sorted(subsets):
+        gain = subsets[key].bit_count()
+        if gain:
+            heap.append((-gain, key))
+    heapq.heapify(heap)
+
+    uncovered = (1 << n_elements) - 1
+    covered_count = 0
+
+    while covered_count < required:
+        # Revalidate the top until its recorded gain is fresh.
+        while heap:
+            neg_gain, key = heap[0]
+            actual = (subsets[key] & uncovered).bit_count()
+            if actual == -neg_gain:
+                break
+            if actual:
+                heapq.heapreplace(heap, (-actual, key))
+            else:
+                heapq.heappop(heap)
+        if not heap:  # pragma: no cover - guarded by union check above
+            raise CoverError("greedy stalled before reaching required coverage")
+        best_gain = -heap[0][0]
+
+        if lowest:
+            # Tuple order already yields the lowest key among maximal
+            # gains: any lower key with true gain == best_gain would have
+            # a recorded gain >= best_gain and therefore sit above the
+            # validated top — impossible.
+            choice = heapq.heappop(heap)[1]
+        else:
+            # Collect *all* keys whose true gain equals best_gain.  Only
+            # entries with recorded gain == best_gain can qualify (the
+            # top is the maximum recorded gain), and equal-priority pops
+            # arrive in ascending key order, matching the reference
+            # scan's candidate order.
+            candidates: list[int] = []
+            stale: list[tuple[int, int]] = []
+            while heap and -heap[0][0] == best_gain:
+                neg_gain, key = heapq.heappop(heap)
+                actual = (subsets[key] & uncovered).bit_count()
+                if actual == best_gain:
+                    candidates.append(key)
+                elif actual:
+                    stale.append((-actual, key))
+            choice = pick(candidates)
+            for key in candidates:
+                if key != choice:
+                    heapq.heappush(heap, (-best_gain, key))
+            for entry in stale:
+                heapq.heappush(heap, entry)
+
+        newly = subsets[choice] & uncovered
+
+        # LIMIT trimming: if the last pick overshoots, keep only as many
+        # items as needed (lowest element indices first, deterministic).
+        need = required - covered_count
+        if best_gain > need:
+            newly = _trim_overshoot(newly, need)
+
+        selected.append(choice)
+        assignment[choice] = newly
+        covered |= newly
+        uncovered &= ~newly
+        covered_count = covered.bit_count()
+
+    return CoverResult(
+        selected=tuple(selected),
+        assignment=assignment,
+        covered=covered,
+        n_elements=n_elements,
+    )
+
+
+def greedy_partial_cover_reference(
+    subsets: Mapping[int, int],
+    n_elements: int,
+    required: int,
+    *,
+    tie_break: TieBreak = "lowest",
+    rng: np.random.Generator | None = None,
+    exclude: AbstractSet[int] | None = None,
+    allow_partial: bool = False,
+) -> CoverResult:
+    """The original rescan greedy — executable specification.
+
+    Recomputes every candidate's gain on every pick (O(S·picks)).  Kept
+    for the property tests that pin the incremental kernel to it, and as
+    the "pre-PR pipeline" side of ``rnb perfbench``.  Semantics and
+    parameters are identical to :func:`greedy_partial_cover`.
     """
     if not (0 <= required <= n_elements):
         raise ValueError(f"required must be in [0, n_elements]; got {required}")
@@ -170,17 +329,9 @@ def greedy_partial_cover(
         choice = pick(candidates)
         newly = remaining[choice] & uncovered
 
-        # LIMIT trimming: if the last pick overshoots, keep only as many
-        # items as needed (lowest element indices first, deterministic).
         need = required - covered.bit_count()
         if newly.bit_count() > need:
-            trimmed = 0
-            m = newly
-            for _ in range(need):
-                low = m & -m
-                trimmed |= low
-                m ^= low
-            newly = trimmed
+            newly = _trim_overshoot(newly, need)
 
         selected.append(choice)
         assignment[choice] = newly
@@ -200,7 +351,7 @@ def greedy_set_cover(
     subsets: Mapping[int, int],
     n_elements: int,
     *,
-    tie_break="lowest",
+    tie_break: TieBreak = "lowest",
     rng: np.random.Generator | None = None,
     exclude: AbstractSet[int] | None = None,
     allow_partial: bool = False,
@@ -221,7 +372,7 @@ def cover_from_replica_lists(
     replica_lists: Sequence[Sequence[int]],
     *,
     required: int | None = None,
-    tie_break="lowest",
+    tie_break: TieBreak = "lowest",
     rng: np.random.Generator | None = None,
     exclude: AbstractSet[int] | None = None,
     allow_partial: bool = False,

@@ -92,6 +92,15 @@ class ConsistentHashRing:
         self._points = keep_points
         self._owners = keep_owners
 
+    def slots(self) -> tuple[list[int], list[Hashable]]:
+        """The ring's raw geometry: sorted positions and their owners.
+
+        Exposed for :mod:`repro.perf`, which compiles the walk into a
+        slot-successor table instead of re-walking per item.  Returns
+        copies so callers cannot corrupt the ring.
+        """
+        return list(self._points), list(self._owners)
+
     # -- lookups ------------------------------------------------------
 
     def key_position(self, key) -> int:

@@ -16,8 +16,6 @@ their balance and the resulting TPR.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.errors import ConfigurationError
 from repro.hashing.hashfns import hash64_int, stable_hash64
 from repro.types import ReplicaSet
@@ -62,7 +60,10 @@ class MultiHashPlacer:
         self.n_servers = n_servers
         self.replication = replication
         self.seed = seed
-        self._servers_for = lru_cache(maxsize=cache_size)(self._compute)
+        # Plain dict memo (see RangedConsistentHashPlacer for why not an
+        # instance-bound lru_cache).
+        self._cache: dict = {}
+        self._cache_size = cache_size
 
     def _hash(self, item, fn_index: int, probe: int) -> int:
         # one logical hash function per (replica index, probe step)
@@ -88,10 +89,17 @@ class MultiHashPlacer:
 
     def replicas_for(self, item) -> ReplicaSet:
         """Ordered replica set; index 0 is the distinguished copy."""
-        return ReplicaSet(item=item, servers=self._servers_for(item))
+        return ReplicaSet(item=item, servers=self.servers_for(item))
 
     def servers_for(self, item) -> tuple:
-        return self._servers_for(item)
+        cache = self._cache
+        servers = cache.get(item)
+        if servers is None:
+            servers = self._compute(item)
+            if len(cache) >= self._cache_size:
+                cache.clear()
+            cache[item] = servers
+        return servers
 
     def distinguished_for(self, item) -> int:
-        return self._servers_for(item)[0]
+        return self.servers_for(item)[0]

@@ -20,8 +20,6 @@ deployment is a strict superset of the plain memcached mapping.
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.errors import ConfigurationError
 from repro.hashing.hashring import ConsistentHashRing
 from repro.types import ReplicaSet
@@ -76,19 +74,29 @@ class RangedConsistentHashPlacer:
         self.replication = replication
         self.ring = ConsistentHashRing(ids, vnodes=vnodes, seed=seed)
         # Placement is a pure function of the item id, so memoise it: the
-        # simulator looks up the same hot items millions of times.
-        self._servers_for = lru_cache(maxsize=cache_size)(self._compute)
-
-    def _compute(self, item) -> tuple:
-        return self.ring.distinct_successors(item, self.replication)
+        # simulator looks up the same hot items millions of times.  A
+        # plain dict (not an instance-bound ``lru_cache``, which forms a
+        # self -> cache -> bound-method -> self cycle that outlives the
+        # last reference until a cyclic gc pass) keeps the placer freeable
+        # by reference counting alone; the bound evicts wholesale since
+        # item universes never approach it in practice.
+        self._cache: dict = {}
+        self._cache_size = cache_size
 
     def replicas_for(self, item) -> ReplicaSet:
         """Ordered replica set; index 0 is the distinguished copy."""
-        return ReplicaSet(item=item, servers=self._servers_for(item))
+        return ReplicaSet(item=item, servers=self.servers_for(item))
 
     def servers_for(self, item) -> tuple:
         """Like :meth:`replicas_for` but returns the bare server tuple."""
-        return self._servers_for(item)
+        cache = self._cache
+        servers = cache.get(item)
+        if servers is None:
+            servers = self.ring.distinct_successors(item, self.replication)
+            if len(cache) >= self._cache_size:
+                cache.clear()
+            cache[item] = servers
+        return servers
 
     def distinguished_for(self, item) -> int:
-        return self._servers_for(item)[0]
+        return self.servers_for(item)[0]

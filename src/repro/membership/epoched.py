@@ -30,8 +30,6 @@ Consequences (property-tested in ``tests/membership``):
 
 from __future__ import annotations
 
-from functools import lru_cache
-
 from repro.errors import ConfigurationError
 from repro.hashing.multihash import MultiHashPlacer
 from repro.hashing.rch import RangedConsistentHashPlacer
@@ -147,7 +145,10 @@ class EpochedPlacer:
             self._survivor = self._make(
                 tuple(sorted(view.alive_servers)), self.replication_effective
             )
-        self._servers_for = lru_cache(maxsize=self._cache_size)(self._compute)
+        # Plain dict memo (see RangedConsistentHashPlacer): an
+        # instance-bound lru_cache would cycle through the bound method
+        # and keep retired epochs alive until a cyclic gc pass.
+        self._cache: dict = {}
 
     def _compute(self, item) -> tuple:
         alive = self.view.alive_servers
@@ -166,13 +167,20 @@ class EpochedPlacer:
     def replicas_for(self, item) -> ReplicaSet:
         """Ordered replica set under the current view; index 0 is the
         (possibly promoted) distinguished copy."""
-        return ReplicaSet(item=item, servers=self._servers_for(item))
+        return ReplicaSet(item=item, servers=self.servers_for(item))
 
     def servers_for(self, item) -> tuple:
-        return self._servers_for(item)
+        cache = self._cache
+        servers = cache.get(item)
+        if servers is None:
+            servers = self._compute(item)
+            if len(cache) >= self._cache_size:
+                cache.clear()
+            cache[item] = servers
+        return servers
 
     def distinguished_for(self, item) -> int:
-        return self._servers_for(item)[0]
+        return self.servers_for(item)[0]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -1,0 +1,26 @@
+"""``repro.perf`` — the compiled fast path for the read pipeline.
+
+Three layers, each exactly equivalent to the code it accelerates:
+
+* :mod:`repro.perf.table` — :class:`PlacementTable`, compiling any
+  replica placer into a dense ``item -> R servers`` array with O(1)
+  vectorised batch lookup.
+* :mod:`repro.perf.batchcover` — the chunk-vectorised greedy set cover
+  used by :meth:`repro.core.bundling.Bundler.plan_batch`.
+* :mod:`repro.perf.bench` — the ``rnb perfbench`` regression harness
+  measuring cover / plan / end-to-end requests per second.
+
+Equivalence is load-bearing: every experiment table under
+``benchmarks/results/`` must stay byte-identical whether the fast path
+is on or off, and the property tests in ``tests/perf`` enforce it.
+"""
+
+from repro.perf.batchcover import batch_greedy_cover
+from repro.perf.table import PlacementTable, compile_placement, splitmix64_array
+
+__all__ = [
+    "PlacementTable",
+    "batch_greedy_cover",
+    "compile_placement",
+    "splitmix64_array",
+]

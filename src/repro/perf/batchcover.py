@@ -1,0 +1,146 @@
+"""Chunk-vectorised greedy set cover for batched planning.
+
+The batch-codes line of work (Zhang, Yaakobi & Silberstein, PAPERS.md)
+frames RnB's read path as batched retrieval: many small independent
+requests decoded against the same replica layout.  The per-request
+greedy cover is tiny (mean request ≈ 10 items, a handful of picks), so
+at high request rates the Python interpreter overhead of running it
+request-at-a-time dwarfs the actual bit-set arithmetic.
+
+This module runs the *same* greedy algorithm lock-step across a whole
+chunk of requests in NumPy: request item sets become one ``(C, N)``
+uint64 mask matrix (``C`` requests × ``N`` servers, bit *i* of
+``masks[r, s]`` = "request *r*'s item *i* has a replica on server *s*"),
+and each greedy round picks, for every still-uncovered request at once,
+the server with the maximal marginal gain via ``np.bitwise_count`` +
+``argmax``.  ``argmax`` returns the first maximal column, which is the
+lowest server id — exactly the solver's ``tie_break="lowest"`` policy —
+so picks, pick order and assignment masks are identical to
+:func:`repro.core.setcover.greedy_partial_cover` (property-tested).
+
+Scope: full covers (no LIMIT), no exclusions, ``tie_break="lowest"``.
+Requests of at most 63 items use the single-lane kernel
+(:func:`batch_greedy_cover`); wider requests — the heavy tail of the
+ego workload — use the multi-lane variant
+(:func:`batch_greedy_cover_wide`), which spreads each request's items
+over as many uint64 lanes as its size needs.  Together they cover the
+simulator's entire default hot path; callers fall back to the scalar
+solver outside the envelope (LIMIT requests, exclusions, other
+tie-breaks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CoverError
+
+#: Largest request size (elements per cover) the uint64 lane supports.
+MAX_BATCH_ELEMENTS = 63
+
+HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def batch_masks(
+    req_of_item: np.ndarray,
+    bit_of_item: np.ndarray,
+    servers: np.ndarray,
+    n_requests: int,
+    n_servers: int,
+) -> np.ndarray:
+    """Scatter per-replica rows into the ``(C, N)`` uint64 mask matrix.
+
+    ``req_of_item``/``bit_of_item`` give, per flattened item, its request
+    row and its single-bit mask; ``servers`` is the matching ``(T, R)``
+    replica table slice.  One ``bitwise_or.at`` call builds every
+    request's per-server bitmasks at once.
+    """
+    replication = servers.shape[1]
+    masks = np.zeros((n_requests, n_servers), dtype=np.uint64)
+    np.bitwise_or.at(
+        masks,
+        (np.repeat(req_of_item, replication), servers.ravel()),
+        np.repeat(bit_of_item, replication),
+    )
+    return masks
+
+
+def batch_greedy_cover(
+    masks: np.ndarray, full: np.ndarray
+) -> list[list[tuple[int, int]]]:
+    """Greedy full cover of every request in the chunk, lock-step.
+
+    Parameters
+    ----------
+    masks:
+        ``(C, N)`` uint64 per-server element bitmasks.
+    full:
+        ``(C,)`` uint64 target bitmasks (all of request *r*'s elements).
+
+    Returns, per request, the pick list ``[(server, newly_mask), ...]``
+    in selection order — the exact ``selected``/``assignment`` content of
+    the scalar solver's :class:`~repro.core.setcover.CoverResult`.
+    """
+    n_requests = masks.shape[0]
+    picks: list[list[tuple[int, int]]] = [[] for _ in range(n_requests)]
+    uncovered = full.astype(np.uint64, copy=True)
+    active = np.flatnonzero(uncovered)
+    while active.size:
+        sub = masks[active]
+        unc = uncovered[active]
+        gains = np.bitwise_count(sub & unc[:, None])
+        best = gains.argmax(axis=1)
+        rows = np.arange(active.size)
+        if not gains[rows, best].all():
+            raise CoverError(
+                "batched greedy stalled: some request has an element with no "
+                "replica on any server"
+            )
+        newly = sub[rows, best] & unc
+        unc ^= newly  # newly is a subset of unc
+        uncovered[active] = unc
+        for req, server, mask in zip(active.tolist(), best.tolist(), newly.tolist()):
+            picks[req].append((server, mask))
+        active = active[unc != np.uint64(0)]
+    return picks
+
+
+def batch_greedy_cover_wide(
+    masks: np.ndarray, full: np.ndarray
+) -> list[list[tuple[int, int]]]:
+    """Multi-lane :func:`batch_greedy_cover` for requests wider than 63 items.
+
+    ``masks`` is ``(C, N, L)`` and ``full`` is ``(C, L)``: request bit
+    ``i`` lives in lane ``i // 63``, bit ``i % 63``.  Gains sum popcounts
+    across lanes, so pick order and tie-breaking are identical to the
+    single-lane kernel; returned pick masks are recombined into arbitrary-
+    precision Python ints, exactly as the scalar solver's assignment
+    masks.
+    """
+    n_requests, _, n_lanes = masks.shape
+    picks: list[list[tuple[int, int]]] = [[] for _ in range(n_requests)]
+    uncovered = full.astype(np.uint64, copy=True)
+    active = np.flatnonzero(uncovered.any(axis=1))
+    lane_shifts = [63 * lane for lane in range(n_lanes)]
+    while active.size:
+        sub = masks[active]
+        unc = uncovered[active]
+        newly_all = sub & unc[:, None, :]
+        gains = np.bitwise_count(newly_all).sum(axis=2, dtype=np.int64)
+        best = gains.argmax(axis=1)
+        rows = np.arange(active.size)
+        if not gains[rows, best].all():
+            raise CoverError(
+                "batched greedy stalled: some request has an element with no "
+                "replica on any server"
+            )
+        newly = newly_all[rows, best]
+        unc ^= newly
+        uncovered[active] = unc
+        for req, server, lanes in zip(active.tolist(), best.tolist(), newly.tolist()):
+            mask = 0
+            for shift, lane_mask in zip(lane_shifts, lanes):
+                mask |= lane_mask << shift
+            picks[req].append((server, mask))
+        active = active[unc.any(axis=1)]
+    return picks

@@ -1,0 +1,218 @@
+"""``rnb perfbench`` — the fast-path perf-regression benchmark.
+
+Measures three layers of the read pipeline at the paper's Fig 6 setting
+(16 servers, R=3, slashdot-like graph), each as *baseline vs fast path*
+requests-per-second at fixed seeds:
+
+* ``cover`` — the incremental (lazy-decreasing) greedy cover kernel
+  against the rescan reference solver, on the cover instances the
+  request stream produces over a 100-server fleet (the lazy heap's
+  advantage grows with candidate count; at 16 servers the rescan is
+  already trivially cheap, which is the scalability experiments' fleet
+  regime, not Fig 6's).
+* ``plan`` — vectorised ``Bundler.plan_batch`` over a compiled placement
+  table against per-request ``Bundler.plan`` over the raw placer.
+* ``end_to_end`` — ``run_simulation`` with ``fast_path=True`` against
+  ``fast_path=False`` (the pre-optimisation pipeline, which both arms
+  keep producing bit-identical results with).
+
+Absolute rates are machine-dependent, so regression checking compares
+*speedups* (fast over baseline on the same machine, same run) against a
+committed baseline file (``BENCH_PR4.json``) within a tolerance; see
+:func:`compare_against_baseline`.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import replace
+from typing import Callable
+
+from repro.core.setcover import (
+    greedy_partial_cover,
+    greedy_partial_cover_reference,
+)
+from repro.sim.config import ClientConfig, ClusterConfig, SimConfig
+from repro.sim.engine import build_client, build_cluster, run_simulation
+from repro.utils.rng import derive_rng
+from repro.workloads.requests import EgoRequestGenerator
+from repro.workloads.synthetic import make_slashdot_like
+
+SCHEMA_VERSION = 1
+
+#: Default regression tolerance: a run's speedup may fall this fraction
+#: below the committed baseline's before the comparison fails.  Generous
+#: because CI machines are noisy and shared.
+DEFAULT_TOLERANCE = 0.4
+
+
+def _target_config(*, seed: int, n_requests: int, fast_path: bool) -> SimConfig:
+    """The acceptance-criterion configuration (Fig 6 defaults)."""
+    return SimConfig(
+        cluster=ClusterConfig(n_servers=16, replication=3),
+        client=ClientConfig(mode="rnb"),
+        n_requests=n_requests,
+        warmup_requests=0,
+        seed=seed,
+        fast_path=fast_path,
+    )
+
+
+def _median_seconds(fn: Callable[[], object], repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return statistics.median(times)
+
+
+def _cover_instances(placer, requests) -> list[tuple[dict[int, int], int]]:
+    """Build the bit-set cover instances the bundler would solve."""
+    instances = []
+    for request in requests:
+        subsets: dict[int, int] = {}
+        for idx, item in enumerate(request.items):
+            bit = 1 << idx
+            for server in placer.servers_for(item):
+                subsets[server] = subsets.get(server, 0) | bit
+        instances.append((subsets, len(request.items)))
+    return instances
+
+
+def run_perfbench(
+    *,
+    scale: float = 0.1,
+    seed: int = 2013,
+    n_requests: int = 1500,
+    repeats: int = 5,
+    quick: bool = False,
+) -> dict:
+    """Run all three benchmarks and return the result document.
+
+    ``quick`` shrinks the request count and repeat count for CI smoke
+    runs; the configuration block records the effective values.
+    """
+    if quick:
+        n_requests = min(n_requests, 400)
+        repeats = min(repeats, 3)
+
+    graph = make_slashdot_like(scale=scale, seed=7)
+    requests = list(
+        EgoRequestGenerator(graph, rng=derive_rng(seed, 1, 0)).stream(n_requests)
+    )
+
+    slow_config = _target_config(seed=seed, n_requests=n_requests, fast_path=False)
+    fast_config = replace(slow_config, fast_path=True)
+
+    raw_cluster = build_cluster(slow_config, graph.n_nodes)
+    raw_bundler = build_client(slow_config, raw_cluster).bundler
+    fast_cluster = build_cluster(fast_config, graph.n_nodes)
+    fast_bundler = build_client(fast_config, fast_cluster).bundler
+
+    # -- cover kernel ------------------------------------------------------
+    # Solved over a 100-server placement: per-pick work is O(S) for the
+    # rescan reference but O(stale log S) for the lazy heap, so the
+    # kernel's win only shows once the candidate count is non-trivial.
+    from repro.cluster.placement import make_placer
+
+    cover_placer = make_placer("rch", 100, 3, seed=1, vnodes=64)
+    instances = _cover_instances(cover_placer, requests)
+
+    def solve_all(solver) -> None:
+        for subsets, n in instances:
+            solver(subsets, n, n)
+
+    cover_base = _median_seconds(
+        lambda: solve_all(greedy_partial_cover_reference), repeats
+    )
+    cover_fast = _median_seconds(lambda: solve_all(greedy_partial_cover), repeats)
+
+    # -- planning ----------------------------------------------------------
+    plan_base = _median_seconds(
+        lambda: [raw_bundler.plan(r) for r in requests], repeats
+    )
+    plan_fast = _median_seconds(lambda: fast_bundler.plan_batch(requests), repeats)
+
+    # -- end to end --------------------------------------------------------
+    e2e_base = _median_seconds(lambda: run_simulation(graph, slow_config), repeats)
+    e2e_fast = _median_seconds(lambda: run_simulation(graph, fast_config), repeats)
+
+    def entry(base_s: float, fast_s: float) -> dict:
+        return {
+            "baseline_rps": round(n_requests / base_s, 1),
+            "fast_rps": round(n_requests / fast_s, 1),
+            "speedup": round(base_s / fast_s, 3),
+        }
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": {
+            "scale": scale,
+            "seed": seed,
+            "n_requests": n_requests,
+            "repeats": repeats,
+            "quick": quick,
+            "n_servers": 16,
+            "replication": 3,
+        },
+        "benchmarks": {
+            "cover": entry(cover_base, cover_fast),
+            "plan": entry(plan_base, plan_fast),
+            "end_to_end": entry(e2e_base, e2e_fast),
+        },
+    }
+
+
+def compare_against_baseline(
+    current: dict, baseline: dict, *, tolerance: float = DEFAULT_TOLERANCE
+) -> list[str]:
+    """Regression check; returns a list of human-readable failures.
+
+    Speedups (not absolute rates) are compared so the check is portable
+    across machines: each benchmark's current speedup must reach at least
+    ``(1 - tolerance)`` of the baseline speedup.
+    """
+    failures: list[str] = []
+    if current.get("schema") != baseline.get("schema"):
+        failures.append(
+            f"schema mismatch: current={current.get('schema')} "
+            f"baseline={baseline.get('schema')}"
+        )
+        return failures
+    for name, base_entry in baseline.get("benchmarks", {}).items():
+        cur_entry = current.get("benchmarks", {}).get(name)
+        if cur_entry is None:
+            failures.append(f"benchmark {name!r} missing from current run")
+            continue
+        floor = base_entry["speedup"] * (1.0 - tolerance)
+        if cur_entry["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {cur_entry['speedup']:.2f}x below floor "
+                f"{floor:.2f}x (baseline {base_entry['speedup']:.2f}x, "
+                f"tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def format_report(doc: dict) -> str:
+    """Render the benchmark document as an aligned text table."""
+    cfg = doc["config"]
+    lines = [
+        "rnb perfbench  (16 servers, R=3, slashdot-like "
+        f"scale={cfg['scale']}, seed={cfg['seed']}, "
+        f"{cfg['n_requests']} requests, median of {cfg['repeats']})",
+        f"{'layer':12s} {'baseline req/s':>14s} {'fast req/s':>12s} {'speedup':>8s}",
+    ]
+    for name, e in doc["benchmarks"].items():
+        lines.append(
+            f"{name:12s} {e['baseline_rps']:14.1f} {e['fast_rps']:12.1f} "
+            f"{e['speedup']:7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def dumps(doc: dict) -> str:
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -89,17 +89,29 @@ class ClientConfig:
 
 @dataclass(frozen=True, slots=True)
 class SimConfig:
-    """One full simulation run."""
+    """One full simulation run.
+
+    ``fast_path`` routes the run through the compiled placement table and
+    chunk-vectorised planner of :mod:`repro.perf`.  It is an
+    implementation choice, not a modelling choice: results are identical
+    bit for bit either way (enforced by ``tests/sim``), and ``rnb
+    perfbench`` measures the two arms against each other.  ``batch_size``
+    is the planning chunk length used when the fast path is on.
+    """
 
     cluster: ClusterConfig
     client: ClientConfig = field(default_factory=ClientConfig)
     n_requests: int = 2000
     warmup_requests: int = 1000
     seed: int = 0
+    fast_path: bool = True
+    batch_size: int = 256
 
     def __post_init__(self) -> None:
         if self.n_requests < 1:
             raise ConfigurationError("n_requests must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
         if self.warmup_requests < 0:
             raise ConfigurationError("warmup_requests must be >= 0")
         if self.client.mode == "noreplication" and self.cluster.replication != 1:

@@ -43,7 +43,9 @@ class EgoRequestGenerator:
     def generate(self) -> Request:
         root = int(self._roots[self.rng.integers(len(self._roots))])
         friends = self.graph.out_neighbors(root)
-        items = tuple(int(v) for v in friends)
+        # ndarray.tolist() yields plain Python ints, like int(v) per
+        # element, but converts the whole row in one C call
+        items = tuple(friends.tolist())
         if self.include_self:
             items = (root, *(i for i in items if i != root))
         return Request(items=items)

@@ -1,0 +1,122 @@
+"""The chunk-vectorised cover kernels must match the scalar solver
+pick-for-pick (selection order and per-pick assignment masks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.placement import RandomPlacer
+from repro.core.setcover import greedy_partial_cover
+from repro.errors import CoverError
+from repro.perf.batchcover import (
+    HAS_BITWISE_COUNT,
+    MAX_BATCH_ELEMENTS,
+    batch_greedy_cover,
+    batch_greedy_cover_wide,
+    batch_masks,
+)
+from repro.perf.table import PlacementTable
+
+pytestmark = pytest.mark.skipif(
+    not HAS_BITWISE_COUNT, reason="numpy lacks np.bitwise_count"
+)
+
+N_SERVERS = 16
+
+
+def _random_requests(rng, n_requests, max_items, n_items=800):
+    out = []
+    for _ in range(n_requests):
+        size = int(rng.integers(1, max_items + 1))
+        out.append(rng.choice(n_items, size=size, replace=False).tolist())
+    return out
+
+
+def _scalar_picks(table, items):
+    """(server, newly-covered mask) pick sequence of the scalar solver."""
+    subsets: dict[int, int] = {}
+    for idx, item in enumerate(items):
+        bit = 1 << idx
+        for s in table.servers_for(item):
+            subsets[s] = subsets.get(s, 0) | bit
+    result = greedy_partial_cover(subsets, len(items), len(items))
+    return [(s, result.assignment[s]) for s in result.selected]
+
+
+@pytest.fixture(scope="module")
+def table():
+    return PlacementTable.compile(RandomPlacer(N_SERVERS, 3, seed=3), 800)
+
+
+def test_narrow_kernel_matches_scalar(table):
+    rng = np.random.default_rng(42)
+    batches = _random_requests(rng, 200, MAX_BATCH_ELEMENTS)
+    counts = np.array([len(b) for b in batches])
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    flat = np.array([i for b in batches for i in b])
+    servers = table.lookup(flat)
+
+    req_of_item = np.repeat(np.arange(len(batches)), counts)
+    local = np.arange(flat.size) - offsets[req_of_item]
+    masks = batch_masks(
+        req_of_item,
+        np.uint64(1) << local.astype(np.uint64),
+        servers,
+        len(batches),
+        N_SERVERS,
+    )
+    full = ((np.uint64(1) << counts.astype(np.uint64)) - np.uint64(1)).astype(
+        np.uint64
+    )
+    picks = batch_greedy_cover(masks, full)
+
+    for row, items in enumerate(batches):
+        assert picks[row] == _scalar_picks(table, items)
+
+
+def test_wide_kernel_matches_scalar(table):
+    rng = np.random.default_rng(43)
+    batches = _random_requests(rng, 40, 300)
+    counts = np.array([len(b) for b in batches])
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    flat = np.array([i for b in batches for i in b])
+    servers = table.lookup(flat)
+
+    n_lanes = int(counts.max() + MAX_BATCH_ELEMENTS - 1) // MAX_BATCH_ELEMENTS
+    req_of_item = np.repeat(np.arange(len(batches)), counts)
+    local = np.arange(flat.size) - offsets[req_of_item]
+    lane = local // MAX_BATCH_ELEMENTS
+    bit = np.uint64(1) << (local % MAX_BATCH_ELEMENTS).astype(np.uint64)
+
+    masks = np.zeros((len(batches), N_SERVERS, n_lanes), dtype=np.uint64)
+    rep = servers.shape[1]
+    np.bitwise_or.at(
+        masks,
+        (
+            np.repeat(req_of_item, rep),
+            servers.ravel(),
+            np.repeat(lane, rep),
+        ),
+        np.repeat(bit, rep),
+    )
+    lane_bits = np.clip(
+        counts[:, None] - MAX_BATCH_ELEMENTS * np.arange(n_lanes)[None, :],
+        0,
+        MAX_BATCH_ELEMENTS,
+    )
+    full = ((np.uint64(1) << lane_bits.astype(np.uint64)) - np.uint64(1)).astype(
+        np.uint64
+    )
+    picks = batch_greedy_cover_wide(masks, full)
+
+    for row, items in enumerate(batches):
+        assert picks[row] == _scalar_picks(table, items)
+
+
+def test_infeasible_batch_raises():
+    # one request whose item maps to no server at all
+    masks = np.zeros((1, 4), dtype=np.uint64)
+    full = np.array([0b11], dtype=np.uint64)
+    with pytest.raises(CoverError):
+        batch_greedy_cover(masks, full)

@@ -1,0 +1,70 @@
+"""Schema and regression-compare logic of ``rnb perfbench``."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+from repro.perf.bench import (
+    SCHEMA_VERSION,
+    compare_against_baseline,
+    dumps,
+    format_report,
+    run_perfbench,
+)
+
+LAYERS = ("cover", "plan", "end_to_end")
+
+
+def _tiny_run():
+    return run_perfbench(scale=0.02, n_requests=40, repeats=1)
+
+
+def test_perfbench_document_schema():
+    doc = _tiny_run()
+    assert doc["schema"] == SCHEMA_VERSION
+    assert set(doc["benchmarks"]) == set(LAYERS)
+    for entry in doc["benchmarks"].values():
+        assert entry["baseline_rps"] > 0
+        assert entry["fast_rps"] > 0
+        assert entry["speedup"] > 0
+    assert doc["config"]["n_requests"] == 40
+    assert json.loads(dumps(doc)) == doc
+
+
+def test_quick_profile_shrinks_run():
+    doc = run_perfbench(scale=0.02, n_requests=5000, repeats=10, quick=True)
+    assert doc["config"]["quick"] is True
+    assert doc["config"]["n_requests"] <= 400
+    assert doc["config"]["repeats"] <= 3
+
+
+def test_format_report_lists_all_layers():
+    doc = _tiny_run()
+    report = format_report(doc)
+    for layer in LAYERS:
+        assert layer in report
+
+
+def test_compare_passes_identical_runs():
+    doc = _tiny_run()
+    assert compare_against_baseline(doc, copy.deepcopy(doc)) == []
+
+
+def test_compare_flags_regression():
+    doc = _tiny_run()
+    regressed = copy.deepcopy(doc)
+    for entry in regressed["benchmarks"].values():
+        entry["speedup"] = entry["speedup"] * 0.1
+    failures = compare_against_baseline(regressed, doc, tolerance=0.4)
+    assert len(failures) == len(LAYERS)
+    assert all("below floor" in f for f in failures)
+
+
+def test_compare_flags_schema_and_missing_benchmarks():
+    doc = _tiny_run()
+    assert compare_against_baseline({"schema": 999}, doc)
+    missing = copy.deepcopy(doc)
+    del missing["benchmarks"]["plan"]
+    failures = compare_against_baseline(missing, doc)
+    assert any("missing" in f for f in failures)

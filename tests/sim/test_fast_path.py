@@ -1,0 +1,101 @@
+"""The fast path is an implementation detail: results are bit-identical.
+
+``fast_path=True`` switches the engine onto compiled placement tables,
+chunked ``plan_batch`` planning and (when nothing can miss) counter-only
+execution.  None of that may change a single number in the result —
+these tests run both arms over the same configurations and require
+equality of every aggregate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.sim.config import ClientConfig, ClusterConfig, SimConfig
+from repro.sim.engine import _TABLE_CACHE, build_cluster, run_simulation
+
+CONFIGS = [
+    pytest.param(dict(), dict(), id="defaults"),
+    pytest.param(dict(replication=1), dict(), id="r1"),
+    pytest.param(dict(), dict(hitchhiking=True), id="hitchhiking"),
+    pytest.param(dict(), dict(single_item_rule=False), id="no-single-item-rule"),
+    pytest.param(dict(memory_factor=1.5), dict(), id="limited-memory"),
+    pytest.param(
+        dict(memory_factor=1.5, lru_policy="priority"), dict(), id="priority-lru"
+    ),
+    pytest.param(dict(placement="multihash"), dict(), id="multihash"),
+    pytest.param(
+        dict(memory_factor=1.2), dict(limit_fraction=0.5), id="limit"
+    ),
+    pytest.param(dict(), dict(merge_window=3), id="merged"),
+]
+
+
+def _run(graph, cluster_kwargs, client_kwargs, fast_path):
+    cluster_kwargs = {"n_servers": 8, "replication": 3, **cluster_kwargs}
+    warmup = 50 if cluster_kwargs.get("memory_factor") else 0
+    config = SimConfig(
+        cluster=ClusterConfig(**cluster_kwargs),
+        client=ClientConfig(mode="rnb", **client_kwargs),
+        n_requests=120,
+        warmup_requests=warmup,
+        seed=2013,
+        fast_path=fast_path,
+        batch_size=32,
+    )
+    return run_simulation(graph, config)
+
+
+@pytest.mark.parametrize("cluster_kwargs,client_kwargs", CONFIGS)
+def test_fast_path_bit_identical(small_slashdot, cluster_kwargs, client_kwargs):
+    slow = _run(small_slashdot, cluster_kwargs, client_kwargs, False)
+    fast = _run(small_slashdot, cluster_kwargs, client_kwargs, True)
+    assert dataclasses.asdict(fast.stats) == dataclasses.asdict(slow.stats)
+    assert fast.txn_histogram == slow.txn_histogram
+    assert fast.meta == slow.meta
+    assert fast.n_original_requests == slow.n_original_requests
+
+
+def test_batch_size_does_not_change_results(small_slashdot):
+    results = [
+        run_simulation(
+            small_slashdot,
+            SimConfig(
+                cluster=ClusterConfig(n_servers=8, replication=3),
+                client=ClientConfig(mode="rnb"),
+                n_requests=100,
+                warmup_requests=0,
+                seed=2013,
+                batch_size=batch_size,
+            ),
+        )
+        for batch_size in (1, 7, 64, 1024)
+    ]
+    first = results[0]
+    for other in results[1:]:
+        assert dataclasses.asdict(other.stats) == dataclasses.asdict(first.stats)
+        assert other.txn_histogram == first.txn_histogram
+
+
+def test_compiled_table_cache_reused(small_slashdot):
+    config = SimConfig(
+        cluster=ClusterConfig(n_servers=8, replication=3),
+        client=ClientConfig(mode="rnb"),
+        n_requests=10,
+        seed=2013,
+    )
+    _TABLE_CACHE.clear()
+    first = build_cluster(config, small_slashdot.n_nodes)
+    second = build_cluster(config, small_slashdot.n_nodes)
+    assert first.placer is second.placer
+    # a different memory factor shares the same placement table
+    third = build_cluster(
+        dataclasses.replace(
+            config, cluster=ClusterConfig(n_servers=8, replication=3, memory_factor=1.5)
+        ),
+        small_slashdot.n_nodes,
+    )
+    assert third.placer is first.placer
+    assert len(_TABLE_CACHE) == 1
