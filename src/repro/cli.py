@@ -6,6 +6,9 @@ Subcommands
     List available experiments.
 ``rnb run fig08 [--scale 0.1] [--seed 2013] [--n-requests 1200]``
     Run one experiment (or ``all``) and print its figure tables.
+    ``rnb run hotspot`` is the overload soak (docs/OVERLOAD.md): a
+    Zipf-skewed workload plus one straggler, with and without the
+    backpressure / breaker / hedging stack.
 ``rnb calibrate``
     Run the in-process micro-benchmark and print the fitted cost model.
 ``rnb perfbench [--quick] [--out BENCH.json] [--baseline BENCH_PR4.json]``

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.cluster.lru import PinnedLRU
+from repro.errors import ServerBusy
 from repro.types import ItemId
 from repro.utils.histogram import Histogram
 
@@ -75,6 +76,10 @@ class Server:
         #: latency inflation for slow servers (set by the fault injector;
         #: consumed by latency models — 1.0 means healthy)
         self.latency_multiplier: float = 1.0
+        #: optional backpressure gate (repro.overload.load.AdmissionControl);
+        #: None — the default — admits everything, exactly as before
+        self.admission = None
+        self._admission_clock: float = 0.0
 
     # -- provisioning ---------------------------------------------------
 
@@ -103,6 +108,12 @@ class Server:
         """
         if not primary and not hitchhikers:
             raise ValueError("a transaction must request at least one item")
+        if self.admission is not None and not self.admission.try_admit(
+            now=self._admission_clock
+        ):
+            raise ServerBusy(
+                f"server {self.server_id} shed a {len(primary)}-item transaction"
+            )
         hits: list[ItemId] = []
         misses: list[ItemId] = []
         hh_hits: list[ItemId] = []
@@ -126,6 +137,17 @@ class Server:
         c.hitchhiker_hits += len(hh_hits)
         c.txn_sizes.add(n_req)
         return hits, misses, hh_hits
+
+    def attach_admission(self, admission) -> None:
+        """Install a backpressure gate; ``multi_get`` raises
+        :class:`repro.errors.ServerBusy` when it rejects."""
+        self.admission = admission
+
+    def advance_admission_clock(self, dt: float) -> None:
+        """Move the admission token-bucket clock (logical time; the
+        caller — a tick loop or test — owns the time domain)."""
+        if dt > 0:
+            self._admission_clock += dt
 
     def write_back(self, item: ItemId) -> None:
         """Insert a replica copy after a DB fetch (miss path)."""

@@ -117,6 +117,30 @@ class Bundler:
         }
         return self._finish(request, items, replica_sets, assigned, exclude)
 
+    def plan_distinguished(
+        self, request: Request, items: Sequence[ItemId] | None = None
+    ) -> FetchPlan:
+        """Plan ``request`` (or a subset of its items) on distinguished
+        copies only — no cover, no replica freedom.
+
+        The bottom rung of the overload degradation ladder
+        (:mod:`repro.overload.hedging`): every item routes straight to
+        its pinned home copy, grouping items that share one.  Gives up
+        bundling quality, never coverage — a distinguished copy always
+        exists and never misses — so it is the cheapest plan that still
+        touches only pinned copies.  Hitchhiking is deliberately skipped:
+        a client degrading under overload must not inflate payloads.
+        """
+        wanted: Sequence[ItemId] = request.items if items is None else items
+        by_home: dict[int, list[ItemId]] = defaultdict(list)
+        for item in wanted:
+            by_home[self.placer.distinguished_for(item)].append(item)
+        transactions = tuple(
+            Transaction(server=server, primary=tuple(by_home[server]))
+            for server in sorted(by_home)
+        )
+        return FetchPlan(request=request, transactions=transactions)
+
     def plan_batch(
         self, requests: Iterable[Request], *, exclude: AbstractSet[int] | None = None
     ) -> list[FetchPlan]:

@@ -69,3 +69,16 @@ class ServerTimeout(ServerFault, TimeoutError):
     Also a :class:`TimeoutError` (hence :class:`OSError`) so socket-level
     timeout handling treats injected and real timeouts identically.
     """
+
+
+class ServerBusy(ServerFault, ConnectionError):
+    """Backpressure verdict: the server shed the transaction instead of
+    queueing it (bounded queue full or admission tokens exhausted).
+
+    Unlike :class:`ServerTimeout` no time was lost waiting — the refusal
+    is immediate — and unlike :class:`ServerDown` the server is healthy;
+    the right reaction is to re-cover onto a lightly loaded replica or
+    retry after backoff.  Also a :class:`ConnectionError` so pre-overload
+    failover paths (``FAILOVER_ERRORS``, ``RETRYABLE_ERRORS``) treat a
+    shed transaction as retryable without changes.
+    """

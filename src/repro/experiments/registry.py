@@ -22,6 +22,7 @@ from repro.experiments import (
     fig12,
     fig13_14,
     growth,
+    hotspot,
     latency,
     limit_memory,
     queueing,
@@ -52,6 +53,7 @@ EXPERIMENTS: dict[str, Callable[..., list[ExperimentResult]]] = {
     "limit_memory": limit_memory.run,
     "single_item": single_item.run,
     "growth": growth.run,
+    "hotspot": hotspot.run,
     "queueing": queueing.run,
     "sensitivity": sensitivity.run,
 }

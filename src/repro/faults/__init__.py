@@ -4,15 +4,18 @@ The paper keeps R replicas of every item on R distinct servers for
 throughput; this package cashes in the reliability dividend (paper
 sections I-C, III-B): deterministic failure schedules
 (:class:`FaultPlan`), error-driven per-server health
-(:class:`HealthTracker`), a cluster gate that injects the failures
-(:class:`FaultInjector`), and a read path that routes around them
+(:class:`HealthTracker`), cluster gates that inject the failures
+(:class:`FaultInjector` from a fixed plan,
+:class:`DynamicFaultInjector` for runtime-edited kill / restore /
+straggler schedules), and a read path that routes around them
 (:class:`FaultTolerantRnBClient`).  See docs/FAULTS.md for the failure
-model and the degraded-read semantics.
+model and the degraded-read semantics, and docs/OVERLOAD.md for the
+overload half (stragglers, breakers, backpressure).
 """
 
 from repro.faults.ftclient import DegradedFetchResult, FaultTolerantRnBClient
 from repro.faults.health import ALIVE, DEAD, SUSPECTED, HealthTracker, ServerHealth
-from repro.faults.injector import FaultInjector
+from repro.faults.injector import DynamicFaultInjector, FaultInjector
 from repro.faults.plan import FaultConfig, FaultEvent, FaultPlan
 
 __all__ = [
@@ -20,6 +23,7 @@ __all__ = [
     "DEAD",
     "SUSPECTED",
     "DegradedFetchResult",
+    "DynamicFaultInjector",
     "FaultConfig",
     "FaultEvent",
     "FaultInjector",

@@ -17,6 +17,11 @@ hardened against the failure modes of :mod:`repro.faults.plan`:
    reported in ``DegradedFetchResult.unavailable`` instead of failing
    the whole request; items evicted everywhere reachable are repaired
    from the backing store (counted as ``db_fallbacks``).
+5. **Overload awareness** (opt-in, docs/OVERLOAD.md) — with a
+   :class:`repro.overload.breaker.BreakerBoard` attached, tripped
+   servers are excluded from covers like dead ones, and BUSY sheds from
+   admission control count as *soft* failures: they trip breakers but
+   never advance the health tracker toward a dead verdict.
 
 The guarantee (property-tested): a request whose every item has at least
 one live replica is always fully served.
@@ -29,7 +34,13 @@ from dataclasses import dataclass
 
 from repro.cluster.cluster import Cluster
 from repro.core.bundling import Bundler
-from repro.errors import ConfigurationError, ServerDown, ServerFault, ServerTimeout
+from repro.errors import (
+    ConfigurationError,
+    ServerBusy,
+    ServerDown,
+    ServerFault,
+    ServerTimeout,
+)
 from repro.faults.health import HealthTracker
 from repro.types import ItemId, Request
 
@@ -99,6 +110,15 @@ class FaultTolerantRnBClient:
         the request's remaining failover waves re-cover onto the
         promoted / surviving replicas — epoch handling happens *inside*
         the read, not between requests.
+    breakers:
+        Optional :class:`repro.overload.breaker.BreakerBoard`.  The
+        client registers the board as a health observer (so every
+        success / error it already reports feeds the breakers without a
+        second call-site), advances the board's tick once per request,
+        merges ``tripped()`` into the plan's exclusions, and reports
+        BUSY sheds to it as *soft* failures — a shedding server is
+        alive, and must not be walked toward a dead verdict.  Do not
+        also register the board as an observer yourself.
     """
 
     def __init__(
@@ -111,6 +131,7 @@ class FaultTolerantRnBClient:
         timeout_strikes: int = 2,
         write_back: bool = True,
         membership=None,
+        breakers=None,
     ) -> None:
         if bundler.placer is not cluster.placer:
             raise ConfigurationError(
@@ -132,6 +153,13 @@ class FaultTolerantRnBClient:
         self.timeout_strikes = timeout_strikes
         self.write_back = write_back
         self.membership = membership
+        #: optional circuit-breaker board (repro.overload.breaker); fed
+        #: through the health tracker's observer hook plus direct soft
+        #: failures for BUSY sheds
+        self.breakers = breakers
+        if breakers is not None:
+            breakers.ensure_capacity(cluster.n_servers)
+            self.health.add_observer(breakers)
         #: last topology epoch this client planned under (stale-view
         #: detection; None when the placer is not epoch-aware)
         self.seen_epoch: int | None = getattr(bundler.placer, "epoch", None)
@@ -143,6 +171,8 @@ class FaultTolerantRnBClient:
         injector = self.cluster.injector
         if injector is not None:
             injector.advance()
+        if self.breakers is not None:
+            self.breakers.advance()
 
         counters = {"retries": 0, "transactions": 0, "commits": 0}
         servers_contacted: list[int] = []
@@ -155,6 +185,8 @@ class FaultTolerantRnBClient:
         self.seen_epoch = epoch_now
 
         exclude = self.health.exclusions()
+        if self.breakers is not None:
+            exclude = exclude | self.breakers.tripped()
         plan = self.bundler.plan(request, exclude=exclude)
 
         obtained: set[ItemId] = set()
@@ -178,7 +210,7 @@ class FaultTolerantRnBClient:
             )
             if status != "ok":
                 failovers += 1
-                if status == "timeout":
+                if status in ("timeout", "busy"):
                     strikes[txn.server] += 1
                 final = (
                     status == "down"
@@ -214,6 +246,8 @@ class FaultTolerantRnBClient:
         required = request.required_items
         unavailable: list[ItemId] = []
         believed_dead = self.health.exclusions()
+        if self.breakers is not None:
+            believed_dead = believed_dead | self.breakers.tripped()
         while pending and len(obtained) < required:
             groups: dict[int, list[ItemId]] = defaultdict(list)
             for item in sorted(pending):
@@ -249,7 +283,7 @@ class FaultTolerantRnBClient:
                 status, result = self._attempt(sid, tuple(group), (), counters)
                 if status != "ok":
                     failovers += 1
-                    if status == "timeout":
+                    if status in ("timeout", "busy"):
                         strikes[sid] += 1
                     if status == "down" or strikes[sid] >= self.timeout_strikes:
                         for item in group:
@@ -290,9 +324,12 @@ class FaultTolerantRnBClient:
         """One transaction with bounded retries.
 
         Returns ``(status, result)`` where status is ``"ok"``, ``"down"``
-        (crash-stop refusal: final) or ``"timeout"`` (retries exhausted —
+        (crash-stop refusal: final), ``"timeout"`` (retries exhausted —
         the server is alive but flaky; the caller may re-dispatch to it
-        in a later wave, which rolls fresh timeout draws).
+        in a later wave, which rolls fresh timeout draws) or ``"busy"``
+        (backpressure shed — also alive, also retryable later; strikes
+        accumulate exactly as for timeouts so a saturated server is
+        eventually routed around instead of hammered).
         """
         attempt = 0
         while True:
@@ -313,7 +350,15 @@ class FaultTolerantRnBClient:
                 self.health.record_error(sid)
                 self._propose_if_dead(sid, counters)
                 return "down", None
-            result = server.multi_get(primary, hitchhikers)
+            try:
+                result = server.multi_get(primary, hitchhikers)
+            except ServerBusy:
+                # backpressure shed: the server is alive, just overloaded.
+                # Feed the breaker (soft) but never the health tracker —
+                # shedding must not walk a server toward a dead verdict.
+                if self.breakers is not None:
+                    self.breakers.record_failure(sid)
+                return "busy", None
             self.health.record_success(sid)
             counters["transactions"] += 1
             return "ok", result

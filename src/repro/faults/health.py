@@ -82,6 +82,25 @@ class HealthTracker:
         self.dead_after = dead_after
         self.flap_threshold = flap_threshold
         self._health = [ServerHealth() for _ in range(n_servers)]
+        self._observers: list = []
+
+    # -- observers ----------------------------------------------------------
+
+    def add_observer(self, observer) -> None:
+        """Attach a passive listener to every health observation.
+
+        ``observer.observe(server, outcome)`` is called with outcome
+        ``"success"`` / ``"error"`` / ``"recovery"`` after the tracker
+        folds it in.  This is how a
+        :class:`repro.overload.breaker.BreakerBoard` piggybacks on a
+        read path that already reports to the health tracker without
+        that path growing a second reporting call-site.
+        """
+        self._observers.append(observer)
+
+    def _notify(self, server: int, outcome: str) -> None:
+        for observer in self._observers:
+            observer.observe(server, outcome)
 
     # -- fleet size ---------------------------------------------------------
 
@@ -111,8 +130,10 @@ class HealthTracker:
             and h.flaps >= 2
             and h.consecutive_successes < self.flap_threshold
         ):
+            self._notify(server, "success")
             return  # damped: still not trusted
         h.state = ALIVE
+        self._notify(server, "success")
 
     def record_error(self, server: int) -> None:
         """A transaction failed (timeout or connection error)."""
@@ -126,6 +147,7 @@ class HealthTracker:
             h.state = DEAD
         elif h.consecutive_errors >= self.suspect_after:
             h.state = SUSPECTED
+        self._notify(server, "error")
 
     def record_recovery(self, server: int) -> None:
         """Authoritative recovery signal (operator / membership service).
@@ -139,6 +161,7 @@ class HealthTracker:
         h.state = ALIVE
         h.consecutive_errors = 0
         h.consecutive_successes = 0
+        self._notify(server, "recovery")
 
     # -- queries ------------------------------------------------------------
 

@@ -100,6 +100,7 @@ class DynamicFaultInjector:
         self.seed = seed
         self.tick = 0
         self.down: set[int] = set()
+        self.slow: dict[int, float] = {}
         self._attempts: Counter[int] = Counter()
         self.down_rejections = 0
         self.timeouts_injected = 0
@@ -111,6 +112,21 @@ class DynamicFaultInjector:
 
     def restore(self, server: int) -> None:
         self.down.discard(server)
+
+    def set_slow(self, server: int, factor: float) -> None:
+        """Mark ``server`` as a straggler: alive, but ``factor``x slower.
+
+        Stragglers keep answering (``check`` passes), so health trackers
+        never kill them — routing around them is the circuit breaker's
+        and the load-aware cover's job (:mod:`repro.overload`).
+        """
+        if factor < 1.0:
+            raise ConfigurationError(f"slow factor must be >= 1.0; got {factor}")
+        self.slow[server] = factor
+
+    def clear_slow(self, server: int) -> None:
+        """The straggler recovered; back to nominal service times."""
+        self.slow.pop(server, None)
 
     # -- clock -------------------------------------------------------------
 
@@ -140,5 +156,15 @@ class DynamicFaultInjector:
     def crashed_now(self) -> frozenset[int]:
         return frozenset(self.down)
 
+    def slow_servers(self) -> frozenset[int]:
+        """Servers currently marked as stragglers."""
+        return frozenset(self.slow)
+
+    def latency_multiplier(self, server: int) -> float:
+        """Current service-time inflation for ``server`` (1.0 = healthy)."""
+        return self.slow.get(server, 1.0)
+
     def apply_latency(self, cluster) -> None:
-        """Dynamic outages carry no latency model; leave multipliers as-is."""
+        """Stamp the straggler multipliers onto the cluster's servers."""
+        for server in cluster:
+            server.latency_multiplier = self.latency_multiplier(server.server_id)

@@ -1,0 +1,47 @@
+"""Overload-robust serving: backpressure, breakers, hedging, degradation.
+
+The fault stack (:mod:`repro.faults`) handles servers that die; this
+package handles servers that are merely *drowning*.  It threads four
+cooperating mechanisms through the read path (docs/OVERLOAD.md):
+
+* admission control and load accounting (:mod:`repro.overload.load`);
+* circuit breakers layered on the health tracker
+  (:mod:`repro.overload.breaker`);
+* load-aware cover tie-breaks (:mod:`repro.overload.tiebreak`);
+* hedged bundles and deadline degradation ladders
+  (:mod:`repro.overload.hedging`);
+
+and composes them in an event-heap DES (:mod:`repro.overload.desim`)
+that the ``hotspot`` experiment drives.
+"""
+
+from repro.overload.breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard, BreakerState
+from repro.overload.desim import OverloadConfig, OverloadResult, simulate_overload
+from repro.overload.hedging import (
+    LADDER,
+    HedgePolicy,
+    ladder_required,
+    validate_partial_fraction,
+)
+from repro.overload.load import AdmissionControl, LoadTracker, TokenBucket
+from repro.overload.tiebreak import counter_tie_break, least_loaded_tie_break
+
+__all__ = [
+    "AdmissionControl",
+    "BreakerBoard",
+    "BreakerState",
+    "CLOSED",
+    "HALF_OPEN",
+    "HedgePolicy",
+    "LADDER",
+    "LoadTracker",
+    "OPEN",
+    "OverloadConfig",
+    "OverloadResult",
+    "TokenBucket",
+    "counter_tie_break",
+    "ladder_required",
+    "least_loaded_tie_break",
+    "simulate_overload",
+    "validate_partial_fraction",
+]

@@ -1,0 +1,129 @@
+"""Hedged bundle transactions and per-request deadline budgets.
+
+**Hedging** (Dean & Barroso, *The Tail at Scale*): once a request has
+waited past the ``quantile``-th latency of recently completed bundle
+transactions, re-issue its slowest outstanding bundle to an *alternate*
+cover — replica freedom guarantees one exists at R >= 2 — and take
+whichever response lands first.  Hedging at a high quantile (the classic
+p95) bounds the extra load to ~5% of transactions while cutting the
+tail that stragglers and hot queues produce.
+
+:class:`HedgePolicy` tracks the latency estimate over a bounded sliding
+window of observed transaction latencies.  It is deterministic: the
+delay is a pure function of the observation sequence (no wall clock, no
+RNG), and before ``min_samples`` observations it falls back to
+``initial_delay`` so cold starts neither hedge-storm nor never hedge.
+
+**Deadline budgets**: every request gets ``deadline`` seconds; rather
+than timing out, a request that cannot make its deadline degrades
+through the ladder (docs/OVERLOAD.md):
+
+1. **full** — the ordinary greedy cover over all admissible servers;
+2. **partial** — a LIMIT-style partial cover (paper section III-F):
+   serve at least ``partial_fraction`` of the items, any subset;
+3. **distinguished** — one transaction per distinguished server,
+   bypassing the cover entirely: the cheapest plan that still touches
+   only pinned copies (never a cold replica).
+
+:func:`ladder_required` maps a ladder level to the item count a plan
+must deliver; the DES (:mod:`repro.overload.desim`) walks the ladder
+when admission rejections or open breakers make the higher rung
+infeasible, and accounts every degraded response as *served partial*,
+never as a failure.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from repro.errors import ConfigurationError
+
+#: ladder levels, best to cheapest
+LADDER = ("full", "partial", "distinguished")
+
+
+class HedgePolicy:
+    """Quantile-triggered hedging with a bounded observation window.
+
+    Parameters
+    ----------
+    quantile:
+        Latency quantile of recent transactions after which a still-
+        outstanding bundle is hedged (0.95 hedges the slowest ~5%).
+    initial_delay:
+        Hedge trigger used until ``min_samples`` latencies are observed.
+    min_delay:
+        Floor under the computed trigger, so a burst of fast responses
+        cannot drive the trigger to ~0 and hedge everything.
+    window:
+        Number of most recent latencies the quantile runs over.
+    min_samples:
+        Observations required before the empirical quantile is trusted.
+    max_hedges:
+        Hedge transactions allowed per request (1 = classic hedging).
+    """
+
+    def __init__(
+        self,
+        *,
+        quantile: float = 0.95,
+        initial_delay: float = 1e-3,
+        min_delay: float = 1e-4,
+        window: int = 512,
+        min_samples: int = 32,
+        max_hedges: int = 1,
+    ) -> None:
+        if not (0.0 < quantile < 1.0):
+            raise ConfigurationError("quantile must be in (0, 1)")
+        if initial_delay <= 0 or min_delay <= 0:
+            raise ConfigurationError("delays must be positive")
+        if window < min_samples or min_samples < 1:
+            raise ConfigurationError("need 1 <= min_samples <= window")
+        if max_hedges < 0:
+            raise ConfigurationError("max_hedges must be >= 0")
+        self.quantile = quantile
+        self.initial_delay = initial_delay
+        self.min_delay = min_delay
+        self.window = window
+        self.min_samples = min_samples
+        self.max_hedges = max_hedges
+        self._samples: deque[float] = deque(maxlen=window)
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_hedges > 0
+
+    def observe(self, latency: float) -> None:
+        """Fold in one completed transaction's latency."""
+        if latency >= 0.0:
+            self._samples.append(latency)
+
+    def delay(self) -> float:
+        """Current hedge trigger (seconds after dispatch)."""
+        if len(self._samples) < self.min_samples:
+            return max(self.initial_delay, self.min_delay)
+        ordered = sorted(self._samples)
+        # nearest-rank quantile: deterministic, no interpolation noise
+        rank = min(len(ordered) - 1, int(math.ceil(self.quantile * len(ordered))) - 1)
+        return max(ordered[max(rank, 0)], self.min_delay)
+
+
+def ladder_required(level: str, n_items: int, partial_fraction: float) -> int:
+    """Items a plan at ladder ``level`` must deliver.
+
+    ``full`` and ``distinguished`` both promise every item (the
+    distinguished rung degrades *cost*, not coverage — it gives up
+    bundling, not items); ``partial`` promises the LIMIT quota.
+    """
+    if level not in LADDER:
+        raise ConfigurationError(f"unknown ladder level {level!r}")
+    if level == "partial":
+        return min(n_items, max(1, math.ceil(partial_fraction * n_items)))
+    return n_items
+
+
+def validate_partial_fraction(partial_fraction: float) -> float:
+    if not (0.0 < partial_fraction <= 1.0):
+        raise ConfigurationError("partial_fraction must be in (0, 1]")
+    return partial_fraction

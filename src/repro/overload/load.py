@@ -1,0 +1,208 @@
+"""Per-server load accounting and admission control (backpressure).
+
+Two sides of the overload story live here:
+
+* **Server side** — :class:`TokenBucket` and :class:`AdmissionControl`
+  decide whether a server *accepts* a transaction.  A bounded queue plus
+  a token bucket turn "the server silently grows an unbounded backlog"
+  into an immediate, retryable BUSY verdict
+  (:class:`repro.errors.ServerBusy`), which is what lets clients exploit
+  replica freedom instead of stalling behind a hot server.
+* **Client side** — :class:`LoadTracker` folds per-server signals the
+  read path already observes (outstanding transactions, BUSY verdicts,
+  EWMA of recent work) into a load estimate the load-aware cover
+  tie-break consumes (:mod:`repro.overload.tiebreak`).
+
+Everything here is deterministic: no wall clocks, no RNG.  Time, where
+needed, is a caller-supplied float (the DES clock) or a logical tick.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+class TokenBucket:
+    """Deterministic token-bucket rate limiter.
+
+    Tokens refill continuously at ``rate`` per unit of caller-supplied
+    time, capped at ``burst``.  ``try_acquire(now, n)`` either spends
+    ``n`` tokens and admits, or rejects without side effects.  The clock
+    is an argument rather than ``time.time`` so the simulator, the tick
+    domain and tests all stay reproducible.
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        if burst <= 0:
+            raise ConfigurationError("burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._last = 0.0
+        self.admitted = 0
+        self.rejected = 0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def tokens_at(self, now: float) -> float:
+        """Token level at ``now`` without consuming anything."""
+        self._refill(now)
+        return self._tokens
+
+    def try_acquire(self, now: float, n: float = 1.0) -> bool:
+        """Admit (and spend ``n`` tokens) or reject; never blocks."""
+        self._refill(now)
+        if self._tokens >= n:
+            self._tokens -= n
+            self.admitted += 1
+            return True
+        self.rejected += 1
+        return False
+
+
+@dataclass(slots=True)
+class AdmissionControl:
+    """Bounded queue + optional token bucket for one server.
+
+    ``queue_limit`` bounds the transactions a server may hold
+    (in-service plus queued); ``bucket`` optionally rate-limits
+    admissions on top.  ``try_admit`` is the single gate: it returns
+    False — a BUSY verdict — instead of letting the backlog grow.  The
+    caller owns queue occupancy bookkeeping via ``started`` / ``finished``
+    because completion times are its domain (DES event heap, or the
+    tick-domain request loop calling ``drain`` between requests).
+    """
+
+    queue_limit: int | None = None
+    bucket: TokenBucket | None = None
+    outstanding: int = 0
+    busy_rejections: int = 0
+
+    def __post_init__(self) -> None:
+        if self.queue_limit is not None and self.queue_limit < 1:
+            raise ConfigurationError("queue_limit must be >= 1 (or None)")
+
+    def try_admit(self, now: float = 0.0, cost: float = 1.0) -> bool:
+        """One admission decision; False means shed (BUSY)."""
+        if self.queue_limit is not None and self.outstanding >= self.queue_limit:
+            self.busy_rejections += 1
+            return False
+        if self.bucket is not None and not self.bucket.try_acquire(now, cost):
+            self.busy_rejections += 1
+            return False
+        self.outstanding += 1
+        return True
+
+    def finished(self) -> None:
+        """A previously admitted transaction left the server."""
+        if self.outstanding > 0:
+            self.outstanding -= 1
+
+    def drain(self) -> None:
+        """Tick-domain bookkeeping: all admitted work completed."""
+        self.outstanding = 0
+
+
+@dataclass(slots=True)
+class _ServerLoad:
+    """One server's client-observed load signals."""
+
+    outstanding: int = 0
+    ewma: float = 0.0
+    busy: int = 0
+    total_sent: int = 0
+
+
+class LoadTracker:
+    """Client-side per-server load estimate feeding the cover tie-break.
+
+    The estimate blends what the client can actually observe:
+
+    * ``outstanding`` — its own in-flight transactions per server;
+    * ``ewma`` — exponentially weighted recent work sent to the server
+      (items, so a 50-item bundle weighs more than a singleton);
+    * ``busy`` — BUSY verdicts since the last decay, a strong signal the
+      server's queue is full.
+
+    ``load(sid)`` is the scalar the tie-break compares.  Ties in load
+    fall back to the lowest server id, so a tracker with no signal
+    reproduces the default ``"lowest"`` policy exactly — that identity
+    is what makes the load-aware cover safe to keep always-on in
+    overload deployments (property-tested in ``tests/overload``).
+    """
+
+    #: weight of one BUSY verdict relative to one in-flight item
+    BUSY_WEIGHT = 8.0
+
+    def __init__(self, n_servers: int, *, decay: float = 0.8) -> None:
+        if n_servers < 1:
+            raise ConfigurationError("n_servers must be >= 1")
+        if not (0.0 <= decay < 1.0):
+            raise ConfigurationError("decay must be in [0, 1)")
+        self.decay = decay
+        self._loads = [_ServerLoad() for _ in range(n_servers)]
+
+    # -- fleet size -------------------------------------------------------
+
+    def ensure_capacity(self, n_servers: int) -> None:
+        """Grow the tracked id space (elastic join); never shrinks."""
+        while len(self._loads) < n_servers:
+            self._loads.append(_ServerLoad())
+
+    @property
+    def n_servers(self) -> int:
+        return len(self._loads)
+
+    # -- observations -----------------------------------------------------
+
+    def sent(self, sid: int, n_items: int = 1) -> None:
+        """A transaction of ``n_items`` was dispatched to ``sid``."""
+        s = self._loads[sid]
+        s.outstanding += 1
+        s.ewma += float(n_items)
+        s.total_sent += 1
+
+    def finished(self, sid: int) -> None:
+        """A dispatched transaction completed (any outcome)."""
+        s = self._loads[sid]
+        if s.outstanding > 0:
+            s.outstanding -= 1
+
+    def busy(self, sid: int) -> None:
+        """The server shed our transaction (BUSY verdict)."""
+        self._loads[sid].busy += 1
+
+    def tick(self) -> None:
+        """Age the recent-work signals (call once per request/tick)."""
+        for s in self._loads:
+            s.ewma *= self.decay
+            s.busy = 0 if s.busy == 0 else s.busy - 1
+
+    # -- queries ----------------------------------------------------------
+
+    def load(self, sid: int) -> float:
+        """Comparable load scalar; higher means busier."""
+        s = self._loads[sid]
+        return s.outstanding + s.ewma + self.BUSY_WEIGHT * s.busy
+
+    def loads(self) -> list[float]:
+        return [self.load(sid) for sid in range(len(self._loads))]
+
+    def snapshot(self) -> dict[int, dict[str, float]]:
+        """Per-server signal breakdown (metrics/debugging)."""
+        return {
+            sid: {
+                "outstanding": float(s.outstanding),
+                "ewma": s.ewma,
+                "busy": float(s.busy),
+                "total_sent": float(s.total_sent),
+            }
+            for sid, s in enumerate(self._loads)
+        }

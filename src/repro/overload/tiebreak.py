@@ -1,0 +1,65 @@
+"""Load-aware tie-breaking for the greedy set cover.
+
+The greedy cover's pick is determined by marginal gain; the *tie-break*
+among equal-gain candidates is where replica freedom lives (paper
+section III-C1 uses it for locality; the content-replication literature
+uses it for load).  This module supplies tie-break callables — the
+pluggable policy slot :data:`repro.core.setcover.TieBreak` already
+accepts — that prefer lightly loaded servers among equal-gain
+candidates:
+
+* :func:`least_loaded_tie_break` over a :class:`repro.overload.load.
+  LoadTracker` (client-observed load: outstanding work, BUSY verdicts);
+* :func:`counter_tie_break` over a simulated
+  :class:`repro.cluster.cluster.Cluster`'s per-server transaction
+  counters (tick-domain load, used by ``ClientConfig(tie_break=
+  "least_loaded")``).
+
+Both resolve load ties toward the lowest server id, so with no load
+signal at all they reproduce the default ``"lowest"`` policy pick for
+pick — and because they are plain tie-breaks, turning them off is
+bit-identical to never having had them (property-tested against the
+reference solver in ``tests/overload/test_tiebreak.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.overload.load import LoadTracker
+
+
+def least_loaded_tie_break(
+    tracker: LoadTracker,
+) -> Callable[[Sequence[int]], int]:
+    """Tie-break preferring the candidate with the smallest tracked load.
+
+    Candidates arrive in ascending id order (the solver guarantees it),
+    so ``min`` over ``(load, id)`` tuples resolves load ties to the
+    lowest id — the stock policy.
+    """
+
+    def pick(candidates: Sequence[int]) -> int:
+        return min(candidates, key=lambda sid: (tracker.load(sid), sid))
+
+    return pick
+
+
+def counter_tie_break(cluster) -> Callable[[Sequence[int]], int]:
+    """Tie-break on the cluster's live per-server transaction counters.
+
+    The tick-domain twin of :func:`least_loaded_tie_break`: the
+    simulated cluster already counts transactions per server, and that
+    running total *is* the load signal (requests are simulated
+    individually, so queue depth has no meaning there).  Steering
+    equal-gain picks to the least-worked server flattens hot spots that
+    sticky lowest-id picks would otherwise reinforce.
+    """
+    servers = cluster.servers
+
+    def pick(candidates: Sequence[int]) -> int:
+        return min(
+            candidates, key=lambda sid: (servers[sid].counters.transactions, sid)
+        )
+
+    return pick

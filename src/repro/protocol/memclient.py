@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 from collections import defaultdict
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ServerBusy
 from repro.hashing.hashring import ConsistentHashRing
 from repro.protocol.codec import Command, encode_command
 from repro.protocol.retry import RetryPolicy, call_with_retries
@@ -46,16 +46,31 @@ class MemcachedConnection:
         self.transactions = 0
         self.retries = 0
 
+    def _exchange_checked(self, payload: bytes):
+        """One exchange, with BUSY verdicts surfaced as exceptions.
+
+        A ``SERVER_ERROR busy`` status is the server shedding under
+        backpressure (docs/OVERLOAD.md) — raising
+        :class:`repro.errors.ServerBusy` *inside* the retried callable
+        lets the bounded-backoff schedule treat it like any transient
+        connection fault.
+        """
+        responses = self.transport.exchange(payload)
+        for resp in responses:
+            if resp.status == "SERVER_ERROR busy":
+                raise ServerBusy(f"{resp.status} (server shed the transaction)")
+        return responses
+
     def _exchange_idempotent(self, payload: bytes):
         """Exchange with retries (when a policy is set) for safe-to-repeat ops."""
         if self.policy is None:
-            return self.transport.exchange(payload)
+            return self._exchange_checked(payload)
 
         def _count(attempt, exc):
             self.retries += 1
 
         return call_with_retries(
-            lambda: self.transport.exchange(payload),
+            lambda: self._exchange_checked(payload),
             self.policy,
             rng=self.rng,
             sleep=self.sleep,

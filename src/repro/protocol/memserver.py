@@ -54,12 +54,17 @@ class MemcachedServer:
         *,
         name: str = "mem0",
         clock=time.time,
+        admission=None,
     ):
         if capacity_bytes is not None and capacity_bytes < 0:
             raise ValueError("capacity_bytes must be non-negative")
         self.name = name
         self.capacity_bytes = capacity_bytes
         self.clock = clock  # injectable for deterministic expiry tests
+        #: optional repro.overload.load.AdmissionControl; when set, get
+        #: transactions the gate rejects answer ``SERVER_ERROR busy``
+        #: immediately instead of queueing behind the lock
+        self.admission = admission
         self._items: OrderedDict[str, _Entry] = OrderedDict()
         self._bytes = 0
         self._cas_counter = 0
@@ -78,6 +83,7 @@ class MemcachedServer:
             "evictions": 0,
             "expired": 0,
             "total_transactions": 0,
+            "busy_rejections": 0,
         }
 
     # -- storage internals ----------------------------------------------------
@@ -130,7 +136,24 @@ class MemcachedServer:
     # -- command execution -------------------------------------------------------
 
     def execute(self, cmd: Command) -> bytes:
-        """Execute one command and return its wire response (b'' for noreply)."""
+        """Execute one command and return its wire response (b'' for noreply).
+
+        With an admission gate installed, ``get``/``gets`` transactions
+        pass through it *before* taking the lock: the queue bound counts
+        executions waiting on the lock and the token bucket rate-limits
+        over ``clock`` time, so an overloaded server sheds with
+        ``SERVER_ERROR busy`` (a retryable verdict — see
+        :class:`repro.errors.ServerBusy`) instead of stalling the client.
+        """
+        if self.admission is not None and cmd.name in ("get", "gets"):
+            if not self.admission.try_admit(now=self.clock()):
+                self.stats["busy_rejections"] += 1
+                return codec.format_status("SERVER_ERROR busy")
+            try:
+                with self._lock:
+                    return self._execute_locked(cmd)
+            finally:
+                self.admission.finished()
         with self._lock:
             return self._execute_locked(cmd)
 

@@ -111,13 +111,24 @@ def call_with_retries(
     sleep: Callable[[float], None] = time.sleep,
     retry_on: tuple = RETRYABLE_ERRORS,
     on_retry: Callable[[int, BaseException], None] | None = None,
+    deadline: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
 ):
     """Run ``fn`` under the policy's bounded retry + backoff schedule.
 
     ``on_retry(attempt, error)`` is invoked before each backoff sleep —
     clients hook health tracking and retry counters there.  The last
     error is re-raised once ``max_retries`` is exhausted.
+
+    ``deadline`` is an optional per-call time budget in seconds (measured
+    on ``clock``, injectable for tests): once the budget cannot
+    accommodate the next backoff sleep, the last error is re-raised
+    immediately instead of sleeping past it.  ``None`` — the default —
+    retries exactly as before.
     """
+    if deadline is not None and deadline <= 0:
+        raise ConfigurationError("deadline must be positive (or None)")
+    start = clock() if deadline is not None else 0.0
     attempt = 0
     while True:
         try:
@@ -125,7 +136,10 @@ def call_with_retries(
         except retry_on as exc:
             if attempt >= policy.max_retries:
                 raise
+            delay = policy.backoff(attempt, rng=rng)
+            if deadline is not None and (clock() - start) + delay >= deadline:
+                raise  # the budget cannot fit another sleep + attempt
             if on_retry is not None:
                 on_retry(attempt, exc)
-            sleep(policy.backoff(attempt, rng=rng))
+            sleep(delay)
             attempt += 1

@@ -19,7 +19,13 @@
   :class:`repro.protocol.retry.RetryPolicy`, transient transport errors
   are retried under bounded exponential backoff before failover kicks
   in, and a :class:`repro.faults.health.HealthTracker` learns which
-  servers are dead so later plans exclude them up front.
+  servers are dead so later plans exclude them up front;
+* **overload** (docs/OVERLOAD.md): with a
+  :class:`repro.overload.breaker.BreakerBoard`, tripped servers are
+  excluded from covers like dead ones, and ``SERVER_ERROR busy`` sheds
+  count as soft failures — after the retry budget they fail over to the
+  item's other replicas like a dead server would, but they only trip
+  breakers, never the health tracker's dead-server state machine.
 """
 
 from __future__ import annotations
@@ -30,7 +36,7 @@ from dataclasses import dataclass, field
 
 from repro.cluster.placement import ReplicaPlacer
 from repro.core.bundling import Bundler
-from repro.errors import ConfigurationError, ProtocolError
+from repro.errors import ConfigurationError, ProtocolError, ServerBusy
 from repro.faults.health import HealthTracker
 from repro.protocol.memclient import MemcachedConnection
 from repro.protocol.retry import RetryPolicy, call_with_retries
@@ -75,6 +81,7 @@ class RnBProtocolClient:
         rng=None,
         sleep=time.sleep,
         membership=None,
+        breakers=None,
     ) -> None:
         # An epoch-aware placer only routes to servers alive in its view,
         # so connections must cover those; a static placer needs the full
@@ -108,6 +115,18 @@ class RnBProtocolClient:
         #: proposals, and a mid-request epoch change triggers one
         #: re-plan round over the new view for still-missing keys
         self.membership = membership
+        #: optional circuit-breaker board (repro.overload.breaker):
+        #: tripped servers are excluded from covers; outcomes feed it
+        #: through the health tracker's observer hook, so a tracker is
+        #: created when the caller supplied only a board.  BUSY sheds
+        #: (``SERVER_ERROR busy``) are reported as *soft* failures —
+        #: they trip breakers but never mark a server dead.
+        self.breakers = breakers
+        if breakers is not None:
+            if self.health is None:
+                self.health = HealthTracker(placer.n_servers)
+            breakers.ensure_capacity(placer.n_servers)
+            self.health.add_observer(breakers)
         self.seen_epoch: int | None = getattr(placer, "epoch", None)
 
     # -- fault plumbing ------------------------------------------------------
@@ -142,6 +161,12 @@ class RnBProtocolClient:
                     sleep=self.sleep,
                     on_retry=_on_retry,
                 )
+        except ServerBusy:
+            # backpressure shed (SERVER_ERROR busy): the server is alive,
+            # just overloaded — trip breakers, never the health tracker
+            if self.breakers is not None:
+                self.breakers.record_failure(sid)
+            raise
         except FAILOVER_ERRORS:
             if self.health is not None:
                 self.health.record_error(sid)
@@ -193,6 +218,9 @@ class RnBProtocolClient:
             return MultiGetOutcome()
         request = Request(items=keys, limit_fraction=limit_fraction)
         exclude = self.health.exclusions() if self.health is not None else frozenset()
+        if self.breakers is not None:
+            self.breakers.advance()
+            exclude = exclude | self.breakers.tripped()
         plan = self.bundler.plan(request, exclude=exclude or None)
 
         counters: dict[str, int] = {}

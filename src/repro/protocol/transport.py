@@ -47,12 +47,19 @@ class LoopbackTransport:
 class TCPTransport:
     """Blocking TCP transport with incremental response parsing.
 
-    Timeouts come from a :class:`repro.protocol.retry.RetryPolicy` —
-    ``connect_timeout`` bounds connection establishment and
-    ``request_timeout`` bounds each exchange — so the same config object
-    that tunes client retries tunes the socket (previously a hard-coded
-    ``timeout=5.0``).  The legacy ``timeout`` keyword still works and
-    overrides both, for callers that only care about one number.
+    Timeouts are two separate budgets: ``connect_timeout`` bounds
+    connection establishment (including the transparent reconnect after
+    a timed-out exchange) and ``read_timeout`` bounds each exchange.
+    Both default from the :class:`repro.protocol.retry.RetryPolicy` —
+    the same config object that tunes client retries tunes the socket —
+    and either can be overridden individually.  The legacy ``timeout``
+    keyword still works and overrides both, for callers that only care
+    about one number.
+
+    Every timeout surfaces as :class:`repro.errors.ServerTimeout`
+    (connect-phase ones included) and a refused connection propagates as
+    :class:`ConnectionRefusedError` — both retryable under
+    :func:`repro.protocol.retry.call_with_retries`.
     """
 
     def __init__(
@@ -62,24 +69,49 @@ class TCPTransport:
         *,
         policy: RetryPolicy | None = None,
         timeout: float | None = None,
+        connect_timeout: float | None = None,
+        read_timeout: float | None = None,
     ):
         self.host = host
         self.port = port
         self.policy = policy or DEFAULT_POLICY
-        self._connect_timeout = (
-            timeout if timeout is not None else self.policy.connect_timeout
+        # precedence: explicit per-phase kwarg > legacy timeout > policy
+        self._connect_timeout = self._pick(
+            connect_timeout, timeout, self.policy.connect_timeout
         )
-        self._request_timeout = (
-            timeout if timeout is not None else self.policy.request_timeout
+        self._request_timeout = self._pick(
+            read_timeout, timeout, self.policy.request_timeout
         )
         self._sock: socket.socket | None = None
         self._buf = b""
         self._connect()
 
+    @staticmethod
+    def _pick(explicit: float | None, legacy: float | None, fallback: float) -> float:
+        if explicit is not None:
+            return explicit
+        if legacy is not None:
+            return legacy
+        return fallback
+
+    @property
+    def connect_timeout(self) -> float:
+        return self._connect_timeout
+
+    @property
+    def read_timeout(self) -> float:
+        return self._request_timeout
+
     def _connect(self) -> None:
-        self._sock = socket.create_connection(
-            (self.host, self.port), timeout=self._connect_timeout
-        )
+        try:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self._connect_timeout
+            )
+        except socket.timeout as exc:
+            raise ServerTimeout(
+                f"connect to {self.host}:{self.port} did not complete within "
+                f"{self._connect_timeout}s"
+            ) from exc
         self._sock.settimeout(self._request_timeout)
         self._buf = b""
 

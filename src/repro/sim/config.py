@@ -15,7 +15,7 @@ from repro.errors import ConfigurationError
 
 CLIENT_MODES = ("rnb", "noreplication", "fullreplication")
 PLACEMENTS = ("rch", "multihash", "random")
-TIE_BREAKS = ("lowest", "random")
+TIE_BREAKS = ("lowest", "random", "least_loaded")
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,7 +60,14 @@ class ClusterConfig:
 
 @dataclass(frozen=True, slots=True)
 class ClientConfig:
-    """Fetch strategy and RnB enhancement switches."""
+    """Fetch strategy and RnB enhancement switches.
+
+    ``tie_break="least_loaded"`` resolves equal-gain cover ties toward
+    the server with the fewest transactions so far (the simulator's
+    tick-domain load signal; see :mod:`repro.overload.tiebreak`) instead
+    of the lowest id; ``"lowest"`` and ``"random"`` are the paper's
+    policies.
+    """
 
     mode: str = "rnb"
     hitchhiking: bool = False

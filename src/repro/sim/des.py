@@ -69,6 +69,7 @@ def simulate_queueing(
     arrival_rate: float,
     rtt: float = 200e-6,
     warmup_fraction: float = 0.2,
+    latency_multipliers: Sequence[float] | None = None,
     rng=None,
 ) -> QueueingResult:
     """Run an open-loop Poisson workload through FIFO server queues.
@@ -87,11 +88,18 @@ def simulate_queueing(
     warmup_fraction:
         Leading fraction of requests excluded from the statistics so the
         queues reach steady state first.
+    latency_multipliers:
+        Optional per-server service-time inflation (stragglers: 1.0 =
+        healthy).  ``None`` — the default — leaves every service time
+        exactly as the cost model computes it, so existing runs are
+        bit-identical.
     """
     if arrival_rate <= 0:
         raise ValueError("arrival_rate must be positive")
     if not (0.0 <= warmup_fraction < 1.0):
         raise ValueError("warmup_fraction must be in [0, 1)")
+    if latency_multipliers is not None and len(latency_multipliers) != n_servers:
+        raise ValueError("latency_multipliers must have one entry per server")
     rng = ensure_rng(rng)
 
     server_free = np.zeros(n_servers, dtype=np.float64)
@@ -109,6 +117,8 @@ def simulate_queueing(
             if not (0 <= server < n_servers):
                 raise ValueError(f"planner produced invalid server {server}")
             service = cost_model.txn_time(n_items)
+            if latency_multipliers is not None:
+                service *= latency_multipliers[server]
             start = max(server_free[server], now)
             server_free[server] = start + service
             busy[server] += service

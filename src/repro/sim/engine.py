@@ -101,11 +101,20 @@ def build_client(config: SimConfig, cluster: Cluster):
         return NoReplicationClient(cluster)
     if mode == "fullreplication":
         return FullReplicationClient(cluster, rng=derive_rng(config.seed, 2))
+    tie_break = config.client.tie_break
+    if tie_break == "least_loaded":
+        # Per-server transaction counters are the simulator's load
+        # signal (requests are simulated individually, so queue depth
+        # has no meaning here); the callable tie-break automatically
+        # keeps planning on the scalar path, where counters are current.
+        from repro.overload.tiebreak import counter_tie_break
+
+        tie_break = counter_tie_break(cluster)
     bundler = Bundler(
         cluster.placer,
         hitchhiking=config.client.hitchhiking,
         single_item_rule=config.client.single_item_rule,
-        tie_break=config.client.tie_break,
+        tie_break=tie_break,
         rng=derive_rng(config.seed, 3),
     )
     return RnBClient(cluster, bundler, write_back=config.client.write_back)
@@ -136,7 +145,14 @@ def run_simulation(graph: SocialGraph, config: SimConfig) -> SimResult:
     client = build_client(config, cluster)
     stream = iter(_request_stream(graph, config, 0))
 
-    batched = config.fast_path and isinstance(client, RnBClient)
+    # Load-aware tie-breaking reads per-server counters that execution
+    # updates, so planning must interleave with execution request by
+    # request; chunked planning would freeze the load signal mid-batch.
+    batched = (
+        config.fast_path
+        and isinstance(client, RnBClient)
+        and config.client.tie_break != "least_loaded"
+    )
     # With naive allocation (Fig 6) every replica stays resident, so
     # executing a plan is pure counter arithmetic — see
     # RnBClient.tally_plan for the full precondition argument.

@@ -1,0 +1,185 @@
+"""Tests for the circuit-breaker board and its health-tracker wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.health import HealthTracker
+from repro.overload.breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard
+
+
+def trip(board: BreakerBoard, sid: int = 0) -> None:
+    for _ in range(board.trip_after):
+        board.record_failure(sid)
+
+
+class TestStateMachine:
+    def test_trips_after_window_failures(self):
+        b = BreakerBoard(2, trip_after=3, window=8)
+        b.record_failure(0)
+        b.record_failure(0)
+        assert b.state(0) == CLOSED
+        b.record_failure(0)
+        assert b.state(0) == OPEN
+        assert b.tripped() == frozenset({0})
+
+    def test_sliding_window_forgets_old_failures(self):
+        b = BreakerBoard(1, trip_after=3, window=3)
+        b.record_failure(0)
+        b.record_success(0)
+        b.record_failure(0)
+        b.record_failure(0)  # window holds S,F,F -> only 2 failures
+        assert b.state(0) == CLOSED
+
+    def test_open_ripens_to_half_open(self):
+        b = BreakerBoard(1, trip_after=1, window=1, open_ticks=4, seed=0)
+        trip(b)
+        # jitter is bounded by open_ticks // 2, so open_ticks * 1 + that
+        b.advance(4 + 2)
+        assert b.state(0) == HALF_OPEN
+
+    def test_single_probe_slot(self):
+        b = BreakerBoard(1, trip_after=1, window=1, open_ticks=1)
+        trip(b)
+        b.advance(2)
+        assert b.state(0) == HALF_OPEN
+        assert b.allow_probe(0)
+        assert not b.allow_probe(0)  # slot already claimed
+        assert b.tripped() == frozenset({0})  # probing server stays excluded
+
+    def test_probe_success_closes_and_forgives(self):
+        b = BreakerBoard(1, trip_after=1, window=1, open_ticks=1)
+        trip(b)
+        b.advance(2)
+        assert b.allow_probe(0)
+        b.record_success(0)
+        assert b.state(0) == CLOSED
+        assert b.tripped() == frozenset()
+
+    def test_probe_failure_reopens_with_escalated_backoff(self):
+        b = BreakerBoard(1, trip_after=1, window=1, open_ticks=10, seed=0)
+        trip(b)
+        first_retry = b._breakers[0].retry_at
+        b.advance(first_retry)
+        assert b.state(0) == HALF_OPEN
+        b.record_failure(0)
+        assert b.state(0) == OPEN
+        second_wait = b._breakers[0].retry_at - b.tick
+        assert second_wait >= 2 * 10  # doubled base, any jitter on top
+
+    def test_backoff_escalation_caps(self):
+        b = BreakerBoard(1, trip_after=1, window=1, open_ticks=10, seed=0)
+        for _ in range(10):  # re-trip far past the cap
+            trip(b)
+            b.advance(b._breakers[0].retry_at - b.tick)
+            b.record_failure(0)  # failed probe -> re-open
+        wait = b._breakers[0].retry_at - b.tick
+        assert wait <= 10 * BreakerBoard.MAX_BACKOFF_FACTOR + 5  # capped + jitter
+
+    def test_failures_while_open_are_ignored(self):
+        b = BreakerBoard(1, trip_after=1, window=4)
+        trip(b)
+        transitions = b.transitions_total()
+        b.record_failure(0)
+        b.record_failure(0)
+        assert b.transitions_total() == transitions
+
+    def test_record_recovery_forces_closed(self):
+        b = BreakerBoard(1, trip_after=1, window=1)
+        trip(b)
+        b.record_recovery(0)
+        assert b.state(0) == CLOSED
+        assert b._breakers[0].trip_streak == 0
+
+    def test_counts(self):
+        b = BreakerBoard(3, trip_after=1, window=1)
+        trip(b, 1)
+        assert b.counts() == {CLOSED: 2, OPEN: 1, HALF_OPEN: 0}
+
+
+class TestDeterminism:
+    def test_same_seed_same_transitions(self):
+        def run(seed):
+            b = BreakerBoard(4, trip_after=2, window=4, open_ticks=7, seed=seed)
+            log = []
+            for step in range(200):
+                sid = step % 4
+                b.advance()
+                if (step * 2654435761) % 3 == 0:
+                    b.record_failure(sid)
+                else:
+                    b.record_success(sid)
+                log.append((b.state(sid), tuple(sorted(b.tripped()))))
+            return log, b.transitions_total()
+
+        assert run(9) == run(9)
+
+    def test_probe_jitter_varies_by_server(self):
+        b = BreakerBoard(8, trip_after=1, window=1, open_ticks=40, seed=1)
+        for sid in range(8):
+            trip(b, sid)
+        retries = {b._breakers[sid].retry_at for sid in range(8)}
+        assert len(retries) > 1  # not all breakers probe in lockstep
+
+
+class TestHealthWiring:
+    def test_forwarding_to_health(self):
+        h = HealthTracker(2, dead_after=2)
+        b = BreakerBoard(2, trip_after=4, window=8, health=h)
+        b.record_failure(0, hard=True)
+        b.record_failure(0, hard=True)
+        assert h.state(0) == "dead"
+        b.record_success(0)
+        assert h.state(0) == "alive"
+
+    def test_soft_failures_never_reach_health(self):
+        h = HealthTracker(1, dead_after=1)
+        b = BreakerBoard(1, trip_after=1, window=1, health=h)
+        b.record_failure(0)  # soft: BUSY shed
+        assert h.state(0) == "alive"
+        assert b.state(0) == OPEN
+
+    def test_exclusions_union_dead_and_tripped(self):
+        h = HealthTracker(3, dead_after=1)
+        b = BreakerBoard(3, trip_after=1, window=1, health=h)
+        h.record_error(1)  # dead via health only
+        b._failure_local(2)  # tripped via breaker only
+        assert b.exclusions() == frozenset({1, 2})
+
+    def test_observer_wiring_feeds_board(self):
+        # the inverse wiring: board listens to a tracker the read path
+        # already reports to
+        h = HealthTracker(2, dead_after=10)
+        b = BreakerBoard(2, trip_after=2, window=4)
+        h.add_observer(b)
+        h.record_error(0)
+        h.record_error(0)
+        assert b.state(0) == OPEN
+        h.record_recovery(0)
+        assert b.state(0) == CLOSED
+
+    def test_observer_grows_capacity_on_demand(self):
+        b = BreakerBoard(1)
+        b.observe(5, "success")
+        assert b.n_servers == 6
+
+    def test_observer_rejects_unknown_outcome(self):
+        b = BreakerBoard(1)
+        with pytest.raises(ConfigurationError):
+            b.observe(0, "wat")
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_servers": 0},
+            {"n_servers": 1, "trip_after": 0},
+            {"n_servers": 1, "trip_after": 3, "window": 2},
+            {"n_servers": 1, "open_ticks": 0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            BreakerBoard(**kwargs)

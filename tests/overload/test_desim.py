@@ -1,0 +1,238 @@
+"""Tests for the event-heap overload simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import DEFAULT_MEMCACHED_MODEL
+from repro.core.bundling import Bundler
+from repro.errors import ConfigurationError
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.overload.desim import OverloadConfig, OverloadResult, simulate_overload
+from repro.types import Request
+from repro.utils.rng import derive_rng
+
+N_SERVERS = 8
+N_ITEMS = 400
+COST = DEFAULT_MEMCACHED_MODEL
+
+
+@pytest.fixture(scope="module")
+def bundler():
+    return Bundler(RangedConsistentHashPlacer(N_SERVERS, 2, seed=0, vnodes=32))
+
+
+def make_requests(n, size=8, seed=5):
+    rng = np.random.default_rng(seed)
+    return [
+        Request(items=tuple(sorted(int(i) for i in rng.choice(N_ITEMS, size, replace=False))))
+        for _ in range(n)
+    ]
+
+
+def run(bundler, requests, *, config=None, rate=None, multipliers=None, seed=11):
+    return simulate_overload(
+        requests,
+        bundler,
+        n_servers=N_SERVERS,
+        cost_model=COST,
+        arrival_rate=rate or 2000.0,
+        latency_multipliers=multipliers,
+        config=config,
+        rng=derive_rng(seed, 1),
+    )
+
+
+def assert_results_identical(a: OverloadResult, b: OverloadResult):
+    np.testing.assert_array_equal(a.latencies, b.latencies)
+    for name in (
+        "p50_latency",
+        "p99_latency",
+        "p999_latency",
+        "max_utilization",
+        "served_fraction",
+        "shed_rate",
+        "hedges_issued",
+        "hedge_wins",
+        "busy_verdicts",
+        "breaker_transitions",
+        "ladder_counts",
+    ):
+        assert getattr(a, name) == getattr(b, name), name
+
+
+FULL_CONFIG = OverloadConfig(
+    queue_limit=8,
+    breaker=True,
+    trip_after=3,
+    window=8,
+    open_ticks=30,
+    trip_latency=COST.txn_time(8) * 20,
+    hedge_quantile=0.9,
+    hedge_min_samples=16,
+    deadline=COST.txn_time(8) * 500,
+    partial_fraction=0.5,
+    load_aware=True,
+    seed=3,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_bitwise_identical(self, bundler):
+        requests = make_requests(300)
+        a = run(bundler, requests, config=FULL_CONFIG)
+        b = run(bundler, requests, config=FULL_CONFIG)
+        assert_results_identical(a, b)
+
+    def test_baseline_same_seed_identical(self, bundler):
+        requests = make_requests(300)
+        assert_results_identical(run(bundler, requests), run(bundler, requests))
+
+    def test_none_config_is_the_all_defaults_config(self, bundler):
+        requests = make_requests(200)
+        assert_results_identical(
+            run(bundler, requests, config=None),
+            run(bundler, requests, config=OverloadConfig()),
+        )
+
+
+class TestBaseline:
+    def test_no_policy_serves_everything(self, bundler):
+        res = run(bundler, make_requests(300))
+        assert res.served_fraction == 1.0
+        assert res.requests_failed == 0
+        assert res.busy_verdicts == 0
+        assert res.hedges_issued == 0
+        assert res.breaker_transitions == 0
+        assert res.shed_rate == res.drop_rate == res.deadline_cut_rate == 0.0
+        assert res.ladder_counts == {"full": 300, "partial": 0, "distinguished": 0}
+
+    def test_latency_includes_rtt(self, bundler):
+        res = run(bundler, make_requests(100), rate=10.0)  # no queueing
+        assert res.p50_latency >= 200e-6  # at least the RTT
+
+    def test_utilization_scales_with_rate(self, bundler):
+        requests = make_requests(200)
+        slow = run(bundler, requests, rate=100.0)
+        fast = run(bundler, requests, rate=5000.0)
+        assert fast.max_utilization > slow.max_utilization
+
+
+class TestBackpressure:
+    def test_busy_verdicts_under_tiny_queues(self, bundler):
+        cfg = OverloadConfig(queue_limit=1)
+        res = run(bundler, make_requests(400), config=cfg, rate=20000.0)
+        assert res.busy_verdicts > 0
+        assert res.requests_failed == 0
+
+    def test_accounting_identity(self, bundler):
+        """Every item is served, shed, dropped or deadline-cut — exactly."""
+        cfg = OverloadConfig(
+            queue_limit=1, deadline=COST.txn_time(8) * 50, partial_fraction=0.5
+        )
+        res = run(bundler, make_requests(400), config=cfg, rate=20000.0)
+        total = res.served_fraction + res.shed_rate + res.drop_rate + res.deadline_cut_rate
+        assert total == pytest.approx(1.0)
+
+    def test_token_bucket_rate_limits(self, bundler):
+        cfg = OverloadConfig(bucket_rate=50.0, bucket_burst=2.0)
+        res = run(bundler, make_requests(300), config=cfg, rate=20000.0)
+        assert res.busy_verdicts > 0
+
+    def test_sheds_route_to_replicas_first(self, bundler):
+        """With R=2 and one bounded server, most items still get served:
+        the re-cover walks the shed items onto alternate replicas."""
+        cfg = OverloadConfig(queue_limit=2)
+        res = run(bundler, make_requests(400), config=cfg, rate=8000.0)
+        assert res.served_fraction > 0.9
+
+
+class TestHedging:
+    def test_hedges_fire_against_straggler(self, bundler):
+        multipliers = [1.0] * N_SERVERS
+        multipliers[2] = 25.0
+        cfg = OverloadConfig(hedge_quantile=0.9, hedge_min_samples=16, seed=1)
+        res = run(bundler, make_requests(400), config=cfg, rate=1500.0, multipliers=multipliers)
+        assert res.hedges_issued > 0
+        assert res.hedge_wins <= res.hedges_issued
+        assert 0.0 <= res.hedge_win_rate <= 1.0
+        assert res.requests_failed == 0
+        assert res.served_fraction == 1.0  # hedging never drops items
+
+    def test_hedging_cuts_tail_with_straggler(self, bundler):
+        multipliers = [1.0] * N_SERVERS
+        multipliers[2] = 25.0
+        requests = make_requests(500)
+        base = run(bundler, requests, rate=1500.0, multipliers=multipliers)
+        cfg = OverloadConfig(hedge_quantile=0.9, hedge_min_samples=16, seed=1)
+        hedged = run(bundler, requests, config=cfg, rate=1500.0, multipliers=multipliers)
+        assert hedged.p99_latency < base.p99_latency
+
+    def test_max_hedges_zero_disables(self, bundler):
+        cfg = OverloadConfig(hedge_quantile=0.9, max_hedges=0)
+        res = run(bundler, make_requests(200), config=cfg)
+        assert res.hedges_issued == 0
+
+
+class TestDeadline:
+    def test_deadline_degrades_instead_of_failing(self, bundler):
+        multipliers = [1.0] * N_SERVERS
+        multipliers[0] = 200.0
+        cfg = OverloadConfig(deadline=COST.txn_time(8) * 4)
+        res = run(bundler, make_requests(300), config=cfg, rate=4000.0, multipliers=multipliers)
+        assert res.deadline_cut_rate > 0.0
+        assert res.requests_failed == 0
+        assert res.p999_latency <= COST.txn_time(8) * 4 + 200e-6 + 1e-9
+
+    def test_no_deadline_waits_forever(self, bundler):
+        res = run(bundler, make_requests(200))
+        assert res.deadline_cut_rate == 0.0
+
+
+class TestBreakers:
+    def test_breaker_trips_on_straggler(self, bundler):
+        multipliers = [1.0] * N_SERVERS
+        multipliers[3] = 50.0
+        cfg = OverloadConfig(
+            breaker=True, trip_after=3, window=8, open_ticks=40,
+            trip_latency=COST.txn_time(8) * 10, seed=2,
+        )
+        res = run(bundler, make_requests(400), config=cfg, rate=2000.0, multipliers=multipliers)
+        assert res.breaker_transitions > 0
+        assert res.requests_failed == 0
+        assert res.served_fraction == 1.0  # distinguished rung keeps coverage
+
+    def test_ladder_counts_cover_every_request(self, bundler):
+        cfg = OverloadConfig(queue_limit=1, partial_fraction=0.5)
+        n = 400
+        res = run(bundler, make_requests(n), config=cfg, rate=20000.0)
+        assert sum(res.ladder_counts.values()) == n
+
+
+class TestValidation:
+    def test_rejects_bad_arrival_rate(self, bundler):
+        with pytest.raises(ConfigurationError):
+            run(bundler, make_requests(10), rate=-1.0)
+
+    def test_rejects_empty_stream(self, bundler):
+        with pytest.raises(ConfigurationError):
+            run(bundler, [])
+
+    def test_rejects_wrong_multiplier_length(self, bundler):
+        with pytest.raises(ConfigurationError):
+            run(bundler, make_requests(10), multipliers=[1.0, 2.0])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bucket_rate": 0.0},
+            {"deadline": 0.0},
+            {"trip_latency": -1.0},
+            {"partial_fraction": 0.0},
+            {"queue_limit": 0},
+        ],
+    )
+    def test_config_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            OverloadConfig(**kwargs)

@@ -1,0 +1,106 @@
+"""Tests for the hedge policy and the degradation ladder helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overload.hedging import (
+    LADDER,
+    HedgePolicy,
+    ladder_required,
+    validate_partial_fraction,
+)
+
+
+class TestHedgePolicy:
+    def test_cold_start_uses_initial_delay(self):
+        p = HedgePolicy(initial_delay=5e-3, min_samples=4)
+        p.observe(1.0)
+        p.observe(1.0)
+        assert p.delay() == pytest.approx(5e-3)
+
+    def test_nearest_rank_quantile(self):
+        p = HedgePolicy(quantile=0.9, initial_delay=1.0, min_delay=1e-6, min_samples=10)
+        for latency in [0.001 * k for k in range(1, 101)]:
+            p.observe(latency)
+        # nearest rank of q=0.9 over 100 samples is the 90th smallest
+        assert p.delay() == pytest.approx(0.090)
+
+    def test_window_slides(self):
+        p = HedgePolicy(
+            quantile=0.5, initial_delay=1.0, min_delay=1e-6, window=4, min_samples=2
+        )
+        for latency in (10.0, 10.0, 10.0, 10.0):
+            p.observe(latency)
+        for latency in (1.0, 1.0, 1.0, 1.0):
+            p.observe(latency)  # old 10s fall out of the window
+        assert p.delay() == pytest.approx(1.0)
+
+    def test_min_delay_floor(self):
+        p = HedgePolicy(quantile=0.5, min_delay=0.25, min_samples=2)
+        p.observe(1e-6)
+        p.observe(1e-6)
+        assert p.delay() == 0.25
+
+    def test_negative_latencies_ignored(self):
+        p = HedgePolicy(min_samples=1, initial_delay=3.0)
+        p.observe(-1.0)
+        assert p.delay() == 3.0  # still cold
+
+    def test_deterministic_pure_function_of_observations(self):
+        def run():
+            p = HedgePolicy(quantile=0.95, min_samples=8, min_delay=1e-6)
+            for k in range(50):
+                p.observe(((k * 2654435761) % 1000) / 1000.0)
+            return p.delay()
+
+        assert run() == run()
+
+    def test_disabled_when_max_hedges_zero(self):
+        assert not HedgePolicy(max_hedges=0).enabled
+        assert HedgePolicy(max_hedges=1).enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"quantile": 0.0},
+            {"quantile": 1.0},
+            {"initial_delay": 0.0},
+            {"min_delay": 0.0},
+            {"window": 4, "min_samples": 8},
+            {"min_samples": 0},
+            {"max_hedges": -1},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            HedgePolicy(**kwargs)
+
+
+class TestLadder:
+    def test_levels(self):
+        assert LADDER == ("full", "partial", "distinguished")
+
+    def test_full_and_distinguished_promise_everything(self):
+        assert ladder_required("full", 10, 0.5) == 10
+        assert ladder_required("distinguished", 10, 0.5) == 10
+
+    def test_partial_is_the_limit_quota(self):
+        assert ladder_required("partial", 10, 0.5) == 5
+        assert ladder_required("partial", 10, 0.51) == 6  # ceil
+        assert ladder_required("partial", 10, 0.01) == 1  # at least one
+        assert ladder_required("partial", 1, 0.5) == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ladder_required("zeroth", 10, 0.5)
+
+    @pytest.mark.parametrize("frac", [0.0, -0.1, 1.01])
+    def test_partial_fraction_bounds(self, frac):
+        with pytest.raises(ConfigurationError):
+            validate_partial_fraction(frac)
+
+    def test_partial_fraction_passthrough(self):
+        assert validate_partial_fraction(1.0) == 1.0
+        assert validate_partial_fraction(0.3) == 0.3

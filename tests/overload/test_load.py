@@ -1,0 +1,126 @@
+"""Tests for token buckets, admission control and the load tracker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overload.load import AdmissionControl, LoadTracker, TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends(self):
+        b = TokenBucket(rate=1.0, burst=3.0)
+        assert b.try_acquire(0.0)
+        assert b.try_acquire(0.0)
+        assert b.try_acquire(0.0)
+        assert not b.try_acquire(0.0)  # bucket drained
+        assert b.admitted == 3 and b.rejected == 1
+
+    def test_refills_continuously_capped_at_burst(self):
+        b = TokenBucket(rate=2.0, burst=4.0)
+        for _ in range(4):
+            assert b.try_acquire(0.0)
+        assert b.tokens_at(1.0) == pytest.approx(2.0)  # 2 tokens/s refill
+        assert b.tokens_at(100.0) == pytest.approx(4.0)  # never above burst
+
+    def test_reject_has_no_side_effects(self):
+        b = TokenBucket(rate=1.0, burst=1.0)
+        assert b.try_acquire(0.0)
+        level = b.tokens_at(0.0)
+        assert not b.try_acquire(0.0, 1.0)
+        assert b.tokens_at(0.0) == level
+
+    def test_clock_never_runs_backwards(self):
+        b = TokenBucket(rate=1.0, burst=5.0)
+        b.try_acquire(10.0)
+        # a stale timestamp must not mint tokens
+        assert b.tokens_at(5.0) == pytest.approx(4.0)
+
+    @pytest.mark.parametrize("kwargs", [{"rate": 0.0, "burst": 1.0}, {"rate": 1.0, "burst": 0.0}])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(**kwargs)
+
+
+class TestAdmissionControl:
+    def test_queue_limit_bounds_outstanding(self):
+        a = AdmissionControl(queue_limit=2)
+        assert a.try_admit() and a.try_admit()
+        assert not a.try_admit()  # full -> BUSY
+        assert a.busy_rejections == 1
+        a.finished()
+        assert a.try_admit()
+
+    def test_bucket_layered_on_queue(self):
+        a = AdmissionControl(queue_limit=10, bucket=TokenBucket(rate=1.0, burst=1.0))
+        assert a.try_admit(now=0.0)
+        assert not a.try_admit(now=0.0)  # bucket empty, queue has room
+        assert a.try_admit(now=1.0)  # refilled
+
+    def test_drain_resets_tick_domain_occupancy(self):
+        a = AdmissionControl(queue_limit=1)
+        assert a.try_admit()
+        assert not a.try_admit()
+        a.drain()
+        assert a.try_admit()
+
+    def test_finished_never_goes_negative(self):
+        a = AdmissionControl(queue_limit=1)
+        a.finished()
+        assert a.outstanding == 0
+
+    def test_no_gates_means_always_admit(self):
+        a = AdmissionControl()
+        assert all(a.try_admit() for _ in range(100))
+        assert a.busy_rejections == 0
+
+    def test_rejects_bad_queue_limit(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionControl(queue_limit=0)
+
+
+class TestLoadTracker:
+    def test_zero_signal_means_zero_load(self):
+        t = LoadTracker(4)
+        assert t.loads() == [0.0, 0.0, 0.0, 0.0]
+
+    def test_outstanding_and_ewma_accumulate(self):
+        t = LoadTracker(2)
+        t.sent(0, n_items=10)
+        assert t.load(0) == pytest.approx(1 + 10.0)
+        t.finished(0)
+        assert t.load(0) == pytest.approx(10.0)  # ewma persists until tick
+
+    def test_tick_decays_recent_work(self):
+        t = LoadTracker(1, decay=0.5)
+        t.sent(0, n_items=8)
+        t.finished(0)
+        t.tick()
+        assert t.load(0) == pytest.approx(4.0)
+        t.tick()
+        assert t.load(0) == pytest.approx(2.0)
+
+    def test_busy_verdicts_weigh_heavily_and_age_out(self):
+        t = LoadTracker(2)
+        t.busy(0)
+        assert t.load(0) == pytest.approx(LoadTracker.BUSY_WEIGHT)
+        t.tick()
+        assert t.load(0) == 0.0
+
+    def test_ensure_capacity_grows(self):
+        t = LoadTracker(2)
+        t.ensure_capacity(5)
+        assert t.n_servers == 5
+        assert t.load(4) == 0.0
+
+    def test_snapshot_breakdown(self):
+        t = LoadTracker(1)
+        t.sent(0, n_items=3)
+        snap = t.snapshot()[0]
+        assert snap["outstanding"] == 1.0 and snap["ewma"] == 3.0
+
+    @pytest.mark.parametrize("kwargs", [{"n_servers": 0}, {"n_servers": 1, "decay": 1.0}])
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            LoadTracker(**kwargs)

@@ -1,0 +1,114 @@
+"""Load-aware tie-break: identity when unloaded, steering when loaded."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.core.bundling import Bundler
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.overload.load import LoadTracker
+from repro.overload.tiebreak import counter_tie_break, least_loaded_tie_break
+from repro.types import Request
+
+N_SERVERS = 10
+N_ITEMS = 600
+
+
+@pytest.fixture(scope="module")
+def placer():
+    return RangedConsistentHashPlacer(N_SERVERS, 3, seed=0, vnodes=64)
+
+
+def random_requests(n, size, rng):
+    return [
+        Request(items=tuple(sorted(int(i) for i in rng.choice(N_ITEMS, size, replace=False))))
+        for _ in range(n)
+    ]
+
+
+class TestIdentityWhenOff:
+    def test_zero_signal_matches_lowest_policy_exactly(self, placer):
+        """The load-aware cover with no load signal is bit-identical to
+        the stock "lowest" tie-break — the property that makes it safe
+        to leave always-on."""
+        stock = Bundler(placer)
+        aware = Bundler(placer, tie_break=least_loaded_tie_break(LoadTracker(N_SERVERS)))
+        rng = np.random.default_rng(42)
+        for request in random_requests(80, 12, rng):
+            a = stock.plan(request)
+            b = aware.plan(request)
+            assert a.transactions == b.transactions
+
+    def test_fresh_counters_match_lowest_policy_exactly(self, placer):
+        cluster = Cluster(placer, range(N_ITEMS))
+        stock = Bundler(placer)
+        aware = Bundler(placer, tie_break=counter_tie_break(cluster))
+        rng = np.random.default_rng(43)
+        for request in random_requests(80, 12, rng):
+            assert stock.plan(request).transactions == aware.plan(request).transactions
+
+    def test_zero_signal_identity_with_exclusions(self, placer):
+        stock = Bundler(placer)
+        aware = Bundler(placer, tie_break=least_loaded_tie_break(LoadTracker(N_SERVERS)))
+        rng = np.random.default_rng(44)
+        for request in random_requests(40, 10, rng):
+            ex = frozenset({0, 5})
+            assert (
+                stock.plan(request, exclude=ex).transactions
+                == aware.plan(request, exclude=ex).transactions
+            )
+
+
+class TestSteering:
+    def test_pick_prefers_least_loaded(self):
+        tracker = LoadTracker(4)
+        tracker.sent(0, n_items=50)
+        pick = least_loaded_tie_break(tracker)
+        assert pick([0, 2, 3]) == 2  # 0 is hot; ties resolve to lowest id
+
+    def test_pick_ties_resolve_to_lowest_id(self):
+        pick = least_loaded_tie_break(LoadTracker(4))
+        assert pick([3, 1, 2]) == 1
+
+    def test_busy_verdicts_repel_covers(self, placer):
+        tracker = LoadTracker(N_SERVERS)
+        aware = Bundler(placer, tie_break=least_loaded_tie_break(tracker))
+        rng = np.random.default_rng(45)
+        requests = random_requests(60, 12, rng)
+        hot = 0
+        for _ in range(20):
+            tracker.busy(hot)  # server 0 keeps shedding
+        hot_txns = sum(
+            1
+            for request in requests
+            for txn in aware.plan(request).transactions
+            if txn.server == hot
+        )
+        stock_hot_txns = sum(
+            1
+            for request in requests
+            for txn in Bundler(placer).plan(request).transactions
+            if txn.server == hot
+        )
+        assert hot_txns < stock_hot_txns
+
+    def test_counter_tie_break_follows_live_counters(self, placer):
+        cluster = Cluster(placer, range(N_ITEMS))
+        pick = counter_tie_break(cluster)
+        cluster.servers[0].counters.transactions = 100
+        assert pick([0, 1]) == 1
+        cluster.servers[1].counters.transactions = 200
+        assert pick([0, 1]) == 0
+
+    def test_coverage_never_sacrificed(self, placer):
+        """Steering only moves equal-gain picks: every plan still covers."""
+        tracker = LoadTracker(N_SERVERS)
+        for sid in range(0, N_SERVERS, 2):
+            tracker.sent(sid, n_items=30)
+        aware = Bundler(placer, tie_break=least_loaded_tie_break(tracker))
+        rng = np.random.default_rng(46)
+        for request in random_requests(40, 15, rng):
+            plan = aware.plan(request)
+            assert set(plan.planned_items()) == set(request.items)
