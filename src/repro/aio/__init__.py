@@ -1,0 +1,41 @@
+"""Async high-concurrency serving layer (docs/SERVING.md).
+
+The live :mod:`repro.protocol` stack is synchronous: one blocking socket
+per client, one thread per connection on the server.  That is faithful
+to the paper's proof-of-concept but cannot exercise the "millions of
+users" regime the ROADMAP targets.  This package rebuilds the serving
+path on ``asyncio`` while sharing everything below the transport:
+
+* :mod:`repro.aio.server` — :class:`AsyncMemcachedServer`, an asyncio
+  front over the same :class:`repro.protocol.memserver.MemcachedServer`
+  backend (shared storage, pipelining, admission BUSY verdicts);
+* :mod:`repro.aio.transport` — :class:`AsyncConnection`, a pipelined
+  connection multiplexing many in-flight exchanges FIFO over one
+  socket, and :class:`AsyncConnectionPool` spreading them over a few;
+* :mod:`repro.aio.memclient` — :class:`AsyncMemcachedClient`, typed
+  async ops with idempotent retries under the shared
+  :class:`repro.protocol.retry.RetryPolicy`;
+* :mod:`repro.aio.rnbclient` — :class:`AsyncRnBClient`, bundled
+  multi-gets whose transactions dispatch concurrently, with repair
+  waves, breakers, health tracking and per-request deadline
+  degradation.
+
+The open-loop load generator (:mod:`repro.loadgen`, ``rnb loadtest``)
+drives this stack with thousands of concurrent simulated users in one
+process.
+"""
+
+from repro.aio.memclient import AsyncMemcachedClient
+from repro.aio.rnbclient import AsyncRnBClient
+from repro.aio.server import AioServerHandle, AsyncMemcachedServer, serve_aio
+from repro.aio.transport import AsyncConnection, AsyncConnectionPool
+
+__all__ = [
+    "AioServerHandle",
+    "AsyncConnection",
+    "AsyncConnectionPool",
+    "AsyncMemcachedClient",
+    "AsyncMemcachedServer",
+    "AsyncRnBClient",
+    "serve_aio",
+]

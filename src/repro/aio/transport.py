@@ -1,0 +1,272 @@
+"""Pipelined asyncio transport (the async twin of ``TCPTransport``).
+
+:class:`AsyncConnection` multiplexes many in-flight exchanges over ONE
+socket: callers write their request immediately and await a future;
+responses are parsed in arrival order and matched FIFO to the pending
+exchanges — valid because the memcached protocol answers strictly in
+request order (the async server front preserves this, see
+:mod:`repro.aio.server`).  Pipelining is what lets thousands of
+concurrent bundles share a small connection pool instead of needing a
+socket each.
+
+Timeout semantics mirror :class:`repro.protocol.transport.TCPTransport`
+knob for knob (the PR-5 connect/read split, audited here for parity):
+
+* ``connect_timeout`` bounds connection establishment and surfaces as
+  :class:`repro.errors.ServerTimeout`; a refused connection propagates
+  as :class:`ConnectionRefusedError` — both retryable under
+  :func:`repro.protocol.retry.async_call_with_retries`;
+* ``read_timeout`` bounds each exchange; on expiry the connection is
+  torn down (a stale late response must not desync the FIFO pairing)
+  and the exchange raises :class:`ServerTimeout`.  Other exchanges
+  pipelined on the connection fail with ``ConnectionError`` and retry
+  on a fresh connection under their own policies;
+* precedence is identical: explicit per-phase kwarg > legacy
+  ``timeout`` > :class:`repro.protocol.retry.RetryPolicy`.
+
+Unlike the sync transport, connecting is lazy (first exchange) because
+``__init__`` cannot await — :meth:`ensure_connected` is exposed for
+callers that want connect errors eagerly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from repro.errors import ProtocolError, ServerTimeout
+from repro.protocol import codec
+from repro.protocol.codec import IncompleteResponse, Response
+from repro.protocol.retry import DEFAULT_POLICY, RetryPolicy
+
+
+class AsyncConnection:
+    """One pipelined asyncio connection to a memcached-speaking server."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        policy: RetryPolicy | None = None,
+        timeout: float | None = None,
+        connect_timeout: float | None = None,
+        read_timeout: float | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.policy = policy or DEFAULT_POLICY
+        # precedence: explicit per-phase kwarg > legacy timeout > policy
+        # (same rule, and the same _pick helper contract, as TCPTransport)
+        self._connect_timeout = self._pick(
+            connect_timeout, timeout, self.policy.connect_timeout
+        )
+        self._request_timeout = self._pick(
+            read_timeout, timeout, self.policy.request_timeout
+        )
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._read_task: asyncio.Task | None = None
+        self._connect_lock = asyncio.Lock()
+        #: FIFO of (n_responses, future) for exchanges awaiting responses
+        self._pending: deque[tuple[int, asyncio.Future]] = deque()
+        self._buf = b""
+        #: exchanges currently in flight (pool balancing signal)
+        self.in_flight = 0
+        self.exchanges = 0
+
+    @staticmethod
+    def _pick(explicit: float | None, legacy: float | None, fallback: float) -> float:
+        if explicit is not None:
+            return explicit
+        if legacy is not None:
+            return legacy
+        return fallback
+
+    @property
+    def connect_timeout(self) -> float:
+        return self._connect_timeout
+
+    @property
+    def read_timeout(self) -> float:
+        return self._request_timeout
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    # -- connection lifecycle ----------------------------------------------
+
+    async def ensure_connected(self) -> None:
+        """Connect if not connected (lazy; also the post-failure reconnect).
+
+        Serialised by a lock: concurrent first exchanges must share ONE
+        socket and ONE read loop, not race to create several.
+        """
+        if self._writer is not None:
+            return
+        async with self._connect_lock:
+            if self._writer is not None:
+                return
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port),
+                    timeout=self._connect_timeout,
+                )
+            except (asyncio.TimeoutError, TimeoutError) as exc:
+                raise ServerTimeout(
+                    f"connect to {self.host}:{self.port} did not complete within "
+                    f"{self._connect_timeout}s"
+                ) from exc
+            self._buf = b""
+            self._reader, self._writer = reader, writer
+            self._read_task = asyncio.ensure_future(self._read_loop())
+
+    def close(self, error: BaseException | None = None) -> None:
+        """Tear down the socket; pending exchanges fail with ``error``."""
+        writer, self._reader, self._writer = self._writer, None, None
+        task, self._read_task = self._read_task, None
+        if task is not None:
+            task.cancel()
+        if writer is not None:
+            try:
+                writer.close()
+            except (OSError, RuntimeError):  # pragma: no cover - teardown race
+                pass
+        failure = error or ConnectionError("connection closed")
+        while self._pending:
+            _, fut = self._pending.popleft()
+            if not fut.done():
+                fut.set_exception(failure)
+        self._buf = b""
+
+    # -- the read side ------------------------------------------------------
+
+    async def _read_loop(self) -> None:
+        """Parse responses in arrival order, fulfilling pending FIFO."""
+        try:
+            while True:
+                while self._pending:
+                    n, fut = self._pending[0]
+                    responses: list[Response] = []
+                    while len(responses) < n:
+                        try:
+                            resp, self._buf = codec.parse_response(self._buf)
+                            responses.append(resp)
+                        except IncompleteResponse:
+                            chunk = await self._reader.read(65536)
+                            if not chunk:
+                                raise ProtocolError(
+                                    "connection closed mid-response"
+                                ) from None
+                            self._buf += chunk
+                    self._pending.popleft()
+                    if not fut.done():
+                        fut.set_result(responses)
+                if self._buf:
+                    # bytes with no exchange awaiting them: the FIFO
+                    # pairing is broken — tear down rather than spin
+                    raise ProtocolError(
+                        f"unexpected trailing response bytes: {self._buf[:40]!r}"
+                    )
+                # idle: wait for the next exchange to enqueue (or EOF)
+                chunk = await self._reader.read(65536)
+                if not chunk:
+                    self.close()
+                    return
+                self._buf += chunk
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._read_task = None
+            self.close(exc)
+
+    # -- the write side -----------------------------------------------------
+
+    async def exchange(self, request: bytes, n_responses: int = 1) -> list[Response]:
+        """Send one request, await its ``n_responses`` responses.
+
+        Many callers may have exchanges in flight concurrently; each
+        gets its own responses in request order.  A read timeout tears
+        the connection down (see module docstring) and raises
+        :class:`ServerTimeout`.
+        """
+        await self.ensure_connected()
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending.append((n_responses, fut))
+        self.in_flight += 1
+        self.exchanges += 1
+        try:
+            self._writer.write(request)
+            await self._writer.drain()
+            return await asyncio.wait_for(fut, timeout=self._request_timeout)
+        except (asyncio.TimeoutError, TimeoutError) as exc:
+            self.close()
+            raise ServerTimeout(
+                f"no complete response within {self._request_timeout}s"
+            ) from exc
+        except ConnectionError:
+            self.close()
+            raise
+        finally:
+            self.in_flight -= 1
+
+
+class AsyncConnectionPool:
+    """A small pool of pipelined connections to ONE server.
+
+    ``exchange`` routes each request to the pooled connection with the
+    fewest in-flight exchanges, growing the pool lazily up to ``size``
+    sockets.  Because every connection pipelines, the pool's effective
+    concurrency is far larger than ``size`` — the pool exists to spread
+    head-of-line parsing work and to contain the blast radius of a
+    timeout teardown, not to give each request a socket.
+
+    The pool quacks like a single connection (``exchange`` / ``close``),
+    so :class:`repro.aio.memclient.AsyncMemcachedClient` accepts either.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        size: int = 4,
+        policy: RetryPolicy | None = None,
+        timeout: float | None = None,
+        connect_timeout: float | None = None,
+        read_timeout: float | None = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.host = host
+        self.port = port
+        self.size = size
+        self._kwargs = dict(
+            policy=policy,
+            timeout=timeout,
+            connect_timeout=connect_timeout,
+            read_timeout=read_timeout,
+        )
+        self._connections: list[AsyncConnection] = []
+
+    @property
+    def connections(self) -> tuple[AsyncConnection, ...]:
+        return tuple(self._connections)
+
+    def _pick_connection(self) -> AsyncConnection:
+        if self._connections:
+            best = min(self._connections, key=lambda c: c.in_flight)
+            if best.in_flight == 0 or len(self._connections) >= self.size:
+                return best
+        conn = AsyncConnection(self.host, self.port, **self._kwargs)
+        self._connections.append(conn)
+        return conn
+
+    async def exchange(self, request: bytes, n_responses: int = 1) -> list[Response]:
+        return await self._pick_connection().exchange(request, n_responses)
+
+    def close(self) -> None:
+        for conn in self._connections:
+            conn.close()
+        self._connections.clear()

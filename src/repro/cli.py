@@ -15,6 +15,11 @@ Subcommands
     Benchmark the fast-path read pipeline (cover kernel, batched
     planning, end-to-end simulation) and optionally fail on regression
     against a committed baseline.
+``rnb loadtest [--users 5000] [--curve flash] [--out REPORT.json]``
+    Open-loop load test against a real in-process async server fleet
+    (docs/SERVING.md): one coroutine per simulated user, arrival times
+    from a seeded rate curve, RnB bundling over pipelined connections.
+    ``--min-goodput`` / ``--max-failed`` turn it into a CI gate.
 """
 
 from __future__ import annotations
@@ -87,6 +92,57 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="allowed fractional speedup drop vs baseline (default 0.4)",
+    )
+
+    load_p = sub.add_parser(
+        "loadtest",
+        help="open-loop load test against a real async server fleet",
+    )
+    load_p.add_argument("--users", type=int, default=1000)
+    load_p.add_argument(
+        "--duration", type=float, default=2.0, help="arrival-schedule span, seconds"
+    )
+    load_p.add_argument(
+        "--curve", choices=("constant", "diurnal", "flash"), default="constant"
+    )
+    load_p.add_argument(
+        "--scheduler", choices=("poisson", "deterministic"), default="poisson"
+    )
+    load_p.add_argument("--servers", type=int, default=4, dest="n_servers")
+    load_p.add_argument("--replication", type=int, default=2)
+    load_p.add_argument("--items", type=int, default=2000, dest="n_items")
+    load_p.add_argument("--request-size", type=int, default=8, dest="request_size")
+    load_p.add_argument("--zipf", type=float, default=0.8, dest="zipf_exponent")
+    load_p.add_argument("--seed", type=int, default=0)
+    load_p.add_argument(
+        "--pool-size", type=int, default=4, help="pipelined sockets per server"
+    )
+    load_p.add_argument(
+        "--deadline",
+        type=float,
+        default=5.0,
+        help="per-request budget, seconds; 0 disables (degrade, never fail)",
+    )
+    load_p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=None,
+        help="per-server admission bound; sheds BUSY above it",
+    )
+    load_p.add_argument(
+        "--out", default=None, metavar="FILE", help="write the report JSON to FILE"
+    )
+    load_p.add_argument(
+        "--min-goodput",
+        type=float,
+        default=None,
+        help="exit 1 if goodput (items/s) falls below this floor",
+    )
+    load_p.add_argument(
+        "--max-failed",
+        type=int,
+        default=None,
+        help="exit 1 if more than this many requests fail outright",
     )
     return parser
 
@@ -202,6 +258,51 @@ def main(argv: list[str] | None = None) -> int:
                 return 1
             print(f"[no regression vs {args.baseline} (tolerance {tolerance:.0%})]")
         return 0
+
+    if args.command == "loadtest":
+        from pathlib import Path
+
+        from repro.loadgen import LoadTestConfig, run_loadtest
+
+        config = LoadTestConfig(
+            users=args.users,
+            duration=args.duration,
+            curve=args.curve,
+            scheduler=args.scheduler,
+            n_servers=args.n_servers,
+            replication=args.replication,
+            n_items=args.n_items,
+            request_size=args.request_size,
+            zipf_exponent=args.zipf_exponent,
+            seed=args.seed,
+            pool_size=args.pool_size,
+            deadline=args.deadline if args.deadline > 0 else None,
+            queue_limit=args.queue_limit,
+        )
+        report = run_loadtest(config)
+        print(report.summary())
+        if args.out is not None:
+            Path(args.out).write_text(report.to_json() + "\n")
+            print(f"[wrote {args.out}]")
+        status = 0
+        if args.max_failed is not None and report.measured["failed"] > args.max_failed:
+            print(
+                f"GATE: {report.measured['failed']} failed requests "
+                f"(allowed {args.max_failed})",
+                file=sys.stderr,
+            )
+            status = 1
+        if (
+            args.min_goodput is not None
+            and report.measured["goodput_items_per_s"] < args.min_goodput
+        ):
+            print(
+                f"GATE: goodput {report.measured['goodput_items_per_s']:.0f} items/s "
+                f"below floor {args.min_goodput:.0f}",
+                file=sys.stderr,
+            )
+            status = 1
+        return status
 
     return 2  # pragma: no cover - argparse enforces valid commands
 

@@ -1,0 +1,171 @@
+"""Load soak: identical demand under steady, diurnal and flash-crowd arrivals.
+
+The hotspot soak stresses *where* load lands (a straggler under skew);
+this one stresses *when* it lands.  One seeded Zipf request stream is
+replayed three times through the event-heap overload simulator
+(:func:`repro.overload.desim.simulate_overload`) with the full defence
+ladder on — same requests, same total count, same schedule span — but
+with arrival times drawn from the open-loop rate curves of
+:mod:`repro.loadgen.schedule`:
+
+* **steady** — homogeneous Poisson arrivals at mean utilisation ``rho``
+  on the bottleneck server: the comfortable regime;
+* **diurnal** — a day/night sinusoid: the peak runs hotter than ``rho``
+  but slowly enough for breakers and admission to track it;
+* **flash** — a ``flash_factor``× square spike: transient saturation
+  that no capacity plan sized for the mean survives un-degraded.
+
+Goodput uses the DES's drain horizon (``items delivered / horizon``), so
+the three arms are directly comparable — they deliver (nearly) the same
+items over the same span; what differs is the tail and how much the
+ladder had to shed to protect it.
+
+Acceptance (meta): ``requests_failed`` == 0 in every arm (the ladder
+degrades, it never drops), the flash arm's p99 and shed+cut rates are at
+least the steady arm's, and the whole run is a pure function of ``seed``
+(``determinism_token``; the load-smoke CI job diffs two runs).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.calibration import DEFAULT_MEMCACHED_MODEL
+from repro.core.bundling import Bundler
+from repro.experiments.base import ExperimentResult
+from repro.experiments.hotspot import make_requests
+from repro.hashing.hashfns import stable_hash64
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.loadgen.schedule import arrival_times
+from repro.overload.desim import OverloadConfig, simulate_overload
+
+ARMS = ("steady", "diurnal", "flash")
+_CURVES = {"steady": "constant", "diurnal": "diurnal", "flash": "flash"}
+
+
+def run(
+    *,
+    n_servers: int = 10,
+    replication: int = 2,
+    n_items: int = 4000,
+    request_size: int = 10,
+    n_requests: int = 2400,
+    zipf_exponent: float = 1.0,
+    rho: float = 0.75,
+    flash_factor: float = 6.0,
+    seed: int = 2013,
+    scale: float = 1.0,
+) -> list[ExperimentResult]:
+    """Soak the defence ladder under three arrival-time regimes.
+
+    ``rho`` sets the *mean* utilisation of the bottleneck server; the
+    diurnal peak and the flash spike both run transiently past it.
+    ``scale`` shrinks the run for smoke tests; at any fixed parameter
+    set the run is a pure function of ``seed``.
+    """
+    n_requests = max(int(n_requests * scale), 200)
+    n_items = max(int(n_items * scale), 200)
+
+    cost_model = DEFAULT_MEMCACHED_MODEL
+    placer = RangedConsistentHashPlacer(n_servers, replication, seed=0, vnodes=64)
+    bundler = Bundler(placer)
+    requests = make_requests(seed, n_items, request_size, n_requests, zipf_exponent)
+
+    # Size the schedule span from the planned per-server demand: the
+    # bottleneck server's busy work at utilisation rho fixes the mean
+    # arrival rate, hence the span the three curves share.
+    demand = [0.0] * n_servers
+    for footprint in bundler.plan_footprints(requests):
+        for server, n_primary in footprint:
+            demand[server] += cost_model.txn_time(n_primary)
+    duration = max(demand) / rho
+
+    healthy_txn = cost_model.txn_time(request_size)
+    config = OverloadConfig(
+        queue_limit=32,
+        breaker=True,
+        trip_after=4,
+        window=12,
+        open_ticks=60,
+        deadline=healthy_txn * 400,
+        partial_fraction=0.5,
+        load_aware=True,
+        seed=seed,
+    )
+
+    results = {}
+    for arm in ARMS:
+        times = arrival_times(
+            n_requests,
+            duration,
+            curve=_CURVES[arm],
+            scheduler="poisson",
+            seed=seed,
+            **({"factor": flash_factor} if arm == "flash" else {}),
+        )
+        results[arm] = simulate_overload(
+            requests,
+            bundler,
+            n_servers=n_servers,
+            cost_model=cost_model,
+            arrival_times=times,
+            config=config,
+        )
+
+    def col(fn):
+        return [fn(results[arm]) for arm in ARMS]
+
+    def goodput(r) -> float:
+        span = r.horizon if r.horizon > 0 else 1.0
+        return r.served_fraction * r.items_measured / span
+
+    series = {
+        "p50 latency (ms)": col(lambda r: r.p50_latency * 1e3),
+        "p99 latency (ms)": col(lambda r: r.p99_latency * 1e3),
+        "p999 latency (ms)": col(lambda r: r.p999_latency * 1e3),
+        "served fraction": col(lambda r: r.served_fraction),
+        "shed rate": col(lambda r: r.shed_rate),
+        "deadline cut rate": col(lambda r: r.deadline_cut_rate),
+        "goodput (items/s)": col(goodput),
+        "requests degraded": col(lambda r: float(r.requests_degraded)),
+        "requests failed": col(lambda r: float(r.requests_failed)),
+    }
+    token = stable_hash64(
+        repr([(k, tuple(v)) for k, v in sorted(series.items())]), seed=seed
+    )
+    steady, flash = results["steady"], results["flash"]
+    meta = {
+        "seed": seed,
+        "n_servers": n_servers,
+        "replication": replication,
+        "rho": rho,
+        "flash_factor": flash_factor,
+        "duration": duration,
+        "steady_p99_ms": steady.p99_latency * 1e3,
+        "flash_p99_ms": flash.p99_latency * 1e3,
+        "flash_pain": (
+            (flash.shed_rate + flash.deadline_cut_rate)
+            - (steady.shed_rate + steady.deadline_cut_rate)
+        ),
+        "busy_verdicts": {arm: results[arm].busy_verdicts for arm in ARMS},
+        "requests_failed": sum(results[arm].requests_failed for arm in ARMS),
+        "determinism_token": token,
+    }
+    return [
+        ExperimentResult(
+            name="load_soak",
+            title=(
+                f"Load soak: Zipf({zipf_exponent}) demand at rho={rho:g} under "
+                f"steady / diurnal / flash({flash_factor:g}x) arrivals "
+                f"({n_servers} servers, R={replication})"
+            ),
+            x_label="arm",
+            x_values=list(ARMS),
+            series=series,
+            expectation=(
+                "arrival timing alone moves the tail: the flash arm's p99 and "
+                "shed+cut rates are the worst of the three at identical total "
+                "demand, the diurnal arm sits between, and zero requests fail "
+                "anywhere — the ladder answers degraded, never drops"
+            ),
+            meta=meta,
+        )
+    ]

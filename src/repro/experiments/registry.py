@@ -25,6 +25,7 @@ from repro.experiments import (
     hotspot,
     latency,
     limit_memory,
+    load_soak,
     queueing,
     scalability,
     sensitivity,
@@ -51,6 +52,7 @@ EXPERIMENTS: dict[str, Callable[..., list[ExperimentResult]]] = {
     "scalability": scalability.run,
     "latency": latency.run,
     "limit_memory": limit_memory.run,
+    "load_soak": load_soak.run,
     "single_item": single_item.run,
     "growth": growth.run,
     "hotspot": hotspot.run,

@@ -161,6 +161,10 @@ class OverloadResult:
     busy_verdicts: int
     breaker_transitions: int
     breaker_open_final: int
+    #: simulated time until the last server drained (goodput denominator)
+    horizon: float = 0.0
+    #: items asked for by the measured (post-warmup) requests
+    items_measured: int = 0
     ladder_counts: dict[str, int] = field(default_factory=dict)
     latencies: np.ndarray = field(repr=False, default=None)
 
@@ -175,14 +179,22 @@ def simulate_overload(
     *,
     n_servers: int,
     cost_model: CostModel,
-    arrival_rate: float,
+    arrival_rate: float | None = None,
+    arrival_times: Sequence[float] | None = None,
     rtt: float = 200e-6,
     latency_multipliers: Sequence[float] | None = None,
     config: OverloadConfig | None = None,
     warmup_fraction: float = 0.2,
     rng=None,
 ) -> OverloadResult:
-    """Run an open-loop Poisson workload through the overload serving loop.
+    """Run an open-loop workload through the overload serving loop.
+
+    Arrivals come either from ``arrival_rate`` (a homogeneous Poisson
+    process drawn from ``rng``, the original behaviour) or from
+    ``arrival_times`` — one pre-computed, non-decreasing timestamp per
+    request, which is how :func:`repro.loadgen.schedule.arrival_times`
+    drives diurnal and flash-crowd rate curves through the DES
+    (the ``load_soak`` experiment).  Exactly one of the two must be set.
 
     ``bundler`` supplies covers (and, for the ladder's last rung, the
     distinguished routing); ``latency_multipliers`` inflates per-server
@@ -190,7 +202,11 @@ def simulate_overload(
     come from ``config``; the all-defaults config is the no-policy
     baseline.  Deterministic for a fixed ``(requests, config, rng)``.
     """
-    if arrival_rate <= 0:
+    if (arrival_rate is None) == (arrival_times is None):
+        raise ConfigurationError(
+            "exactly one of arrival_rate / arrival_times must be given"
+        )
+    if arrival_rate is not None and arrival_rate <= 0:
         raise ConfigurationError("arrival_rate must be positive")
     if not (0.0 <= warmup_fraction < 1.0):
         raise ConfigurationError("warmup_fraction must be in [0, 1)")
@@ -386,10 +402,28 @@ def simulate_overload(
 
     # -- event loop ---------------------------------------------------------
 
-    now = 0.0
+    if arrival_times is not None:
+        times = np.asarray(arrival_times, dtype=np.float64)
+        if times.shape != (len(requests),):
+            raise ConfigurationError(
+                f"arrival_times must have one entry per request "
+                f"({times.shape} vs {len(requests)} requests)"
+            )
+        if len(times) and (times[0] < 0 or np.any(np.diff(times) < 0)):
+            raise ConfigurationError(
+                "arrival_times must be non-negative and non-decreasing"
+            )
+    else:
+        # scalar draws, exactly as before arrival_times existed: the
+        # overload-smoke CI diffs runs byte for byte across versions
+        acc, ticks = 0.0, []
+        for _ in requests:
+            acc += rng.exponential(1.0 / arrival_rate)
+            ticks.append(acc)
+        times = np.asarray(ticks, dtype=np.float64)
     reqs: list[_Req] = []
-    for request in requests:
-        now += rng.exponential(1.0 / arrival_rate)
+    for request, t in zip(requests, times):
+        now = float(t)
         req = _Req(request=request, arrival=now, remaining=set(request.items))
         req.last_delivery = now
         reqs.append(req)
@@ -529,6 +563,8 @@ def simulate_overload(
         breaker_open_final=(
             board.counts()["open"] if board is not None else 0
         ),
+        horizon=horizon,
+        items_measured=total_items,
         ladder_counts=dict(stats["ladder"]),
         latencies=latencies,
     )

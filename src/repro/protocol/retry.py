@@ -103,6 +103,48 @@ class RetryPolicy:
 DEFAULT_POLICY = RetryPolicy()
 
 
+async def async_call_with_retries(
+    fn,
+    policy: RetryPolicy = DEFAULT_POLICY,
+    *,
+    rng=None,
+    sleep=None,
+    retry_on: tuple = RETRYABLE_ERRORS,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+    deadline: float | None = None,
+    clock: Callable[[], float] = time.monotonic,
+):
+    """:func:`call_with_retries` for coroutines (the ``repro.aio`` path).
+
+    ``fn`` is an async callable; backoff sleeps await ``sleep`` (default
+    :func:`asyncio.sleep`, injectable so tests stay instant).  The
+    schedule, retryable error set, ``on_retry`` hook and ``deadline``
+    budget behave exactly like the synchronous twin — one
+    :class:`RetryPolicy` tunes both paths.
+    """
+    import asyncio
+
+    if sleep is None:
+        sleep = asyncio.sleep
+    if deadline is not None and deadline <= 0:
+        raise ConfigurationError("deadline must be positive (or None)")
+    start = clock() if deadline is not None else 0.0
+    attempt = 0
+    while True:
+        try:
+            return await fn()
+        except retry_on as exc:
+            if attempt >= policy.max_retries:
+                raise
+            delay = policy.backoff(attempt, rng=rng)
+            if deadline is not None and (clock() - start) + delay >= deadline:
+                raise  # the budget cannot fit another sleep + attempt
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            await sleep(delay)
+            attempt += 1
+
+
 def call_with_retries(
     fn: Callable[[], object],
     policy: RetryPolicy = DEFAULT_POLICY,

@@ -64,6 +64,11 @@ class MultiGetOutcome:
     epoch: int | None = None
     #: membership changes committed from this request's dead verdicts
     membership_commits: int = 0
+    #: the per-request deadline expired before every key was fetched
+    #: (async path only; the request degraded instead of failing)
+    deadline_hit: bool = False
+    #: BUSY sheds observed while serving this request (async path only)
+    busy_sheds: int = 0
 
 
 class RnBProtocolClient:

@@ -1,0 +1,117 @@
+"""Async server front: shared backend, pipelining, BUSY verdicts."""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+from repro.aio.memclient import AsyncMemcachedClient
+from repro.aio.server import AsyncMemcachedServer, serve_aio
+from repro.aio.transport import AsyncConnection
+from repro.overload.load import AdmissionControl
+from repro.protocol.memclient import MemcachedConnection
+from repro.protocol.memserver import MemcachedServer, serve_tcp
+from repro.protocol.transport import TCPTransport
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSharedBackend:
+    def test_async_and_threaded_fronts_serve_one_store(self):
+        backend = MemcachedServer()
+        threaded, (th, tp) = serve_tcp(backend)
+        aio_handle, (ah, ap) = serve_aio(backend)
+        try:
+            sync_client = MemcachedConnection(TCPTransport(th, tp, timeout=2.0))
+            sync_client.set("via-sync", b"1")
+
+            async def via_async():
+                conn = AsyncConnection(ah, ap, timeout=2.0)
+                client = AsyncMemcachedClient(conn)
+                try:
+                    # the async front reads what the threaded front wrote
+                    assert await client.get("via-sync") == b"1"
+                    assert await client.set("via-async", b"2")
+                finally:
+                    conn.close()
+
+            run(via_async())
+            # ... and vice versa
+            assert sync_client.get("via-async") == b"2"
+            sync_client.transport.close()
+        finally:
+            aio_handle.stop()
+            threaded.shutdown()
+            threaded.server_close()
+
+
+class TestProtocol:
+    def test_pipelined_burst_answers_in_order(self):
+        # raw socket: write many commands before reading anything
+        backend = MemcachedServer()
+        handle, (host, port) = serve_aio(backend)
+        try:
+            with socket.create_connection((host, port), timeout=2.0) as sock:
+                burst = b"".join(
+                    b"set b%03d 0 0 2\r\nv%1d\r\n" % (i, i) for i in range(10)
+                )
+                burst += b"get b000 b005 b009\r\n"
+                sock.sendall(burst)
+                sock.settimeout(2.0)
+                data = b""
+                while data.count(b"STORED\r\n") < 10 or b"END\r\n" not in data:
+                    data += sock.recv(65536)
+            # responses in request order: 10 STOREDs then the get
+            assert data.startswith(b"STORED\r\n" * 10)
+            assert b"VALUE b000" in data and b"VALUE b009" in data
+        finally:
+            handle.stop()
+
+    def test_malformed_input_answers_error_and_closes(self):
+        handle, (host, port) = serve_aio(MemcachedServer())
+        try:
+            with socket.create_connection((host, port), timeout=2.0) as sock:
+                sock.sendall(b"gibberish nonsense\r\n")
+                sock.settimeout(2.0)
+                assert sock.recv(65536) == b"ERROR\r\n"
+                assert sock.recv(65536) == b""  # server closed the connection
+        finally:
+            handle.stop()
+
+
+class TestAdmission:
+    def test_busy_verdict_surfaces_through_the_async_front(self):
+        gate = AdmissionControl(queue_limit=1)
+        gate.outstanding = 1  # permanently full
+        backend = MemcachedServer(admission=gate)
+
+        async def scenario():
+            server = AsyncMemcachedServer(backend)
+            host, port = await server.start()
+            conn = AsyncConnection(host, port, timeout=2.0)
+            client = AsyncMemcachedClient(conn)
+            try:
+                from repro.errors import ServerBusy
+
+                import pytest
+
+                with pytest.raises(ServerBusy):
+                    await client.get("anything")
+            finally:
+                conn.close()
+                await server.stop()
+
+        run(scenario())
+
+    def test_port_zero_picks_a_free_port_per_server(self):
+        async def scenario():
+            servers = [AsyncMemcachedServer(MemcachedServer()) for _ in range(3)]
+            addrs = [await s.start() for s in servers]
+            ports = {p for _, p in addrs}
+            for s in servers:
+                await s.stop()
+            assert len(ports) == 3
+
+        run(scenario())

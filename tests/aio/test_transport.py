@@ -1,0 +1,167 @@
+"""Pipelined async transport: FIFO ordering, timeouts, pool balance."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.aio.server import AsyncMemcachedServer
+from repro.aio.transport import AsyncConnection, AsyncConnectionPool
+from repro.errors import ServerTimeout
+from repro.protocol.codec import Command, encode_command
+from repro.protocol.memserver import MemcachedServer
+from repro.protocol.retry import RetryPolicy
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_server(fn):
+    backend = MemcachedServer()
+    server = AsyncMemcachedServer(backend)
+    host, port = await server.start()
+    try:
+        return await fn(backend, host, port)
+    finally:
+        await server.stop()
+
+
+class TestPipelining:
+    def test_many_exchanges_one_connection_preserve_ordering(self):
+        async def scenario(backend, host, port):
+            for i in range(64):
+                backend.execute(
+                    Command(name="set", keys=(f"k{i}",), data=f"v{i}".encode())
+                )
+            conn = AsyncConnection(host, port)
+            try:
+                reqs = [
+                    conn.exchange(encode_command(Command(name="get", keys=(f"k{i}",))))
+                    for i in range(64)
+                ]
+                replies = await asyncio.gather(*reqs)
+            finally:
+                conn.close()
+            assert len(conn._pending) == 0
+            return replies
+
+        replies = run(_with_server(scenario))
+        # every caller got ITS response, not a neighbour's
+        for i, [resp] in enumerate(replies):
+            assert resp.values[f"k{i}"][1] == f"v{i}".encode()
+
+    def test_concurrent_first_use_creates_one_socket(self):
+        # racing first exchanges must share ONE socket + read loop, not
+        # each open their own (the connect lock's reason to exist)
+        async def scenario():
+            server = AsyncMemcachedServer(MemcachedServer())
+            host, port = await server.start()
+            conn = AsyncConnection(host, port)
+            try:
+                await asyncio.gather(
+                    *(
+                        conn.exchange(
+                            encode_command(
+                                Command(name="set", keys=(f"x{i}",), data=b"v")
+                            )
+                        )
+                        for i in range(20)
+                    )
+                )
+                assert server.connections_accepted == 1
+                assert conn.exchanges == 20
+            finally:
+                conn.close()
+                await server.stop()
+
+        run(scenario())
+
+
+class TestTimeoutParity:
+    """The PR-5 connect/read split, audited knob for knob vs TCPTransport."""
+
+    def test_policy_is_the_default_source(self):
+        policy = RetryPolicy(connect_timeout=3.5, request_timeout=7.5)
+        conn = AsyncConnection("127.0.0.1", 1, policy=policy)
+        assert conn.connect_timeout == 3.5
+        assert conn.read_timeout == 7.5
+
+    def test_legacy_timeout_overrides_both(self):
+        policy = RetryPolicy(connect_timeout=3.5, request_timeout=7.5)
+        conn = AsyncConnection("127.0.0.1", 1, policy=policy, timeout=1.25)
+        assert conn.connect_timeout == 1.25
+        assert conn.read_timeout == 1.25
+
+    def test_per_phase_kwargs_beat_legacy(self):
+        conn = AsyncConnection(
+            "127.0.0.1", 1, timeout=9.0, connect_timeout=0.5, read_timeout=2.0
+        )
+        assert conn.connect_timeout == 0.5
+        assert conn.read_timeout == 2.0
+
+    def test_one_phase_overridden_other_from_legacy(self):
+        conn = AsyncConnection("127.0.0.1", 1, timeout=9.0, connect_timeout=0.5)
+        assert conn.connect_timeout == 0.5
+        assert conn.read_timeout == 9.0
+
+    def test_pool_propagates_the_split(self):
+        pool = AsyncConnectionPool(
+            "127.0.0.1", 1, timeout=9.0, connect_timeout=0.5, read_timeout=2.0
+        )
+        conn = pool._pick_connection()
+        assert conn.connect_timeout == 0.5
+        assert conn.read_timeout == 2.0
+
+
+class TestReadTimeout:
+    def test_silent_server_raises_server_timeout_and_tears_down(self):
+        async def scenario():
+            async def mute(reader, writer):
+                await reader.read(65536)  # swallow the request, answer nothing
+
+            server = await asyncio.start_server(mute, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            conn = AsyncConnection(host, port, read_timeout=0.1)
+            try:
+                with pytest.raises(ServerTimeout):
+                    await conn.exchange(
+                        encode_command(Command(name="get", keys=("k",)))
+                    )
+                assert not conn.connected  # FIFO desync prevention
+            finally:
+                conn.close()
+                server.close()
+                await server.wait_closed()
+
+        run(scenario())
+
+
+class TestPool:
+    def test_grows_lazily_and_balances_by_in_flight(self):
+        async def scenario(backend, host, port):
+            pool = AsyncConnectionPool(host, port, size=3)
+            try:
+                await asyncio.gather(
+                    *(
+                        pool.exchange(
+                            encode_command(
+                                Command(name="set", keys=(f"p{i}",), data=b"v")
+                            )
+                        )
+                        for i in range(30)
+                    )
+                )
+                n_conns = len(pool.connections)
+                total = sum(c.exchanges for c in pool.connections)
+            finally:
+                pool.close()
+            assert 1 <= n_conns <= 3
+            assert total == 30
+
+        run(_with_server(scenario))
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            AsyncConnectionPool("127.0.0.1", 1, size=0)

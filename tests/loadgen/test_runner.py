@@ -1,0 +1,119 @@
+"""End-to-end load test runner: real servers, determinism, reporting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.loadgen.runner import (
+    LoadTestConfig,
+    build_workload,
+    item_key,
+    run_loadtest,
+    workload_token,
+)
+
+SMALL = LoadTestConfig(
+    users=120,
+    duration=0.4,
+    n_servers=3,
+    replication=2,
+    n_items=300,
+    request_size=5,
+    seed=11,
+)
+
+
+class TestWorkloadDeterminism:
+    def test_build_workload_is_pure(self):
+        off_a, req_a = build_workload(SMALL)
+        off_b, req_b = build_workload(SMALL)
+        assert list(off_a) == list(off_b)
+        assert req_a == req_b
+
+    def test_token_pins_offsets_and_keys(self):
+        off, req = build_workload(SMALL)
+        assert workload_token(off, req) == workload_token(off.copy(), list(req))
+        bumped = off.copy()
+        bumped[0] += 0.001
+        assert workload_token(bumped, req) != workload_token(off, req)
+
+    def test_seed_moves_the_token(self):
+        cfg2 = LoadTestConfig(
+            users=120,
+            duration=0.4,
+            n_servers=3,
+            replication=2,
+            n_items=300,
+            request_size=5,
+            seed=12,
+        )
+        assert (
+            workload_token(*build_workload(SMALL))
+            != workload_token(*build_workload(cfg2))
+        )
+
+    def test_requests_use_valid_item_keys(self):
+        _, req = build_workload(SMALL)
+        valid = {item_key(i) for i in range(SMALL.n_items)}
+        for keys in req:
+            assert len(set(keys)) == len(keys) == SMALL.request_size
+            assert set(keys) <= valid
+
+
+class TestRunLoadtest:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_loadtest(SMALL)
+
+    def test_every_request_served_zero_failed(self, report):
+        m = report.measured
+        assert m["failed"] == 0
+        assert m["ok"] + m["degraded"] == SMALL.users
+        assert m["items_served"] > 0
+
+    def test_workload_section_matches_config_and_reruns(self, report):
+        w = report.workload
+        assert w["users"] == SMALL.users
+        assert w["seed"] == SMALL.seed
+        # the workload half is reproducible even though measurements move
+        again = run_loadtest(SMALL)
+        assert again.workload == w
+
+    def test_report_serialises(self, report):
+        doc = json.loads(report.to_json())
+        assert set(doc) == {"workload", "measured"}
+        assert doc["workload"]["determinism_token"] == (
+            report.workload["determinism_token"]
+        )
+        assert "p999_ms" in doc["measured"]
+        text = report.summary()
+        assert "loadtest:" in text and "goodput:" in text
+
+    def test_latency_percentiles_ordered(self, report):
+        m = report.measured
+        assert m["p50_ms"] <= m["p99_ms"] <= m["p999_ms"]
+        assert m["peak_in_flight"] >= 1
+        assert m["connections"] >= SMALL.n_servers
+
+
+class TestConfigValidation:
+    def test_bounds(self):
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(users=0)
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(duration=0.0)
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(curve="sawtooth")
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(scheduler="closed-loop")
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(replication=5, n_servers=4)
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(request_size=0)
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(deadline=-1.0)
+        with pytest.raises(ConfigurationError):
+            LoadTestConfig(queue_limit=0)

@@ -1,0 +1,125 @@
+"""Open-loop arrival schedules: determinism, curve shapes, validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.loadgen.schedule import (
+    arrival_times,
+    diurnal_curve,
+    flash_crowd_curve,
+    make_curve,
+)
+
+
+class TestPoissonScheduler:
+    def test_deterministic_by_seed(self):
+        a = arrival_times(500, 10.0, scheduler="poisson", seed=42)
+        b = arrival_times(500, 10.0, scheduler="poisson", seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_moves_the_schedule(self):
+        a = arrival_times(500, 10.0, scheduler="poisson", seed=42)
+        b = arrival_times(500, 10.0, scheduler="poisson", seed=43)
+        assert not np.array_equal(a, b)
+
+    def test_sorted_and_in_range(self):
+        t = arrival_times(1000, 5.0, scheduler="poisson", seed=1)
+        assert np.all(np.diff(t) >= 0)
+        assert t[0] >= 0 and t[-1] <= 5.0
+
+    def test_irregular_gaps(self):
+        # a Poisson process has bursts and lulls; the gap CV of an
+        # exponential is 1, far from the 0 of an evenly spaced schedule
+        t = arrival_times(2000, 10.0, scheduler="poisson", seed=7)
+        gaps = np.diff(t)
+        assert gaps.std() / gaps.mean() > 0.5
+
+
+class TestDeterministicScheduler:
+    def test_no_seed_dependence(self):
+        a = arrival_times(300, 4.0, scheduler="deterministic", seed=1)
+        b = arrival_times(300, 4.0, scheduler="deterministic", seed=99)
+        np.testing.assert_array_equal(a, b)
+
+    def test_constant_curve_evenly_spaced(self):
+        t = arrival_times(100, 10.0, scheduler="deterministic")
+        gaps = np.diff(t)
+        np.testing.assert_allclose(gaps, gaps[0], rtol=1e-6)
+
+
+class TestCurveShapes:
+    def test_flash_concentrates_arrivals_in_the_spike(self):
+        factor, start, width = 8.0, 0.5, 0.1
+        t = arrival_times(
+            20000,
+            1.0,
+            curve="flash",
+            scheduler="deterministic",
+            factor=factor,
+            start=start,
+            width=width,
+        )
+        in_spike = np.mean((t >= start) & (t < start + width))
+        expected = factor * width / (1.0 + (factor - 1.0) * width)
+        assert in_spike == pytest.approx(expected, rel=0.02)
+
+    def test_flash_baseline_is_uniform_outside_the_spike(self):
+        t = arrival_times(
+            20000, 1.0, curve="flash", scheduler="deterministic", start=0.6, width=0.2
+        )
+        before = np.mean(t < 0.3)
+        # first 30% of the window holds 30% of the baseline mass
+        baseline_mass = 1.0 - np.mean((t >= 0.6) & (t < 0.8))
+        assert before == pytest.approx(0.3 / 0.8 * baseline_mass, rel=0.05)
+
+    def test_diurnal_peak_beats_trough(self):
+        t = arrival_times(
+            20000, 1.0, curve="diurnal", scheduler="deterministic", amplitude=0.8
+        )
+        trough = np.mean(t < 0.25)  # sinusoid trough is at the start
+        peak = np.mean((t >= 0.25) & (t < 0.75))
+        assert peak > 2 * trough
+
+    def test_custom_callable_curve(self):
+        t = arrival_times(
+            1000, 1.0, curve=lambda u: 1.0 + u, scheduler="deterministic"
+        )
+        # density grows with time: the median arrival is past the midpoint
+        assert np.median(t) > 0.5
+
+
+class TestValidation:
+    def test_unknown_curve(self):
+        with pytest.raises(ConfigurationError):
+            arrival_times(10, 1.0, curve="square")
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ConfigurationError):
+            arrival_times(10, 1.0, scheduler="uniform")
+
+    def test_kwargs_rejected_for_callable_curve(self):
+        with pytest.raises(ConfigurationError):
+            arrival_times(10, 1.0, curve=lambda u: u + 1, factor=2.0)
+
+    def test_bad_n_and_duration(self):
+        with pytest.raises(ConfigurationError):
+            arrival_times(0, 1.0)
+        with pytest.raises(ConfigurationError):
+            arrival_times(10, 0.0)
+
+    def test_curve_parameter_bounds(self):
+        with pytest.raises(ConfigurationError):
+            diurnal_curve(amplitude=1.5)
+        with pytest.raises(ConfigurationError):
+            flash_crowd_curve(factor=0.5)
+        with pytest.raises(ConfigurationError):
+            flash_crowd_curve(start=0.9, width=0.5)
+        with pytest.raises(ConfigurationError):
+            make_curve("constant", factor=2.0)
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            arrival_times(10, 1.0, curve=lambda u: u - 0.5)

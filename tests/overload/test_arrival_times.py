@@ -1,0 +1,97 @@
+"""Explicit arrival times through the overload DES (the loadgen bridge)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import DEFAULT_MEMCACHED_MODEL
+from repro.core.bundling import Bundler
+from repro.errors import ConfigurationError
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.overload.desim import simulate_overload
+from repro.types import Request
+from repro.utils.rng import derive_rng
+
+
+def _setup(n_requests=80):
+    placer = RangedConsistentHashPlacer(4, 2, seed=0, vnodes=32)
+    bundler = Bundler(placer)
+    rng = derive_rng(5, 1)
+    requests = [
+        Request(items=tuple(sorted(int(i) for i in rng.choice(200, size=5, replace=False))))
+        for _ in range(n_requests)
+    ]
+    return bundler, requests
+
+
+def _run(bundler, requests, **kwargs):
+    return simulate_overload(
+        requests,
+        bundler,
+        n_servers=4,
+        cost_model=DEFAULT_MEMCACHED_MODEL,
+        warmup_fraction=0.0,
+        **kwargs,
+    )
+
+
+class TestArrivalTimes:
+    def test_explicit_times_are_deterministic_without_rng(self):
+        bundler, requests = _setup()
+        times = np.linspace(0.0, 0.1, len(requests))
+        a = _run(bundler, requests, arrival_times=times)
+        b = _run(bundler, requests, arrival_times=times)
+        np.testing.assert_array_equal(a.latencies, b.latencies)
+
+    def test_matches_equivalent_rate_run_shape(self):
+        bundler, requests = _setup()
+        result = _run(bundler, requests, arrival_times=np.linspace(0, 0.1, 80))
+        assert result.n_requests == 80
+        assert result.items_measured == sum(r.size for r in requests)
+        assert result.horizon > 0.1  # servers drain after the last arrival
+
+    def test_burst_at_one_instant_queues(self):
+        bundler, requests = _setup()
+        spread = _run(bundler, requests, arrival_times=np.linspace(0, 1.0, 80))
+        burst = _run(bundler, requests, arrival_times=np.zeros(80))
+        assert burst.p99_latency > spread.p99_latency
+
+    def test_goodput_denominator_fields(self):
+        bundler, requests = _setup()
+        result = _run(bundler, requests, arrival_times=np.linspace(0, 0.05, 80))
+        goodput = result.served_fraction * result.items_measured / result.horizon
+        assert goodput > 0
+
+
+class TestValidation:
+    def test_exactly_one_arrival_source(self):
+        bundler, requests = _setup(10)
+        with pytest.raises(ConfigurationError):
+            _run(bundler, requests)  # neither
+        with pytest.raises(ConfigurationError):
+            _run(
+                bundler,
+                requests,
+                arrival_rate=100.0,
+                arrival_times=np.zeros(10),
+            )  # both
+
+    def test_length_must_match_requests(self):
+        bundler, requests = _setup(10)
+        with pytest.raises(ConfigurationError):
+            _run(bundler, requests, arrival_times=np.zeros(9))
+
+    def test_times_must_be_sorted_and_non_negative(self):
+        bundler, requests = _setup(3)
+        with pytest.raises(ConfigurationError):
+            _run(bundler, requests, arrival_times=[0.0, 0.2, 0.1])
+        with pytest.raises(ConfigurationError):
+            _run(bundler, requests, arrival_times=[-0.1, 0.0, 0.1])
+
+    def test_poisson_path_unchanged(self):
+        # the original API still works and still derives from rng
+        bundler, requests = _setup(20)
+        a = _run(bundler, requests, arrival_rate=500.0, rng=derive_rng(1, 2))
+        b = _run(bundler, requests, arrival_rate=500.0, rng=derive_rng(1, 2))
+        np.testing.assert_array_equal(a.latencies, b.latencies)

@@ -1,0 +1,122 @@
+"""Dead-port semantics, shared across the sync and async transports.
+
+PR 5 split connect/read timeouts and pinned down refused-connect
+behaviour for ``TCPTransport``: a connection refused propagates as
+``ConnectionRefusedError`` (an ``OSError``, hence retryable) rather than
+being wrapped.  The async transport must agree — a client failing over
+between transports cannot change its error taxonomy — so both are
+exercised here against the same dead port.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.aio.transport import AsyncConnection
+from repro.protocol.retry import (
+    RetryPolicy,
+    async_call_with_retries,
+    call_with_retries,
+)
+from repro.protocol.transport import TCPTransport
+
+
+@pytest.fixture()
+def dead_port() -> int:
+    """A loopback port that was just bound and released: connects refuse."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+FAST = RetryPolicy(
+    connect_timeout=2.0,
+    request_timeout=2.0,
+    max_retries=2,
+    backoff_base=0.0001,
+    backoff_max=0.001,
+)
+
+
+class TestSyncTransport:
+    def test_refused_connect_propagates(self, dead_port):
+        with pytest.raises(ConnectionRefusedError):
+            TCPTransport("127.0.0.1", dead_port, timeout=2.0)
+
+    def test_refused_connect_is_retryable(self, dead_port):
+        attempts = []
+        with pytest.raises(ConnectionRefusedError):
+            call_with_retries(
+                lambda: TCPTransport("127.0.0.1", dead_port, timeout=2.0),
+                FAST,
+                sleep=lambda _: None,
+                on_retry=lambda n, exc: attempts.append(type(exc)),
+            )
+        assert attempts == [ConnectionRefusedError, ConnectionRefusedError]
+
+
+class TestAsyncTransport:
+    def test_refused_connect_propagates(self, dead_port):
+        async def scenario():
+            conn = AsyncConnection("127.0.0.1", dead_port, timeout=2.0)
+            with pytest.raises(ConnectionRefusedError):
+                await conn.ensure_connected()
+            assert not conn.connected
+
+        asyncio.run(scenario())
+
+    def test_refused_connect_is_retryable(self, dead_port):
+        async def scenario():
+            attempts = []
+
+            async def connect():
+                conn = AsyncConnection("127.0.0.1", dead_port, timeout=2.0)
+                await conn.ensure_connected()
+                return conn
+
+            with pytest.raises(ConnectionRefusedError):
+                await async_call_with_retries(
+                    connect,
+                    FAST,
+                    sleep=_no_sleep,
+                    on_retry=lambda n, exc: attempts.append(type(exc)),
+                )
+            assert attempts == [ConnectionRefusedError, ConnectionRefusedError]
+
+        async def _no_sleep(_):
+            return None
+
+        asyncio.run(scenario())
+
+    def test_exchange_on_dead_port_also_refuses(self, dead_port):
+        # the lazy connect inside exchange must not change the taxonomy
+        async def scenario():
+            conn = AsyncConnection("127.0.0.1", dead_port, timeout=2.0)
+            with pytest.raises(ConnectionRefusedError):
+                await conn.exchange(b"get k\r\n")
+
+        asyncio.run(scenario())
+
+
+class TestParity:
+    def test_both_transports_raise_the_same_error_type(self, dead_port):
+        sync_exc = async_exc = None
+        try:
+            TCPTransport("127.0.0.1", dead_port, timeout=2.0)
+        except OSError as exc:
+            sync_exc = type(exc)
+
+        async def try_async():
+            nonlocal async_exc
+            try:
+                await AsyncConnection(
+                    "127.0.0.1", dead_port, timeout=2.0
+                ).ensure_connected()
+            except OSError as exc:
+                async_exc = type(exc)
+
+        asyncio.run(try_async())
+        assert sync_exc is async_exc is ConnectionRefusedError
