@@ -111,8 +111,15 @@ class AsyncMemcachedClient:
         if resp.status != "OK":
             raise ProtocolError(f"flush_all failed: {resp.status}")
 
-    async def stats(self) -> dict:
-        [resp] = await self._exchange_checked(encode_command(Command(name="stats")))
+    async def stats(self, arg: str = "") -> dict:
+        """The server's ``stats`` report; ``arg`` selects a sub-report
+        (``"metrics"`` returns Prometheus-style telemetry samples)."""
+        keys = (arg,) if arg else ()
+        [resp] = await self._exchange_checked(
+            encode_command(Command(name="stats", keys=keys))
+        )
+        if resp.status.startswith(("CLIENT_ERROR", "SERVER_ERROR")):
+            raise ProtocolError(f"stats {arg!r} failed: {resp.status}")
         return dict(resp.stats)
 
     def close(self) -> None:

@@ -31,6 +31,7 @@ the sync client where live topology changes must commit proposals.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import defaultdict
 
 from repro.cluster.placement import ReplicaPlacer
@@ -38,7 +39,12 @@ from repro.core.bundling import Bundler
 from repro.errors import ConfigurationError, ProtocolError, ServerBusy
 from repro.faults.health import HealthTracker
 from repro.protocol.retry import RetryPolicy, async_call_with_retries
-from repro.protocol.rnbclient import FAILOVER_ERRORS, MultiGetOutcome
+from repro.protocol.rnbclient import (
+    FAILOVER_ERRORS,
+    MultiGetOutcome,
+    _record_outcome,
+    _request_instruments,
+)
 from repro.types import Request
 
 
@@ -62,6 +68,8 @@ class AsyncRnBClient:
         rng=None,
         sleep=None,
         breakers=None,
+        metrics=None,
+        tracer=None,
     ) -> None:
         needed = set(range(placer.n_servers))
         if not needed <= set(connections):
@@ -71,7 +79,7 @@ class AsyncRnBClient:
             )
         self.connections = dict(connections)
         self.placer = placer
-        self.bundler = bundler or Bundler(placer)
+        self.bundler = bundler or Bundler(placer, metrics=metrics)
         if self.bundler.placer is not placer:
             raise ConfigurationError("bundler must share the client's placer")
         self.write_back = write_back
@@ -87,16 +95,28 @@ class AsyncRnBClient:
             self.health.add_observer(breakers)
         #: lifetime BUSY sheds observed (the loadgen's shed counter)
         self.busy_sheds = 0
+        #: optional repro.obs wiring: a MetricsRegistry feeds the
+        #: ``path="aio"`` request families (docs/OBSERVABILITY.md) and a
+        #: Tracer records request -> plan/txn spans on the wall clock
+        self._tracer = tracer
+        self._metrics = _request_instruments(metrics, "aio")
 
     # -- fault plumbing ------------------------------------------------------
 
-    async def _fetch(self, sid: int, keys, counters: dict | None = None) -> dict:
+    async def _fetch(
+        self, sid: int, keys, counters: dict | None = None, parent=None
+    ) -> dict:
         """One server's multi-get under the retry policy + health tracking.
 
         Identical layering to the sync client: a connection that carries
         its own policy is not retried on top (attempts would compound).
         """
         conn = self.connections[sid]
+        span = (
+            self._tracer.start("txn", parent=parent, server=sid, n_keys=len(keys))
+            if self._tracer is not None
+            else None
+        )
 
         async def attempt():
             return await conn.get_multi(keys)
@@ -127,21 +147,29 @@ class AsyncRnBClient:
                 counters["busy"] = counters.get("busy", 0) + 1
             if self.breakers is not None:
                 self.breakers.record_failure(sid)
+            if self._metrics is not None:
+                self._metrics["busy"].inc()
+            if span is not None:
+                self._tracer.finish(span, outcome="busy")
             raise
         except FAILOVER_ERRORS:
             if self.health is not None:
                 self.health.record_error(sid)
+            if span is not None:
+                self._tracer.finish(span, outcome="error")
             raise
         if self.health is not None:
             self.health.record_success(sid)
+        if span is not None:
+            self._tracer.finish(span, outcome="ok")
         return got
 
-    async def _fetch_result(self, sid: int, keys, counters):
+    async def _fetch_result(self, sid: int, keys, counters, parent=None):
         """:meth:`_fetch` with the exception folded into the return value,
         so a wave of concurrent fetches can be aggregated in task order
         (deterministic) rather than completion order."""
         try:
-            return sid, tuple(keys), await self._fetch(sid, keys, counters)
+            return sid, tuple(keys), await self._fetch(sid, keys, counters, parent)
         except FAILOVER_ERRORS as exc:
             return sid, tuple(keys), exc
 
@@ -212,6 +240,12 @@ class AsyncRnBClient:
             return MultiGetOutcome()
         if deadline is not None and deadline <= 0:
             raise ConfigurationError("deadline must be positive (or None)")
+        started = time.perf_counter()
+        req_span = (
+            self._tracer.start("request", n_keys=len(keys))
+            if self._tracer is not None
+            else None
+        )
         deadline_at = (
             asyncio.get_running_loop().time() + deadline if deadline is not None else None
         )
@@ -221,6 +255,12 @@ class AsyncRnBClient:
             self.breakers.advance()
             exclude = exclude | self.breakers.tripped()
         plan = self.bundler.plan(request, exclude=exclude or None)
+        if req_span is not None:
+            self._tracer.finish(
+                self._tracer.start(
+                    "plan", parent=req_span, n_txns=len(plan.transactions)
+                )
+            )
 
         counters: dict[str, int] = {}
         outcome = MultiGetOutcome()
@@ -228,7 +268,9 @@ class AsyncRnBClient:
         missed_primary: dict[str, int] = {}
 
         jobs = [
-            self._fetch_result(txn.server, (*txn.primary, *txn.hitchhikers), counters)
+            self._fetch_result(
+                txn.server, (*txn.primary, *txn.hitchhikers), counters, req_span
+            )
             for txn in plan.transactions
         ]
         results, cut = await self._run_wave(jobs, deadline_at)
@@ -246,7 +288,10 @@ class AsyncRnBClient:
         if cut:
             # deadline mid-first-round: cancelled transactions' primaries
             # are simply still missing; skip repair and report degraded
-            return self._finalize(outcome, keys, failed, counters, deadline_hit=True)
+            return self._finalize(
+                outcome, keys, failed, counters,
+                deadline_hit=True, started=started, req_span=req_span,
+            )
 
         # Repair waves: same policy as the sync client (distinguished
         # copy first, then surviving replicas), but each wave's bundles
@@ -278,7 +323,10 @@ class AsyncRnBClient:
                     continue
                 break
             wave = sorted(groups.items(), key=lambda kv: (-len(kv[1]), kv[0]))
-            jobs = [self._fetch_result(sid, group, counters) for sid, group in wave]
+            jobs = [
+                self._fetch_result(sid, group, counters, req_span)
+                for sid, group in wave
+            ]
             results, cut = await self._run_wave(jobs, deadline_at)
             writebacks = []
             for sid, group, got in results:
@@ -313,10 +361,14 @@ class AsyncRnBClient:
                         raise res
             if cut:
                 return self._finalize(
-                    outcome, keys, failed, counters, deadline_hit=True
+                    outcome, keys, failed, counters,
+                    deadline_hit=True, started=started, req_span=req_span,
                 )
 
-        return self._finalize(outcome, keys, failed, counters, deadline_hit=False)
+        return self._finalize(
+            outcome, keys, failed, counters,
+            deadline_hit=False, started=started, req_span=req_span,
+        )
 
     def _finalize(
         self,
@@ -326,12 +378,19 @@ class AsyncRnBClient:
         counters: dict,
         *,
         deadline_hit: bool,
+        started: float = 0.0,
+        req_span=None,
     ) -> MultiGetOutcome:
         outcome.missing = tuple(k for k in keys if k not in outcome.values)
         outcome.failed_servers = tuple(sorted(failed))
         outcome.retries = counters.get("retries", 0)
         outcome.busy_sheds = counters.get("busy", 0)
         outcome.deadline_hit = deadline_hit
+        _record_outcome(self._metrics, outcome, time.perf_counter() - started)
+        if req_span is not None:
+            self._tracer.finish(
+                req_span, n_missing=len(outcome.missing), deadline_hit=deadline_hit
+            )
         return outcome
 
     async def get(self, key: str) -> bytes | None:

@@ -11,15 +11,20 @@ Subcommands
     backpressure / breaker / hedging stack.
 ``rnb calibrate``
     Run the in-process micro-benchmark and print the fitted cost model.
-``rnb perfbench [--quick] [--out BENCH.json] [--baseline BENCH_PR4.json]``
+``rnb perfbench [--quick] [--out BENCH.json] [--baseline BENCH_PR7.json]``
     Benchmark the fast-path read pipeline (cover kernel, batched
-    planning, end-to-end simulation) and optionally fail on regression
-    against a committed baseline.
+    planning, end-to-end simulation, telemetry overhead) and optionally
+    fail on regression against a committed baseline.
 ``rnb loadtest [--users 5000] [--curve flash] [--out REPORT.json]``
     Open-loop load test against a real in-process async server fleet
     (docs/SERVING.md): one coroutine per simulated user, arrival times
     from a seeded rate curve, RnB bundling over pipelined connections.
     ``--min-goodput`` / ``--max-failed`` turn it into a CI gate.
+``rnb stats [ADDR ...] [--boot-demo] [--require [FAMILY ...]]``
+    Scrape ``stats metrics`` telemetry from a live fleet and merge it
+    into Prometheus-style samples (docs/OBSERVABILITY.md).
+    ``--boot-demo`` starts a loopback fleet with traffic applied;
+    ``--require`` gates on metric-family presence (the obs-smoke job).
 """
 
 from __future__ import annotations
@@ -144,6 +149,44 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="exit 1 if more than this many requests fail outright",
     )
+
+    stats_p = sub.add_parser(
+        "stats",
+        help="scrape `stats metrics` telemetry from a live fleet",
+    )
+    stats_p.add_argument(
+        "addresses",
+        nargs="*",
+        metavar="HOST:PORT",
+        help="servers to scrape (omit with --boot-demo)",
+    )
+    stats_p.add_argument(
+        "--boot-demo",
+        action="store_true",
+        help="boot a loopback demo fleet with traffic and scrape it",
+    )
+    stats_p.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="prom: one `sample value` line each; json: merged object",
+    )
+    stats_p.add_argument(
+        "--per-server",
+        action="store_true",
+        help="print each server's samples separately instead of merging",
+    )
+    stats_p.add_argument(
+        "--require",
+        nargs="*",
+        default=None,
+        metavar="FAMILY",
+        help="exit 1 unless these metric families are present after the "
+        "merge (no argument: the core request catalog)",
+    )
+    stats_p.add_argument(
+        "--timeout", type=float, default=2.0, help="per-server scrape budget, seconds"
+    )
     return parser
 
 
@@ -181,6 +224,59 @@ def _run_one(name: str, args) -> None:
         for res in results:
             (path / f"{res.name}.{suffix}").write_text(render(res) + "\n")
     print(f"[{name}: {elapsed:.1f}s]")
+
+
+def _run_stats(args) -> int:
+    """``rnb stats``: scrape a fleet's telemetry (docs/OBSERVABILITY.md)."""
+    import json
+
+    from repro.errors import ProtocolError
+    from repro.obs.export import CORE_REQUEST_FAMILIES
+    from repro.obs.metrics import format_value
+    from repro.obs.scrape import (
+        boot_demo_fleet,
+        merged_fleet_samples,
+        missing_families,
+        scrape_fleet,
+    )
+
+    demo_servers: list = []
+    addresses = list(args.addresses)
+    try:
+        if args.boot_demo:
+            demo_addresses, demo_servers, _registry = boot_demo_fleet()
+            addresses = addresses + demo_addresses
+        if not addresses:
+            print("no addresses given (pass HOST:PORT or --boot-demo)", file=sys.stderr)
+            return 2
+        try:
+            per_server = scrape_fleet(addresses, timeout=args.timeout)
+        except (ProtocolError, ConnectionError, OSError) as exc:
+            print(f"scrape failed: {exc}", file=sys.stderr)
+            return 1
+        merged = merged_fleet_samples(per_server)
+        if args.format == "json":
+            doc = per_server if args.per_server else merged
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        elif args.per_server:
+            for address in addresses:
+                print(f"# server {address}")
+                for name, value in sorted(per_server[address].items()):
+                    print(f"{name} {format_value(value)}")
+        else:
+            for name, value in sorted(merged.items()):
+                print(f"{name} {format_value(value)}")
+        if args.require is not None:
+            required = tuple(args.require) or CORE_REQUEST_FAMILIES
+            absent = missing_families(merged, required)
+            if absent:
+                print(f"GATE: missing metric families: {absent}", file=sys.stderr)
+                return 1
+            print(f"[all {len(required)} required families present]", file=sys.stderr)
+        return 0
+    finally:
+        for server in demo_servers:
+            server.shutdown()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -303,6 +399,9 @@ def main(argv: list[str] | None = None) -> int:
             )
             status = 1
         return status
+
+    if args.command == "stats":
+        return _run_stats(args)
 
     return 2  # pragma: no cover - argparse enforces valid commands
 

@@ -56,6 +56,13 @@ class Bundler:
         Greedy tie-breaking policy (see :mod:`repro.core.setcover`).
     rng:
         Required when ``tie_break="random"``.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`.  When set, every
+        finished plan increments ``rnb_plans_total`` (labelled by the
+        tie-break policy in force) and records its transaction count in
+        the ``rnb_cover_size`` histogram — the distribution-level
+        evidence the paper's cover-size argument rests on.  ``None``
+        (the default) costs one predictable branch per plan.
     """
 
     def __init__(
@@ -66,12 +73,48 @@ class Bundler:
         single_item_rule: bool = True,
         tie_break="lowest",
         rng: np.random.Generator | None = None,
+        metrics=None,
     ) -> None:
         self.placer = placer
         self.hitchhiking = hitchhiking
         self.single_item_rule = single_item_rule
         self.tie_break = tie_break
         self.rng = rng
+        self.metrics = metrics
+        if metrics is not None:
+            policy = tie_break if isinstance(tie_break, str) else "callable"
+            self._m_plans = metrics.counter(
+                "rnb_plans_total", "cover plans computed", tie_break=policy
+            )
+            self._m_cover = metrics.histogram(
+                "rnb_cover_size", "transactions per fetch plan"
+            )
+        else:
+            self._m_plans = None
+            self._m_cover = None
+
+    def _record_plan(self, n_transactions: int) -> None:
+        if self._m_plans is not None:
+            self._m_plans.inc()
+            self._m_cover.observe(n_transactions)
+
+    def _record_plan_sizes(self, sizes: list[int]) -> None:
+        """Bulk :meth:`_record_plan` for the vectorised batch path.
+
+        Cover sizes are small integers that repeat heavily across a
+        batch, so grouping them first turns ~N hook calls into one
+        counter add plus one histogram upsert per distinct size — the
+        difference between the telemetry layer costing a few percent of
+        the fast path and costing nothing measurable.
+        """
+        if self._m_plans is None or not sizes:
+            return
+        self._m_plans.inc(len(sizes))
+        grouped: dict[int, int] = {}
+        for size in sizes:
+            grouped[size] = grouped.get(size, 0) + 1
+        for size, n in grouped.items():
+            self._m_cover.observe_n(size, n)
 
     # -- plan construction -------------------------------------------------
 
@@ -90,6 +133,7 @@ class Bundler:
         items: Sequence[ItemId] = request.items
         n = len(items)
         if n == 0:
+            self._record_plan(0)
             return FetchPlan(request=request, transactions=())
 
         replica_sets = [self.placer.servers_for(item) for item in items]
@@ -139,6 +183,7 @@ class Bundler:
             Transaction(server=server, primary=tuple(by_home[server]))
             for server in sorted(by_home)
         )
+        self._record_plan(len(transactions))
         return FetchPlan(request=request, transactions=transactions)
 
     def plan_batch(
@@ -273,6 +318,7 @@ class Bundler:
                 home_col = servers[:, 0].tolist()
                 bounds = offsets.tolist()
                 single_rule = self.single_item_rule
+                sizes: list[int] = []
                 for row, i in enumerate(eligible):
                     merged: dict[int, int] = {}
                     if single_rule:
@@ -292,6 +338,8 @@ class Bundler:
                         (server, merged[server].bit_count())
                         for server in sorted(merged)
                     )
+                    sizes.append(len(footprints[i]))
+                self._record_plan_sizes(sizes)
         for i, footprint in enumerate(footprints):
             if footprint is None:
                 footprints[i] = tuple(
@@ -405,6 +453,7 @@ class Bundler:
                 primary.append(items[low.bit_length() - 1])
                 mask ^= low
             transactions.append(Transaction(server=server, primary=tuple(primary)))
+        self._record_plan(len(transactions))
         return FetchPlan(request=request, transactions=tuple(transactions))
 
     def _finish(
@@ -433,6 +482,7 @@ class Bundler:
             transactions.append(
                 Transaction(server=server, primary=primary, hitchhikers=hitchhikers)
             )
+        self._record_plan(len(transactions))
         return FetchPlan(request=request, transactions=tuple(transactions))
 
     # -- enhancements --------------------------------------------------------

@@ -148,6 +148,12 @@ def run(
         "busy_verdicts": {arm: results[arm].busy_verdicts for arm in ARMS},
         "requests_failed": sum(results[arm].requests_failed for arm in ARMS),
         "determinism_token": token,
+        # per-arm repro.obs telemetry (docs/OBSERVABILITY.md): the same
+        # metric families the live loadtest emits; tokens make the
+        # load-smoke diff cover telemetry, not just headline outcomes
+        # (full snapshots stay on each arm's OverloadResult.metrics)
+        "metrics_token": {arm: results[arm].metrics_token for arm in ARMS},
+        "metric_families": sorted(results["steady"].metrics),
     }
     return [
         ExperimentResult(

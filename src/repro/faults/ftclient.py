@@ -110,6 +110,11 @@ class FaultTolerantRnBClient:
         the request's remaining failover waves re-cover onto the
         promoted / surviving replicas — epoch handling happens *inside*
         the read, not between requests.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`.  When given, every
+        request feeds the ``path="ft"`` counters of the shared catalog
+        (docs/OBSERVABILITY.md): retries, failovers, failover waves,
+        database fallbacks, unavailable items, membership commits.
     breakers:
         Optional :class:`repro.overload.breaker.BreakerBoard`.  The
         client registers the board as a health observer (so every
@@ -132,6 +137,7 @@ class FaultTolerantRnBClient:
         write_back: bool = True,
         membership=None,
         breakers=None,
+        metrics=None,
     ) -> None:
         if bundler.placer is not cluster.placer:
             raise ConfigurationError(
@@ -163,6 +169,47 @@ class FaultTolerantRnBClient:
         #: last topology epoch this client planned under (stale-view
         #: detection; None when the placer is not epoch-aware)
         self.seen_epoch: int | None = getattr(bundler.placer, "epoch", None)
+        self._metrics = None
+        if metrics is not None:
+            self._metrics = {
+                "retries": metrics.counter(
+                    "rnb_retries_total", "transport retries", path="ft"
+                ),
+                "failovers": metrics.counter(
+                    "rnb_failovers_total",
+                    "failed bundle dispatches rerouted to alternate replicas",
+                    path="ft",
+                ),
+                "waves": metrics.counter(
+                    "rnb_failover_waves_total",
+                    "failover re-cover waves walked",
+                    path="ft",
+                ),
+                "db_fallbacks": metrics.counter(
+                    "rnb_db_fallbacks_total",
+                    "items repaired from the backing store",
+                    path="ft",
+                ),
+                "unavailable": metrics.counter(
+                    "rnb_unavailable_items_total",
+                    "items whose whole replica set was unreachable",
+                    path="ft",
+                ),
+                "commits": metrics.counter(
+                    "rnb_membership_commits_total",
+                    "membership removals committed from dead verdicts",
+                    path="ft",
+                ),
+                "degraded": metrics.counter(
+                    "rnb_requests_total",
+                    "requests by outcome",
+                    path="ft",
+                    outcome="degraded",
+                ),
+                "ok": metrics.counter(
+                    "rnb_requests_total", "requests by outcome", path="ft", outcome="ok"
+                ),
+            }
 
     # -- public API -----------------------------------------------------------
 
@@ -248,7 +295,9 @@ class FaultTolerantRnBClient:
         believed_dead = self.health.exclusions()
         if self.breakers is not None:
             believed_dead = believed_dead | self.breakers.tripped()
+        waves = 0
         while pending and len(obtained) < required:
+            waves += 1
             groups: dict[int, list[ItemId]] = defaultdict(list)
             for item in sorted(pending):
                 candidates = [
@@ -299,6 +348,16 @@ class FaultTolerantRnBClient:
                 misses += len(missed_items)
                 obtained.update(hits)
                 pending.difference_update(hits)
+
+        if self._metrics is not None:
+            m = self._metrics
+            m["retries"].inc(counters["retries"])
+            m["failovers"].inc(failovers)
+            m["waves"].inc(waves)
+            m["db_fallbacks"].inc(db_fallbacks)
+            m["unavailable"].inc(len(unavailable))
+            m["commits"].inc(counters["commits"])
+            m["degraded" if unavailable else "ok"].inc()
 
         # LIMIT satisfied early: whatever is still pending was simply not
         # needed — it is neither fetched nor unavailable

@@ -18,6 +18,16 @@ The report is split in two, and the split is load-bearing for CI:
   in-flight) that legitimately vary run to run; CI gates only coarse
   invariants there (zero failed requests, a goodput floor).
 
+A third section, ``metrics``, carries the run's full :mod:`repro.obs`
+telemetry: the runner owns a :class:`repro.obs.MetricsRegistry`, hands
+it to the async client (which emits the ``path="aio"`` request
+families), binds the breaker board and every server's admission gate to
+it, and derives the entire ``measured`` section from the registry —
+outcome counts from ``rnb_requests_total``, latency percentiles from an
+exact-percentile :class:`repro.obs.Histogram` (``track_values=True``,
+numpy-compatible interpolation, so the printed report is byte-identical
+with the pre-obs inline-numpy math).
+
 A request is **never failed** in a healthy run: the client degrades via
 busy-shed failover, LIMIT fractions and per-request deadlines
 (``deadline_hit``) instead of raising, mirroring the DES contract in
@@ -40,6 +50,7 @@ from repro.errors import ConfigurationError
 from repro.hashing.hashfns import stable_hash64
 from repro.hashing.rch import RangedConsistentHashPlacer
 from repro.loadgen.schedule import CURVES, SCHEDULERS, arrival_times
+from repro.obs import MetricsRegistry
 from repro.overload.breaker import BreakerBoard
 from repro.overload.load import AdmissionControl
 from repro.protocol.codec import Command
@@ -147,10 +158,15 @@ class LoadTestReport:
 
     workload: dict = field(default_factory=dict)
     measured: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
 
     def to_json(self) -> str:
         return json.dumps(
-            {"workload": self.workload, "measured": self.measured},
+            {
+                "workload": self.workload,
+                "measured": self.measured,
+                "metrics": self.metrics,
+            },
             indent=2,
             sort_keys=True,
         )
@@ -175,7 +191,8 @@ class LoadTestReport:
         )
 
 
-async def _run(config: LoadTestConfig, offsets, requests) -> dict:
+async def _run(config: LoadTestConfig, offsets, requests) -> tuple[dict, dict]:
+    registry = MetricsRegistry()
     placer = RangedConsistentHashPlacer(
         config.n_servers, config.replication, seed=config.seed
     )
@@ -187,9 +204,13 @@ async def _run(config: LoadTestConfig, offsets, requests) -> dict:
                 if config.queue_limit is not None
                 else None
             ),
+            metrics=registry,
         )
         for sid in range(config.n_servers)
     ]
+    for sid, backend in enumerate(backends):
+        if backend.admission is not None:
+            backend.admission.bind_metrics(registry, server=f"s{sid}")
     servers = [AsyncMemcachedServer(b) for b in backends]
     pools: dict[int, AsyncConnectionPool] = {}
     try:
@@ -215,6 +236,8 @@ async def _run(config: LoadTestConfig, offsets, requests) -> dict:
             for sid, (host, port) in enumerate(addrs)
         }
         clients = {sid: AsyncMemcachedClient(pool) for sid, pool in pools.items()}
+        breakers = BreakerBoard(config.n_servers, seed=config.seed)
+        breakers.bind_metrics(registry)
         rnb = AsyncRnBClient(
             clients,
             placer,
@@ -222,18 +245,26 @@ async def _run(config: LoadTestConfig, offsets, requests) -> dict:
                 connect_timeout=config.connect_timeout,
                 request_timeout=config.read_timeout,
             ),
-            breakers=BreakerBoard(config.n_servers, seed=config.seed),
+            breakers=breakers,
+            metrics=registry,
         )
 
         loop = asyncio.get_running_loop()
         t0 = loop.time() + 0.05  # small runway so user 0 isn't already late
-        state = {"in_flight": 0, "peak": 0, "ok": 0, "degraded": 0, "failed": 0}
-        latencies: list[float] = []
-        items_served = 0
-        retries = 0
+        state = {"in_flight": 0, "peak": 0}
+        # the generator's own end-to-end clock, exact percentiles; the
+        # client's rnb_request_latency_seconds keeps the mergeable
+        # log-bucketed view of (almost) the same distribution
+        lat_ms = registry.histogram(
+            "rnb_loadtest_latency_ms",
+            "end-to-end request latency as timed by the load generator",
+            track_values=True,
+        )
+        m_failed = registry.counter(
+            "rnb_requests_total", "requests by outcome", path="aio", outcome="failed"
+        )
 
         async def one_user(idx: int) -> None:
-            nonlocal items_served, retries
             delay = t0 + float(offsets[idx]) - loop.time()
             if delay > 0:
                 await asyncio.sleep(delay)
@@ -241,17 +272,11 @@ async def _run(config: LoadTestConfig, offsets, requests) -> dict:
             state["peak"] = max(state["peak"], state["in_flight"])
             start = loop.time()
             try:
-                outcome = await rnb.get_multi(requests[idx], deadline=config.deadline)
+                await rnb.get_multi(requests[idx], deadline=config.deadline)
             except Exception:
-                state["failed"] += 1
+                m_failed.inc()
             else:
-                latencies.append(loop.time() - start)
-                items_served += len(outcome.values)
-                retries += outcome.retries
-                if outcome.deadline_hit or outcome.missing:
-                    state["degraded"] += 1
-                else:
-                    state["ok"] += 1
+                lat_ms.observe((loop.time() - start) * 1e3)
             finally:
                 state["in_flight"] -= 1
 
@@ -261,26 +286,38 @@ async def _run(config: LoadTestConfig, offsets, requests) -> dict:
         await asyncio.gather(*tasks)
         elapsed = max(loop.time() - t0, 1e-9)
 
-        lat = np.asarray(latencies, dtype=np.float64) * 1e3  # ms
-        if lat.size == 0:  # pragma: no cover - all-failed pathology
-            lat = np.asarray([0.0])
-        return {
-            "ok": state["ok"],
-            "degraded": state["degraded"],
-            "failed": state["failed"],
-            "busy_sheds": rnb.busy_sheds,
-            "retries": retries,
+        def total(name: str, **labels) -> int:
+            inst = registry.get(name, **labels)
+            return int(inst.get()) if inst is not None else 0
+
+        if lat_ms.count == 0:  # pragma: no cover - all-failed pathology
+            lat_ms.observe(0.0)
+        ok = total("rnb_requests_total", path="aio", outcome="ok")
+        degraded = total("rnb_requests_total", path="aio", outcome="degraded")
+        items_served = total("rnb_items_total", path="aio", outcome="served")
+        measured = {
+            "ok": ok,
+            "degraded": degraded,
+            "failed": total("rnb_requests_total", path="aio", outcome="failed"),
+            "busy_sheds": total("rnb_busy_sheds_total", path="aio"),
+            "retries": total("rnb_retries_total", path="aio"),
             "items_served": items_served,
-            "p50_ms": float(np.percentile(lat, 50)),
-            "p99_ms": float(np.percentile(lat, 99)),
-            "p999_ms": float(np.percentile(lat, 99.9)),
-            "mean_ms": float(lat.mean()),
+            "p50_ms": lat_ms.percentile(50),
+            "p99_ms": lat_ms.percentile(99),
+            "p999_ms": lat_ms.percentile(99.9),
+            "mean_ms": lat_ms.mean,
             "goodput_items_per_s": items_served / elapsed,
-            "goodput_rps": (state["ok"] + state["degraded"]) / elapsed,
+            "goodput_rps": (ok + degraded) / elapsed,
             "peak_in_flight": state["peak"],
             "elapsed_s": elapsed,
             "connections": sum(len(p.connections) for p in pools.values()),
         }
+        metrics_doc = {
+            "families": registry.families(),
+            "snapshot": registry.snapshot(),
+            "token": registry.token(),
+        }
+        return measured, metrics_doc
     finally:
         for pool in pools.values():
             pool.close()
@@ -295,7 +332,7 @@ def run_loadtest(config: LoadTestConfig | None = None) -> LoadTestReport:
     """
     config = config or LoadTestConfig()
     offsets, requests = build_workload(config)
-    measured = asyncio.run(_run(config, offsets, requests))
+    measured, metrics_doc = asyncio.run(_run(config, offsets, requests))
     workload = {
         "users": config.users,
         "duration": config.duration,
@@ -311,4 +348,4 @@ def run_loadtest(config: LoadTestConfig | None = None) -> LoadTestReport:
         "queue_limit": config.queue_limit,
         "determinism_token": workload_token(offsets, requests),
     }
-    return LoadTestReport(workload=workload, measured=measured)
+    return LoadTestReport(workload=workload, measured=measured, metrics=metrics_doc)

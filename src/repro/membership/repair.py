@@ -199,6 +199,50 @@ class RepairExecutor:
     def copies_applied(self) -> int:
         return self._applied
 
+    def bind_metrics(self, registry, **labels) -> None:
+        """Expose repair progress as callback gauges on an obs registry.
+
+        ``rnb_repair_pending`` is the live copy backlog;
+        ``rnb_repair_copies_enqueued`` / ``rnb_repair_copies_applied`` /
+        ``rnb_repair_drops_applied`` are monotone totals, and
+        ``rnb_repair_batches_open`` counts submitted deltas whose last
+        copy has not landed yet.  This is the supported way to watch
+        repair progress (docs/OBSERVABILITY.md); the underscore fields
+        are private.
+        """
+        registry.gauge(
+            "rnb_repair_pending",
+            "repair copies queued but not yet applied",
+            fn=lambda: float(self.pending()),
+            **labels,
+        )
+        registry.gauge(
+            "rnb_repair_copies_enqueued",
+            "lifetime repair copies submitted",
+            fn=lambda: float(self._enqueued),
+            **labels,
+        )
+        registry.gauge(
+            "rnb_repair_copies_applied",
+            "lifetime repair copies executed",
+            fn=lambda: float(self._applied),
+            **labels,
+        )
+        registry.gauge(
+            "rnb_repair_drops_applied",
+            "lifetime stale assignments reclaimed",
+            fn=lambda: float(self.drops_applied),
+            **labels,
+        )
+        registry.gauge(
+            "rnb_repair_batches_open",
+            "submitted deltas still draining",
+            fn=lambda: float(
+                sum(1 for r in self.batches if r["completed_at"] is None)
+            ),
+            **labels,
+        )
+
     def submit(self, delta: EpochDelta, *, tag: object = None) -> dict:
         """Queue a delta's copies; apply its drops immediately.
 

@@ -1,0 +1,50 @@
+"""``repro.obs`` — the unified observability layer (docs/OBSERVABILITY.md).
+
+One dependency-free telemetry substrate for every subsystem and both
+time domains: a :class:`MetricsRegistry` of counters, gauges and
+log-bucketed histograms with deterministic snapshots, a :class:`Tracer`
+for parent/child request spans on an injectable clock, and Prometheus
+text export reachable through the extended memcached ``stats metrics``
+verb and the ``rnb stats`` CLI.
+"""
+
+from repro.obs.export import (
+    CORE_REQUEST_FAMILIES,
+    family_of,
+    merge_samples,
+    parse_sample_name,
+    render_prometheus,
+    samples,
+)
+from repro.obs.metrics import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_value,
+    label_string,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    "CORE_REQUEST_FAMILIES",
+    "COUNTER",
+    "GAUGE",
+    "HISTOGRAM",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "family_of",
+    "format_value",
+    "label_string",
+    "merge_samples",
+    "parse_sample_name",
+    "render_prometheus",
+    "samples",
+]

@@ -1,0 +1,182 @@
+"""Lightweight request tracing: parent/child spans on any clock.
+
+A :class:`Span` is one timed operation — a client request, a cover
+planning step, a bundle fetch, one server round-trip — with a name,
+attributes, and children.  A :class:`Tracer` mints spans with
+**sequential ids** from an **injectable clock**, which is the whole
+trick that lets one tracing layer cover both time domains:
+
+* the event-heap simulators (:mod:`repro.overload.desim`) stamp spans
+  with explicit simulated times (``at=``), so same-seed runs produce
+  byte-identical trace trees (:meth:`Tracer.render` /
+  :meth:`Tracer.token` extend the determinism-token pattern);
+* the live paths (:mod:`repro.protocol`, :mod:`repro.aio`) default the
+  clock to ``time.perf_counter`` and get wall-clock spans with the same
+  schema, so a simulated and a measured trace of the same request shape
+  diff structurally.
+
+Span schema (docs/OBSERVABILITY.md):
+
+``request`` — one client multi-get / DES request; children:
+``plan`` — cover planning (attrs: ``cover_size``, ``level``);
+``txn`` — one per-server round-trip (attrs: ``server``, ``n_items``,
+and on the live path ``outcome``).
+
+Memory is bounded: after ``max_spans`` started spans the tracer stops
+*retaining* (``dropped`` counts what fell off) but keeps timing and
+returning spans, so instrumented code never branches on capacity.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.hashing.hashfns import stable_hash64
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed operation in a trace tree."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float | None = None
+    attrs: dict = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Elapsed time; 0.0 while the span is still open."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+
+class Tracer:
+    """Mints and retains spans; deterministic ids, injectable clock.
+
+    ``clock`` is any zero-argument callable returning the current time
+    as a float — ``time.perf_counter`` by default, a DES's simulated-now
+    reader in the simulators.  Passing explicit ``at=`` timestamps to
+    :meth:`start` / :meth:`finish` bypasses the clock entirely (the
+    event-heap style, where "now" is the event being popped).
+    """
+
+    def __init__(
+        self,
+        *,
+        clock: Callable[[], float] | None = None,
+        max_spans: int = 100_000,
+    ) -> None:
+        if max_spans < 1:
+            raise ConfigurationError("max_spans must be >= 1")
+        self.clock = clock if clock is not None else time.perf_counter
+        self.max_spans = max_spans
+        self.roots: list[Span] = []
+        self.started = 0
+        self.dropped = 0
+        self._next_id = 1
+
+    # -- span lifecycle ---------------------------------------------------
+
+    def start(
+        self, name: str, *, parent: Span | None = None, at: float | None = None, **attrs
+    ) -> Span:
+        """Open a span (child of ``parent`` if given, else a new root)."""
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            start=self.clock() if at is None else at,
+            attrs=dict(attrs) if attrs else {},
+        )
+        self._next_id += 1
+        self.started += 1
+        if self.started <= self.max_spans:
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self.roots.append(span)
+        else:
+            self.dropped += 1
+        return span
+
+    def finish(self, span: Span, *, at: float | None = None, **attrs) -> Span:
+        """Close a span; idempotent (the first finish wins)."""
+        if attrs:
+            span.attrs.update(attrs)
+        if span.end is None:
+            span.end = self.clock() if at is None else at
+        return span
+
+    class _SpanContext:
+        __slots__ = ("tracer", "span")
+
+        def __init__(self, tracer: "Tracer", span: Span) -> None:
+            self.tracer = tracer
+            self.span = span
+
+        def __enter__(self) -> Span:
+            return self.span
+
+        def __exit__(self, exc_type, exc, tb) -> None:
+            if exc_type is not None:
+                self.span.attrs.setdefault("error", exc_type.__name__)
+            self.tracer.finish(self.span)
+
+    def span(self, name: str, *, parent: Span | None = None, **attrs) -> "_SpanContext":
+        """``with tracer.span("plan") as s:`` convenience (clock-timed)."""
+        return self._SpanContext(self, self.start(name, parent=parent, **attrs))
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self, *, time_format: str = "{:.9f}") -> str:
+        """Deterministic ASCII rendering of every retained trace tree.
+
+        Children render in creation order (which in the simulators is
+        event order), attributes sort by key, times use a fixed format —
+        so two same-seed DES runs render byte-identically and the
+        rendering doubles as a determinism surface.
+        """
+        lines: list[str] = []
+
+        def emit(span: Span, depth: int) -> None:
+            attrs = "".join(
+                f" {k}={span.attrs[k]}" for k in sorted(span.attrs)
+            )
+            start = time_format.format(span.start)
+            dur = time_format.format(span.duration)
+            lines.append(
+                f"{'  ' * depth}{span.name} #{span.span_id} "
+                f"t={start} dur={dur}{attrs}"
+            )
+            for child in span.children:
+                emit(child, depth + 1)
+
+        for root in self.roots:
+            emit(root, 0)
+        if self.dropped:
+            lines.append(f"... {self.dropped} spans dropped (max_spans={self.max_spans})")
+        return "\n".join(lines)
+
+    def token(self, seed: int = 0) -> int:
+        """64-bit digest of the rendered trace forest."""
+        return stable_hash64(self.render(), seed=seed)
+
+    # -- introspection ----------------------------------------------------
+
+    def __len__(self) -> int:
+        """Retained span count (recursive)."""
+
+        def count(span: Span) -> int:
+            return 1 + sum(count(c) for c in span.children)
+
+        return sum(count(r) for r in self.roots)

@@ -114,6 +114,49 @@ class BreakerBoard:
         self.seed = seed
         self.tick = 0
         self._breakers = [BreakerState() for _ in range(n_servers)]
+        self._registry = None
+
+    # -- metrics ----------------------------------------------------------
+
+    #: numeric encoding of breaker states for the per-server gauge
+    STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+    def bind_metrics(self, registry) -> None:
+        """Expose breaker state as callback gauges on an obs registry.
+
+        ``rnb_breaker_state{server=...}`` is 0/1/2 for
+        closed/half-open/open, ``rnb_breakers{state=...}`` counts the
+        fleet per state, and ``rnb_breaker_transitions`` is the lifetime
+        transition total.  This replaces reaching into the private
+        ``_breakers`` list, which is deprecated (docs/OBSERVABILITY.md
+        release note).  Servers that join later
+        (:meth:`ensure_capacity`) are bound automatically.
+        """
+        self._registry = registry
+        for sid in range(len(self._breakers)):
+            self._bind_server(sid)
+        for state in (CLOSED, OPEN, HALF_OPEN):
+            registry.gauge(
+                "rnb_breakers",
+                "breakers currently in each state",
+                state=state,
+                fn=lambda state=state: float(self.counts()[state]),
+            )
+        registry.gauge(
+            "rnb_breaker_transitions",
+            "lifetime breaker state transitions across the fleet",
+            fn=lambda: float(self.transitions_total()),
+        )
+
+    def _bind_server(self, sid: int) -> None:
+        if self._registry is None:
+            return
+        self._registry.gauge(
+            "rnb_breaker_state",
+            "per-server breaker state (0 closed, 1 half-open, 2 open)",
+            server=sid,
+            fn=lambda sid=sid: float(self.STATE_CODES[self.state(sid)]),
+        )
 
     # -- fleet size -------------------------------------------------------
 
@@ -125,6 +168,8 @@ class BreakerBoard:
         """Grow the tracked id space (elastic join); never shrinks."""
         while len(self._breakers) < n_servers:
             self._breakers.append(BreakerState())
+            if self._registry is not None:
+                self._bind_server(len(self._breakers) - 1)
         if self.health is not None:
             self.health.ensure_capacity(n_servers)
 

@@ -44,6 +44,7 @@ import numpy as np
 from repro.analysis.calibration import CostModel
 from repro.core.bundling import Bundler
 from repro.errors import ConfigurationError
+from repro.obs.metrics import MetricsRegistry
 from repro.overload.breaker import HALF_OPEN, BreakerBoard
 from repro.overload.hedging import HedgePolicy, ladder_required, validate_partial_fraction
 from repro.overload.load import AdmissionControl, LoadTracker, TokenBucket
@@ -117,12 +118,15 @@ class _Txn:
     rival_done: float = float("inf")
     #: shared per-issuance marker so a multi-txn hedge wins at most once
     hedge_won: list = field(default_factory=list)
+    #: open tracing span for this round-trip (tracing runs only)
+    span: object = None
 
 
 @dataclass(slots=True)
 class _Req:
     request: Request
     arrival: float
+    idx: int = 0
     remaining: set = field(default_factory=set)
     outstanding: list = field(default_factory=list)
     last_delivery: float = 0.0
@@ -133,6 +137,8 @@ class _Req:
     shed: int = 0
     dropped: int = 0
     deadline_cut: int = 0
+    #: open tracing span for the whole request (tracing runs only)
+    span: object = None
 
 
 @dataclass(slots=True)
@@ -167,6 +173,11 @@ class OverloadResult:
     items_measured: int = 0
     ladder_counts: dict[str, int] = field(default_factory=dict)
     latencies: np.ndarray = field(repr=False, default=None)
+    #: structured telemetry snapshot (repro.obs registry) of this run —
+    #: experiments diff telemetry, not just headline outcomes
+    metrics: dict = field(repr=False, default_factory=dict)
+    #: 64-bit digest of ``metrics`` (same-seed runs match byte for byte)
+    metrics_token: int = 0
 
     @property
     def hedge_win_rate(self) -> float:
@@ -186,6 +197,8 @@ def simulate_overload(
     config: OverloadConfig | None = None,
     warmup_fraction: float = 0.2,
     rng=None,
+    metrics: MetricsRegistry | None = None,
+    tracer=None,
 ) -> OverloadResult:
     """Run an open-loop workload through the overload serving loop.
 
@@ -201,6 +214,13 @@ def simulate_overload(
     service times (stragglers — 1.0 is healthy).  All client policies
     come from ``config``; the all-defaults config is the no-policy
     baseline.  Deterministic for a fixed ``(requests, config, rng)``.
+
+    Telemetry: the run always feeds a :class:`repro.obs.MetricsRegistry`
+    (the caller's ``metrics``, or a private one) with the shared metric
+    catalog (docs/OBSERVABILITY.md) and attaches its snapshot and token
+    to the result.  ``tracer`` (a :class:`repro.obs.Tracer`) records one
+    ``request`` span per arrival with ``plan``/``txn`` children stamped
+    in simulated time — same-seed runs trace byte-identically.
     """
     if (arrival_rate is None) == (arrival_times is None):
         raise ConfigurationError(
@@ -263,18 +283,45 @@ def simulate_overload(
         if cfg.hedge_quantile is not None
         else None
     )
-    # The planning bundler: same placer and enhancements, but with the
-    # least-loaded tie-break when load awareness is on.  The caller's
-    # bundler is never mutated.
-    plan_bundler = (
-        Bundler(
-            bundler.placer,
-            hitchhiking=bundler.hitchhiking,
-            single_item_rule=bundler.single_item_rule,
-            tie_break=least_loaded_tie_break(load),
+    registry = metrics if metrics is not None else MetricsRegistry()
+    m_busy = registry.counter(
+        "rnb_busy_sheds_total", "dispatches shed by admission control", path="sim"
+    )
+    m_deadline = registry.counter(
+        "rnb_deadline_hits_total", "requests cut off by their deadline", path="sim"
+    )
+    registry.counter("rnb_retries_total", "transport retries", path="sim")
+    m_ladder = {
+        level: registry.counter(
+            "rnb_ladder_total", "degradation-ladder outcomes", path="sim", level=level
         )
-        if load is not None
-        else bundler
+        for level in ("full", "partial", "distinguished")
+    }
+    m_hedges = {
+        result: registry.counter(
+            "rnb_hedges_total", "hedged bundles", path="sim", result=result
+        )
+        for result in ("fired", "won")
+    }
+    if load is not None:
+        load.bind_metrics(registry)
+    if board is not None:
+        board.bind_metrics(registry)
+    if admissions is not None:
+        for sid, gate in enumerate(admissions):
+            gate.bind_metrics(registry, server=sid)
+    # The planning bundler: same placer and enhancements as the caller's
+    # (never mutated), rebuilt so plans feed the registry — and, when
+    # load awareness is on, with the least-loaded tie-break.
+    plan_bundler = Bundler(
+        bundler.placer,
+        hitchhiking=bundler.hitchhiking,
+        single_item_rule=bundler.single_item_rule,
+        tie_break=(
+            least_loaded_tie_break(load) if load is not None else bundler.tie_break
+        ),
+        rng=bundler.rng,
+        metrics=registry,
     )
 
     heap: list = []
@@ -301,6 +348,7 @@ def simulate_overload(
         if admissions[sid].try_admit(now):
             return True
         stats["busy"] += 1
+        m_busy.inc()
         if load is not None:
             load.busy(sid)
         if board is not None:
@@ -331,6 +379,15 @@ def simulate_overload(
             rival_done=rival_done,
             hedge_won=[] if hedge_won is None else hedge_won,
         )
+        if tracer is not None:
+            txn.span = tracer.start(
+                "txn",
+                parent=req.span,
+                at=now,
+                server=sid,
+                n_items=len(items),
+                **({"hedge": True} if is_hedge else {}),
+            )
         req.outstanding.append(txn)
         push(done, _TXN_DONE, txn)
         return txn
@@ -393,12 +450,24 @@ def simulate_overload(
                 leftover = []
         req.level = level
         stats["ladder"][level] += 1
+        m_ladder[level].inc()
+        if tracer is not None:
+            tracer.finish(tracer.start("plan", parent=req.span, at=now, level=level), at=now)
 
     def complete(req: _Req, now: float) -> None:
         req.completed = True
         req.completed_at = now
         if req.shed or req.dropped or req.deadline_cut:
             stats["degraded"] += 1
+        if tracer is not None and req.span is not None:
+            tracer.finish(
+                req.span,
+                at=now,
+                level=req.level,
+                shed=req.shed,
+                dropped=req.dropped,
+                deadline_cut=req.deadline_cut,
+            )
 
     # -- event loop ---------------------------------------------------------
 
@@ -422,9 +491,9 @@ def simulate_overload(
             ticks.append(acc)
         times = np.asarray(ticks, dtype=np.float64)
     reqs: list[_Req] = []
-    for request, t in zip(requests, times):
+    for idx, (request, t) in enumerate(zip(requests, times)):
         now = float(t)
-        req = _Req(request=request, arrival=now, remaining=set(request.items))
+        req = _Req(request=request, arrival=now, idx=idx, remaining=set(request.items))
         req.last_delivery = now
         reqs.append(req)
         push(now, _ARRIVAL, req)
@@ -438,6 +507,10 @@ def simulate_overload(
                 board.advance()
             if load is not None:
                 load.tick()
+            if tracer is not None:
+                req.span = tracer.start(
+                    "request", at=now, idx=req.idx, n_items=req.request.size
+                )
             dispatch_request(req, now)
             if not req.remaining and not req.outstanding:
                 complete(req, now)  # everything shed/dropped: degenerate
@@ -465,6 +538,8 @@ def simulate_overload(
                     board.record_success(sid)
             if txn in req.outstanding:
                 req.outstanding.remove(txn)
+            if tracer is not None and txn.span is not None:
+                tracer.finish(txn.span, at=now)
             if req.completed:
                 continue
             delivered = req.remaining.intersection(txn.items)
@@ -474,6 +549,7 @@ def simulate_overload(
                 if txn.is_hedge and now < txn.rival_done and not txn.hedge_won:
                     txn.hedge_won.append(True)
                     stats["hedge_wins"] += 1
+                    m_hedges["won"].inc()
             if not req.remaining:
                 complete(req, req.last_delivery)
 
@@ -498,6 +574,7 @@ def simulate_overload(
                 exclude |= board.exclusions()
             req.hedges_used += 1
             stats["hedges"] += 1
+            m_hedges["fired"].inc()
             plan = plan_bundler.plan(
                 Request(items=items), exclude=exclude
             )
@@ -516,6 +593,7 @@ def simulate_overload(
             if req.completed:
                 continue
             # degrade, don't fail: answer with what we have, at the budget
+            m_deadline.inc()
             req.deadline_cut += len(req.remaining)
             req.remaining.clear()
             req.last_delivery = now
@@ -542,6 +620,35 @@ def simulate_overload(
     dropped = sum(r.dropped for r in measured)
     cut = sum(r.deadline_cut for r in measured)
     denom = max(total_items, 1)
+
+    lat_hist = registry.histogram(
+        "rnb_request_latency_seconds", "end-to-end request latency", path="sim"
+    )
+    lat_hist.observe_many(latencies)
+    degraded_measured = sum(
+        1 for r in measured if r.shed or r.dropped or r.deadline_cut
+    )
+    registry.counter(
+        "rnb_requests_total", "measured requests by outcome", path="sim", outcome="ok"
+    ).inc(len(measured) - degraded_measured)
+    registry.counter(
+        "rnb_requests_total", "measured requests by outcome",
+        path="sim", outcome="degraded",
+    ).inc(degraded_measured)
+    registry.counter(
+        "rnb_requests_total", "measured requests by outcome",
+        path="sim", outcome="failed",
+    )
+    for outcome, count in (
+        ("served", total_items - shed - dropped - cut),
+        ("shed", shed),
+        ("dropped", dropped),
+        ("deadline_cut", cut),
+    ):
+        registry.counter(
+            "rnb_items_total", "measured items by outcome", path="sim", outcome=outcome
+        ).inc(count)
+    metrics_snapshot = registry.snapshot()
     return OverloadResult(
         n_requests=len(measured),
         mean_latency=float(latencies.mean()),
@@ -567,4 +674,6 @@ def simulate_overload(
         items_measured=total_items,
         ladder_counts=dict(stats["ladder"]),
         latencies=latencies,
+        metrics=metrics_snapshot,
+        metrics_token=registry.token(),
     )

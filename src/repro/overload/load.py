@@ -89,6 +89,26 @@ class AdmissionControl:
         if self.queue_limit is not None and self.queue_limit < 1:
             raise ConfigurationError("queue_limit must be >= 1 (or None)")
 
+    def bind_metrics(self, registry, **labels) -> None:
+        """Expose this gate as callback gauges on an obs registry.
+
+        ``rnb_admission_outstanding`` and ``rnb_admission_rejects`` read
+        live state at snapshot time; ``labels`` (typically ``server=``)
+        distinguish gates in a fleet.  See docs/OBSERVABILITY.md.
+        """
+        registry.gauge(
+            "rnb_admission_outstanding",
+            "transactions currently admitted (in service or queued)",
+            fn=lambda: float(self.outstanding),
+            **labels,
+        )
+        registry.gauge(
+            "rnb_admission_rejects",
+            "lifetime BUSY verdicts issued by this gate",
+            fn=lambda: float(self.busy_rejections),
+            **labels,
+        )
+
     def try_admit(self, now: float = 0.0, cost: float = 1.0) -> bool:
         """One admission decision; False means shed (BUSY)."""
         if self.queue_limit is not None and self.outstanding >= self.queue_limit:
@@ -148,6 +168,54 @@ class LoadTracker:
             raise ConfigurationError("decay must be in [0, 1)")
         self.decay = decay
         self._loads = [_ServerLoad() for _ in range(n_servers)]
+        self._registry = None
+
+    # -- metrics ----------------------------------------------------------
+
+    def bind_metrics(self, registry) -> None:
+        """Expose per-server load signals as callback gauges.
+
+        ``rnb_server_load{server=...}`` is the tie-break scalar;
+        ``rnb_server_outstanding`` / ``rnb_server_busy_signal`` /
+        ``rnb_server_sent_transactions`` break it down.  This is the
+        supported way to read the tracker's internals — reaching into
+        the private ``_loads`` list is deprecated (docs/OBSERVABILITY.md
+        release note) and the fields may move without notice.  Servers
+        that join later (:meth:`ensure_capacity`) are bound
+        automatically.
+        """
+        self._registry = registry
+        for sid in range(len(self._loads)):
+            self._bind_server(sid)
+
+    def _bind_server(self, sid: int) -> None:
+        if self._registry is None:
+            return
+        s = self._loads[sid]
+        self._registry.gauge(
+            "rnb_server_load",
+            "client-side load estimate feeding the cover tie-break",
+            server=sid,
+            fn=lambda sid=sid: self.load(sid),
+        )
+        self._registry.gauge(
+            "rnb_server_outstanding",
+            "this client's in-flight transactions per server",
+            server=sid,
+            fn=lambda s=s: float(s.outstanding),
+        )
+        self._registry.gauge(
+            "rnb_server_busy_signal",
+            "BUSY verdicts since the last decay tick",
+            server=sid,
+            fn=lambda s=s: float(s.busy),
+        )
+        self._registry.gauge(
+            "rnb_server_sent_transactions",
+            "lifetime transactions dispatched to this server",
+            server=sid,
+            fn=lambda s=s: float(s.total_sent),
+        )
 
     # -- fleet size -------------------------------------------------------
 
@@ -155,6 +223,8 @@ class LoadTracker:
         """Grow the tracked id space (elastic join); never shrinks."""
         while len(self._loads) < n_servers:
             self._loads.append(_ServerLoad())
+            if self._registry is not None:
+                self._bind_server(len(self._loads) - 1)
 
     @property
     def n_servers(self) -> int:

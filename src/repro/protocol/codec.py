@@ -108,7 +108,12 @@ def encode_command(cmd: Command) -> bytes:
             raise ProtocolError(f"{name} delta must be non-negative")
         suffix = " noreply" if cmd.noreply else ""
         return f"{name} {cmd.keys[0]} {cmd.delta}{suffix}".encode() + CRLF
-    if name in ("flush_all", "stats", "version"):
+    if name == "stats":
+        if len(cmd.keys) > 1:
+            raise ProtocolError("stats takes at most one argument")
+        arg = f" {cmd.keys[0]}" if cmd.keys else ""
+        return f"stats{arg}".encode() + CRLF
+    if name in ("flush_all", "version"):
         return name.encode() + CRLF
     raise ProtocolError(f"unknown command {name!r}")
 
@@ -276,7 +281,16 @@ def parse_command_stream(data: bytes) -> tuple[list[Command], bytes]:
             )
             buf = rest
             continue
-        if name in ("flush_all", "stats", "version"):
+        if name == "stats":
+            # `stats [<arg>]` — real memcached takes an optional argument
+            # selecting a sub-report; `stats metrics` is the RnB
+            # Prometheus-text surface (docs/OBSERVABILITY.md)
+            if len(parts) > 2:
+                raise ProtocolError(f"stats takes at most one argument: {text!r}")
+            commands.append(Command(name="stats", keys=tuple(parts[1:])))
+            buf = rest
+            continue
+        if name in ("flush_all", "version"):
             commands.append(Command(name=name))
             buf = rest
             continue

@@ -184,8 +184,15 @@ class MemcachedConnection:
         if resp.status != "OK":
             raise ProtocolError(f"flush_all failed: {resp.status}")
 
-    def stats(self) -> dict:
-        [resp] = self.transport.exchange(encode_command(Command(name="stats")))
+    def stats(self, arg: str = "") -> dict:
+        """The server's ``stats`` report; ``arg`` selects a sub-report
+        (``"metrics"`` returns Prometheus-style telemetry samples)."""
+        keys = (arg,) if arg else ()
+        [resp] = self.transport.exchange(
+            encode_command(Command(name="stats", keys=keys))
+        )
+        if resp.status.startswith(("CLIENT_ERROR", "SERVER_ERROR")):
+            raise ProtocolError(f"stats {arg!r} failed: {resp.status}")
         return dict(resp.stats)
 
 

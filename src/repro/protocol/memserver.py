@@ -26,6 +26,8 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import ProtocolError
+from repro.obs.export import samples as obs_samples
+from repro.obs.metrics import MetricsRegistry, format_value
 from repro.protocol import codec
 from repro.protocol.codec import CRLF, Command
 
@@ -55,6 +57,7 @@ class MemcachedServer:
         name: str = "mem0",
         clock=time.time,
         admission=None,
+        metrics=None,
     ):
         if capacity_bytes is not None and capacity_bytes < 0:
             raise ValueError("capacity_bytes must be non-negative")
@@ -65,6 +68,10 @@ class MemcachedServer:
         #: transactions the gate rejects answer ``SERVER_ERROR busy``
         #: immediately instead of queueing behind the lock
         self.admission = admission
+        #: optional repro.obs.MetricsRegistry whose samples are exported
+        #: through the ``stats metrics`` verb alongside the built-in
+        #: ``rnb_cache_*`` families (docs/OBSERVABILITY.md)
+        self.metrics = metrics
         self._items: OrderedDict[str, _Entry] = OrderedDict()
         self._bytes = 0
         self._cas_counter = 0
@@ -265,6 +272,17 @@ class MemcachedServer:
             self._bytes = 0
             return codec.format_status("OK")
         if name == "stats":
+            if cmd.keys and cmd.keys[0] == "metrics":
+                # Prometheus-style samples over STAT lines: sample names
+                # (`family{label="v"}`) contain no spaces, so they round-
+                # trip the `STAT <key> <value>` format unchanged
+                return codec.format_stats(
+                    {k: format_value(v) for k, v in self._metrics_samples_locked()}
+                )
+            if cmd.keys:
+                return codec.format_status(
+                    f"CLIENT_ERROR unknown stats argument {cmd.keys[0]!r}"
+                )
             snapshot: dict[str, object] = dict(self.stats)
             snapshot["curr_items"] = len(self._items)
             snapshot["bytes"] = self._bytes
@@ -284,6 +302,36 @@ class MemcachedServer:
         return bytes(out)
 
     # -- introspection -------------------------------------------------------------
+
+    def _metrics_samples_locked(self) -> list[tuple[str, float]]:
+        """The server's telemetry as flat ``(sample_name, value)`` pairs.
+
+        Every ``stats`` counter becomes an ``rnb_cache_<name>_total``
+        counter sample plus two gauges for live occupancy; when a
+        :class:`repro.obs.MetricsRegistry` is attached, its samples
+        follow.  Caller must hold ``_lock`` (or be single-threaded).
+        """
+        reg = MetricsRegistry()
+        for key in sorted(self.stats):
+            reg.counter(
+                f"rnb_cache_{key}_total", "memcached-compatible cache counter",
+                server=self.name,
+            ).inc(float(self.stats[key]))
+        reg.gauge(
+            "rnb_cache_curr_items", "items currently stored", server=self.name
+        ).set(float(len(self._items)))
+        reg.gauge(
+            "rnb_cache_bytes", "bytes currently stored", server=self.name
+        ).set(float(self._bytes))
+        out = obs_samples(reg)
+        if self.metrics is not None:
+            out.extend(obs_samples(self.metrics))
+        return out
+
+    def metrics_samples(self) -> list[tuple[str, float]]:
+        """Thread-safe :meth:`_metrics_samples_locked` (the scrape API)."""
+        with self._lock:
+            return self._metrics_samples_locked()
 
     @property
     def curr_items(self) -> int:

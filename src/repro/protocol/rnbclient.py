@@ -48,6 +48,62 @@ from repro.types import Request
 FAILOVER_ERRORS = (ProtocolError, ConnectionError, OSError)
 
 
+def _request_instruments(metrics, path: str) -> dict | None:
+    """The shared per-request instrument set of the metric catalog.
+
+    Both live read paths (sync ``path="live"``, async ``path="aio"``)
+    and the DES (``path="sim"``) register these same families, which is
+    what lets ``rnb stats`` and the experiments diff telemetry across
+    time domains (docs/OBSERVABILITY.md).
+    """
+    if metrics is None:
+        return None
+    return {
+        "latency": metrics.histogram(
+            "rnb_request_latency_seconds", "end-to-end request latency", path=path
+        ),
+        "ok": metrics.counter(
+            "rnb_requests_total", "requests by outcome", path=path, outcome="ok"
+        ),
+        "degraded": metrics.counter(
+            "rnb_requests_total", "requests by outcome", path=path, outcome="degraded"
+        ),
+        "failed": metrics.counter(
+            "rnb_requests_total", "requests by outcome", path=path, outcome="failed"
+        ),
+        "served": metrics.counter(
+            "rnb_items_total", "items by outcome", path=path, outcome="served"
+        ),
+        "missing": metrics.counter(
+            "rnb_items_total", "items by outcome", path=path, outcome="missing"
+        ),
+        "retries": metrics.counter(
+            "rnb_retries_total", "transport retries", path=path
+        ),
+        "busy": metrics.counter(
+            "rnb_busy_sheds_total", "dispatches shed by admission control", path=path
+        ),
+        "deadline": metrics.counter(
+            "rnb_deadline_hits_total", "requests cut off by their deadline", path=path
+        ),
+    }
+
+
+def _record_outcome(
+    instruments: dict | None, outcome: "MultiGetOutcome", elapsed: float
+) -> None:
+    """Fold one finished multi-get into the per-request instruments."""
+    if instruments is None:
+        return
+    instruments["latency"].observe(elapsed)
+    instruments["degraded" if (outcome.missing or outcome.deadline_hit) else "ok"].inc()
+    instruments["served"].inc(len(outcome.values))
+    instruments["missing"].inc(len(outcome.missing))
+    instruments["retries"].inc(outcome.retries)
+    if outcome.deadline_hit:
+        instruments["deadline"].inc()
+
+
 @dataclass(slots=True)
 class MultiGetOutcome:
     """Result of one RnB multi-get."""
@@ -87,6 +143,8 @@ class RnBProtocolClient:
         sleep=time.sleep,
         membership=None,
         breakers=None,
+        metrics=None,
+        tracer=None,
     ) -> None:
         # An epoch-aware placer only routes to servers alive in its view,
         # so connections must cover those; a static placer needs the full
@@ -105,7 +163,7 @@ class RnBProtocolClient:
             )
         self.connections = dict(connections)
         self.placer = placer
-        self.bundler = bundler or Bundler(placer)
+        self.bundler = bundler or Bundler(placer, metrics=metrics)
         if self.bundler.placer is not placer:
             raise ConfigurationError("bundler must share the client's placer")
         self.write_back = write_back
@@ -133,10 +191,17 @@ class RnBProtocolClient:
             breakers.ensure_capacity(placer.n_servers)
             self.health.add_observer(breakers)
         self.seen_epoch: int | None = getattr(placer, "epoch", None)
+        #: optional repro.obs wiring: a MetricsRegistry feeds the
+        #: ``path="live"`` request families (docs/OBSERVABILITY.md) and a
+        #: Tracer records request -> plan/txn spans on the wall clock
+        self._tracer = tracer
+        self._metrics = _request_instruments(metrics, "live")
 
     # -- fault plumbing ------------------------------------------------------
 
-    def _fetch(self, sid: int, keys, counters: dict | None = None) -> dict:
+    def _fetch(
+        self, sid: int, keys, counters: dict | None = None, parent=None
+    ) -> dict:
         """One server's multi-get under the retry policy + health tracking.
 
         If the connection itself already retries (it was built with its
@@ -144,6 +209,11 @@ class RnBProtocolClient:
         compound to ``(max_retries+1)^2`` otherwise.
         """
         conn = self.connections[sid]
+        span = (
+            self._tracer.start("txn", parent=parent, server=sid, n_keys=len(keys))
+            if self._tracer is not None
+            else None
+        )
 
         def attempt():
             return conn.get_multi(keys)
@@ -171,15 +241,23 @@ class RnBProtocolClient:
             # just overloaded — trip breakers, never the health tracker
             if self.breakers is not None:
                 self.breakers.record_failure(sid)
+            if self._metrics is not None:
+                self._metrics["busy"].inc()
+            if span is not None:
+                self._tracer.finish(span, outcome="busy")
             raise
         except FAILOVER_ERRORS:
             if self.health is not None:
                 self.health.record_error(sid)
             if self._propose_if_dead(sid) and counters is not None:
                 counters["commits"] = counters.get("commits", 0) + 1
+            if span is not None:
+                self._tracer.finish(span, outcome="error")
             raise
         if self.health is not None:
             self.health.record_success(sid)
+        if span is not None:
+            self._tracer.finish(span, outcome="ok")
         return got
 
     def _propose_if_dead(self, sid: int) -> bool:
@@ -221,12 +299,24 @@ class RnBProtocolClient:
         keys = tuple(dict.fromkeys(keys))  # dedupe, keep order
         if not keys:
             return MultiGetOutcome()
+        started = time.perf_counter()
+        req_span = (
+            self._tracer.start("request", n_keys=len(keys))
+            if self._tracer is not None
+            else None
+        )
         request = Request(items=keys, limit_fraction=limit_fraction)
         exclude = self.health.exclusions() if self.health is not None else frozenset()
         if self.breakers is not None:
             self.breakers.advance()
             exclude = exclude | self.breakers.tripped()
         plan = self.bundler.plan(request, exclude=exclude or None)
+        if req_span is not None:
+            self._tracer.finish(
+                self._tracer.start(
+                    "plan", parent=req_span, n_txns=len(plan.transactions)
+                )
+            )
 
         counters: dict[str, int] = {}
         outcome = MultiGetOutcome()
@@ -235,7 +325,7 @@ class RnBProtocolClient:
         for txn in plan.transactions:
             asked = (*txn.primary, *txn.hitchhikers)
             try:
-                got = self._fetch(txn.server, asked, counters)
+                got = self._fetch(txn.server, asked, counters, parent=req_span)
             except FAILOVER_ERRORS:
                 # dead server: every primary becomes a miss to repair from
                 # the item's surviving replicas
@@ -291,7 +381,7 @@ class RnBProtocolClient:
                 if request.limit_fraction is not None:
                     group = group[: required - len(outcome.values)]
                 try:
-                    got = self._fetch(sid, group, counters)
+                    got = self._fetch(sid, group, counters, parent=req_span)
                 except FAILOVER_ERRORS:
                     failed.add(sid)
                     continue
@@ -331,7 +421,10 @@ class RnBProtocolClient:
                     continue
                 try:
                     got = self._fetch(
-                        txn.server, (*txn.primary, *txn.hitchhikers), counters
+                        txn.server,
+                        (*txn.primary, *txn.hitchhikers),
+                        counters,
+                        parent=req_span,
                     )
                 except FAILOVER_ERRORS:
                     failed.add(txn.server)
@@ -347,6 +440,9 @@ class RnBProtocolClient:
         outcome.retries = counters.get("retries", 0)
         outcome.epoch = epoch_now
         outcome.membership_commits = counters.get("commits", 0)
+        _record_outcome(self._metrics, outcome, time.perf_counter() - started)
+        if req_span is not None:
+            self._tracer.finish(req_span, n_missing=len(outcome.missing))
         return outcome
 
     def get(self, key: str) -> bytes | None:

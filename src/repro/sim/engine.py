@@ -94,8 +94,13 @@ def build_cluster(config: SimConfig, n_items: int) -> Cluster:
     )
 
 
-def build_client(config: SimConfig, cluster: Cluster):
-    """Build the client matching the configuration's mode."""
+def build_client(config: SimConfig, cluster: Cluster, *, metrics=None):
+    """Build the client matching the configuration's mode.
+
+    ``metrics`` (a :class:`repro.obs.MetricsRegistry`) makes the RnB
+    client's bundler feed the planner families (``rnb_plans_total``,
+    ``rnb_cover_size``; docs/OBSERVABILITY.md).
+    """
     mode = config.client.mode
     if mode == "noreplication":
         return NoReplicationClient(cluster)
@@ -116,6 +121,7 @@ def build_client(config: SimConfig, cluster: Cluster):
         single_item_rule=config.client.single_item_rule,
         tie_break=tie_break,
         rng=derive_rng(config.seed, 3),
+        metrics=metrics,
     )
     return RnBClient(cluster, bundler, write_back=config.client.write_back)
 
@@ -132,17 +138,20 @@ def _request_stream(
     return stream
 
 
-def run_simulation(graph: SocialGraph, config: SimConfig) -> SimResult:
+def run_simulation(
+    graph: SocialGraph, config: SimConfig, *, metrics=None
+) -> SimResult:
     """Run warmup + measurement and return aggregated metrics.
 
     The warmup phase executes ``config.warmup_requests`` (merged) requests
     to let the replica LRUs converge, then all counters are reset; the
     measurement phase executes ``config.n_requests`` more.  Both phases
     draw from the same endless request stream, so measurement continues
-    the warmed state rather than replaying it.
+    the warmed state rather than replaying it.  ``metrics`` threads an
+    obs registry into the client's planner (:func:`build_client`).
     """
     cluster = build_cluster(config, graph.n_nodes)
-    client = build_client(config, cluster)
+    client = build_client(config, cluster, metrics=metrics)
     stream = iter(_request_stream(graph, config, 0))
 
     # Load-aware tie-breaking reads per-server counters that execution

@@ -146,7 +146,7 @@ class TestDeadline:
                 # wedge every fetch behind an artificial stall
                 real_fetch = c.client._fetch
 
-                async def slow_fetch(sid, keys, counters=None):
+                async def slow_fetch(sid, keys, counters=None, parent=None):
                     await asyncio.sleep(0.5)
                     return await real_fetch(sid, keys, counters)
 
@@ -166,7 +166,7 @@ class TestDeadline:
                 real_fetch = c.client._fetch
                 stalled_keys = set(list(ITEMS)[:6])
 
-                async def selective(sid, keys, counters=None):
+                async def selective(sid, keys, counters=None, parent=None):
                     if stalled_keys.intersection(keys):
                         await asyncio.sleep(0.3)
                     return await real_fetch(sid, keys, counters)

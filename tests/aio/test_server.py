@@ -115,3 +115,31 @@ class TestAdmission:
             assert len(ports) == 3
 
         run(scenario())
+
+
+class TestStatsMetricsVerb:
+    def test_async_front_serves_the_obs_catalog(self):
+        # `stats metrics` delegates to the shared backend, so the async
+        # front exports the same telemetry the threaded front does
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("rnb_requests_total", path="aio", outcome="ok").inc()
+        backend = MemcachedServer(name="a0", metrics=registry)
+        handle, (host, port) = serve_aio(backend)
+        try:
+
+            async def scrape():
+                conn = AsyncConnection(host, port, timeout=2.0)
+                client = AsyncMemcachedClient(conn)
+                try:
+                    await client.set("k", b"v")
+                    return await client.stats("metrics")
+                finally:
+                    conn.close()
+
+            stats = run(scrape())
+            assert stats['rnb_requests_total{outcome="ok",path="aio"}'] == "1"
+            assert stats['rnb_cache_cmd_set_total{server="a0"}'] == "1"
+        finally:
+            handle.stop()

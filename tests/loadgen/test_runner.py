@@ -84,7 +84,7 @@ class TestRunLoadtest:
 
     def test_report_serialises(self, report):
         doc = json.loads(report.to_json())
-        assert set(doc) == {"workload", "measured"}
+        assert set(doc) == {"workload", "measured", "metrics"}
         assert doc["workload"]["determinism_token"] == (
             report.workload["determinism_token"]
         )
@@ -92,11 +92,58 @@ class TestRunLoadtest:
         text = report.summary()
         assert "loadtest:" in text and "goodput:" in text
 
+    def test_metrics_section_has_core_families(self, report):
+        from repro.obs import CORE_REQUEST_FAMILIES
+
+        families = set(report.metrics["families"])
+        assert set(CORE_REQUEST_FAMILIES) <= families
+        assert report.metrics["snapshot"]["rnb_loadtest_latency_ms"]["type"] == (
+            "histogram"
+        )
+        assert isinstance(report.metrics["token"], int)
+
     def test_latency_percentiles_ordered(self, report):
         m = report.measured
         assert m["p50_ms"] <= m["p99_ms"] <= m["p999_ms"]
         assert m["peak_in_flight"] >= 1
         assert m["connections"] >= SMALL.n_servers
+
+
+class TestReportMathMatchesNumpy:
+    """The obs-Histogram migration must not move the printed report.
+
+    The measured section used to run inline numpy; it now reads an
+    exact-percentile :class:`repro.obs.Histogram`.  Same observations in,
+    byte-identical latency line out.
+    """
+
+    def test_latency_line_byte_identical(self):
+        import numpy as np
+
+        from repro.obs import Histogram
+
+        rng = np.random.default_rng(3)
+        lat = np.asarray(rng.gamma(2.0, 1.7, size=997) * 3.0, dtype=np.float64)
+        hist = Histogram(track_values=True)
+        hist.observe_many(float(v) for v in lat)
+
+        assert hist.percentile(50) == float(np.percentile(lat, 50))
+        assert hist.percentile(99) == float(np.percentile(lat, 99))
+        assert hist.percentile(99.9) == float(np.percentile(lat, 99.9))
+
+        pre_obs = (
+            f"  latency:  p50={float(np.percentile(lat, 50)):.2f}ms "
+            f"p99={float(np.percentile(lat, 99)):.2f}ms "
+            f"p999={float(np.percentile(lat, 99.9)):.2f}ms "
+            f"mean={float(lat.mean()):.2f}ms"
+        )
+        via_obs = (
+            f"  latency:  p50={hist.percentile(50):.2f}ms "
+            f"p99={hist.percentile(99):.2f}ms "
+            f"p999={hist.percentile(99.9):.2f}ms "
+            f"mean={hist.mean:.2f}ms"
+        )
+        assert via_obs == pre_obs
 
 
 class TestConfigValidation:

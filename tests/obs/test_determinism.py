@@ -1,0 +1,139 @@
+"""Telemetry determinism: same-seed DES runs snapshot and trace
+byte-identically; different seeds move the tokens; every time domain
+emits the shared core metric catalog (docs/OBSERVABILITY.md)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import DEFAULT_MEMCACHED_MODEL
+from repro.core.bundling import Bundler
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.obs import CORE_REQUEST_FAMILIES, MetricsRegistry, Tracer
+from repro.overload.desim import OverloadConfig, simulate_overload
+from repro.types import Request
+from repro.utils.rng import derive_rng
+
+N_SERVERS = 6
+N_ITEMS = 200
+COST = DEFAULT_MEMCACHED_MODEL
+
+CONFIG = OverloadConfig(
+    queue_limit=8,
+    breaker=True,
+    trip_after=3,
+    window=8,
+    open_ticks=30,
+    hedge_quantile=0.9,
+    hedge_min_samples=16,
+    deadline=COST.txn_time(8) * 500,
+    partial_fraction=0.5,
+    load_aware=True,
+    seed=3,
+)
+
+
+def _requests(n=150, size=6, seed=5):
+    rng = np.random.default_rng(seed)
+    return [
+        Request(
+            items=tuple(sorted(int(i) for i in rng.choice(N_ITEMS, size, replace=False)))
+        )
+        for _ in range(n)
+    ]
+
+
+def _run(seed=11, *, tracer=None, registry=None):
+    bundler = Bundler(RangedConsistentHashPlacer(N_SERVERS, 2, seed=0, vnodes=32))
+    return simulate_overload(
+        _requests(),
+        bundler,
+        n_servers=N_SERVERS,
+        cost_model=COST,
+        arrival_rate=2000.0,
+        config=CONFIG,
+        rng=derive_rng(seed, 1),
+        metrics=registry,
+        tracer=tracer,
+    )
+
+
+class TestSnapshotDeterminism:
+    def test_same_seed_snapshots_byte_identical(self):
+        a, b = _run(seed=11), _run(seed=11)
+        assert a.metrics_token == b.metrics_token
+        blob_a = json.dumps(a.metrics, sort_keys=True, default=repr)
+        blob_b = json.dumps(b.metrics, sort_keys=True, default=repr)
+        assert blob_a == blob_b
+
+    def test_different_seed_moves_the_token(self):
+        assert _run(seed=11).metrics_token != _run(seed=12).metrics_token
+
+    def test_caller_registry_is_the_one_snapshotted(self):
+        registry = MetricsRegistry()
+        result = _run(seed=11, registry=registry)
+        assert result.metrics_token == registry.token()
+        assert registry.get("rnb_requests_total", path="sim", outcome="ok") is not None
+
+
+class TestTraceDeterminism:
+    def test_same_seed_traces_byte_identical(self):
+        ta, tb = Tracer(), Tracer()
+        _run(seed=11, tracer=ta)
+        _run(seed=11, tracer=tb)
+        assert len(ta) > 0
+        assert ta.render() == tb.render()
+        assert ta.token() == tb.token()
+
+    def test_different_seed_moves_the_trace(self):
+        ta, tb = Tracer(), Tracer()
+        _run(seed=11, tracer=ta)
+        _run(seed=12, tracer=tb)
+        assert ta.token() != tb.token()
+
+    def test_trace_tree_has_the_documented_schema(self):
+        tracer = Tracer()
+        _run(seed=11, tracer=tracer)
+        req = tracer.roots[0]
+        assert req.name == "request"
+        child_names = {c.name for c in req.children}
+        assert child_names <= {"plan", "txn"}
+        assert "plan" in child_names
+        txns = [c for c in req.children if c.name == "txn"]
+        assert all("server" in t.attrs for t in txns)
+        assert all(t.end is not None and t.end >= t.start for t in txns)
+
+
+class TestFamilyParity:
+    def test_sim_path_emits_core_catalog(self):
+        result = _run(seed=11)
+        missing = set(CORE_REQUEST_FAMILIES) - set(result.metrics)
+        assert not missing, f"sim path missing {sorted(missing)}"
+
+    def test_live_path_emits_core_catalog(self):
+        # the sync protocol client registers the same families at
+        # construction, before any traffic — parity holds even for an
+        # idle client (zero-valued series are registered, not absent)
+        from repro.protocol.rnbclient import _request_instruments
+
+        registry = MetricsRegistry()
+        _request_instruments(registry, "live")
+        Bundler(
+            RangedConsistentHashPlacer(N_SERVERS, 2, seed=0, vnodes=32),
+            metrics=registry,
+        )
+        missing = set(CORE_REQUEST_FAMILIES) - set(registry.families())
+        assert not missing, f"live path missing {sorted(missing)}"
+
+    def test_sim_and_live_latency_histograms_share_geometry(self):
+        # cross-domain comparability: both paths must land observations
+        # in the same buckets so scrape-side merges stay exact
+        result = _run(seed=11)
+        sim_hist = result.metrics["rnb_request_latency_seconds"]["series"]
+        (snap,) = sim_hist.values()
+        registry = MetricsRegistry()
+        live = registry.histogram("rnb_request_latency_seconds", path="live")
+        assert snap["subbuckets"] == live.subbuckets

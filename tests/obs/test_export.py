@@ -1,0 +1,106 @@
+"""Export surfaces: Prometheus text, stats samples, fleet merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.obs.export import (
+    CORE_REQUEST_FAMILIES,
+    family_of,
+    merge_samples,
+    parse_sample_name,
+    render_prometheus,
+    samples,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("rnb_requests_total", "requests", path="live", outcome="ok").inc(3)
+    reg.gauge("rnb_server_load", "load", server=0).set(1.5)
+    h = reg.histogram("rnb_cover_size", "cover sizes")
+    h.observe_many([1.0, 2.0, 2.0, 3.0])
+    return reg
+
+
+class TestSamples:
+    def test_names_have_no_spaces(self):
+        for name, _value in samples(_registry()):
+            assert " " not in name  # must survive a `STAT <key> <value>` line
+
+    def test_histogram_expansion_is_cumulative(self):
+        flat = samples(_registry())  # emission order: ascending le, then +Inf
+        got = dict(flat)
+        counts = [v for name, v in flat if name.startswith("rnb_cover_size_bucket")]
+        assert counts == sorted(counts)  # cumulative
+        assert got['rnb_cover_size_bucket{le="+Inf"}'] == 4.0
+        assert got["rnb_cover_size_count"] == 4.0
+        assert got["rnb_cover_size_sum"] == 8.0
+
+    def test_counter_and_gauge_samples(self):
+        got = dict(samples(_registry()))
+        assert got['rnb_requests_total{outcome="ok",path="live"}'] == 3.0
+        assert got['rnb_server_load{server="0"}'] == 1.5
+
+
+class TestPrometheusText:
+    def test_exposition_format(self):
+        text = render_prometheus(_registry())
+        assert "# HELP rnb_requests_total requests" in text
+        assert "# TYPE rnb_requests_total counter" in text
+        assert "# TYPE rnb_server_load gauge" in text
+        assert "# TYPE rnb_cover_size histogram" in text
+        assert 'rnb_requests_total{outcome="ok",path="live"} 3' in text
+        assert text.endswith("\n")
+
+
+class TestParsing:
+    def test_round_trip(self):
+        fam, labels = parse_sample_name('rnb_requests_total{outcome="ok",path="live"}')
+        assert fam == "rnb_requests_total"
+        assert labels == {"outcome": "ok", "path": "live"}
+        assert parse_sample_name("rnb_up") == ("rnb_up", {})
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_sample_name("rnb_x{unterminated")
+        with pytest.raises(ProtocolError):
+            parse_sample_name("rnb_x{k=v}")
+
+    def test_family_folds_histogram_suffixes(self):
+        assert family_of('rnb_cover_size_bucket{le="+Inf"}') == "rnb_cover_size"
+        assert family_of("rnb_cover_size_sum") == "rnb_cover_size"
+        assert family_of("rnb_cover_size_count") == "rnb_cover_size"
+        assert family_of("rnb_requests_total") == "rnb_requests_total"
+
+    def test_core_catalog_is_sane(self):
+        assert len(CORE_REQUEST_FAMILIES) == len(set(CORE_REQUEST_FAMILIES))
+        assert all(f.startswith("rnb_") for f in CORE_REQUEST_FAMILIES)
+
+
+class TestMerge:
+    def test_counters_add_gauges_split(self):
+        a = dict(samples(_registry()))
+        b = dict(samples(_registry()))
+        merged = merge_samples({"s0": a, "s1": b})
+        assert merged['rnb_requests_total{outcome="ok",path="live"}'] == 6.0
+        assert merged['rnb_cover_size_bucket{le="+Inf"}'] == 8.0
+        assert merged["rnb_cover_size_sum"] == 16.0
+        # gauges are per-source point readings, never summed
+        assert merged['rnb_server_load{server="0",source="s0"}'] == 1.5
+        assert merged['rnb_server_load{server="0",source="s1"}'] == 1.5
+
+    def test_merged_quantiles_are_union_quantiles(self):
+        # the whole point of equal-geometry histograms: a scrape-side
+        # merge is indistinguishable from one histogram observing it all
+        from repro.obs.metrics import Histogram
+
+        one, two, union = Histogram(), Histogram(), Histogram()
+        one.observe_many([0.001, 0.002, 0.004])
+        two.observe_many([0.008, 0.016, 0.032, 0.064])
+        union.observe_many([0.001, 0.002, 0.004, 0.008, 0.016, 0.032, 0.064])
+        one.merge(two)
+        assert one.quantile(0.5) == union.quantile(0.5)
+        assert one.quantile(0.99) == union.quantile(0.99)

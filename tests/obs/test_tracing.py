@@ -1,0 +1,88 @@
+"""Tracing: span trees, injectable clocks, deterministic rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.tracing import Tracer
+
+
+def _fake_clock(times: list[float]):
+    it = iter(times)
+    return lambda: next(it)
+
+
+class TestSpanLifecycle:
+    def test_parent_child_tree(self):
+        tr = Tracer(clock=_fake_clock([0.0, 1.0, 2.0, 3.0]))
+        req = tr.start("request", n_keys=8)
+        txn = tr.start("txn", parent=req, server=2)
+        tr.finish(txn)
+        tr.finish(req)
+        assert tr.roots == [req]
+        assert req.children == [txn]
+        assert txn.parent_id == req.span_id
+        assert txn.duration == 1.0 and req.duration == 3.0
+        assert len(tr) == 2
+
+    def test_explicit_timestamps_bypass_clock(self):
+        tr = Tracer(clock=_fake_clock([]))  # clock would raise if consulted
+        s = tr.start("request", at=10.0)
+        tr.finish(s, at=12.5, outcome="ok")
+        assert s.duration == 2.5
+        assert s.attrs["outcome"] == "ok"
+
+    def test_finish_is_idempotent(self):
+        tr = Tracer(clock=_fake_clock([0.0, 1.0]))
+        s = tr.start("x")
+        tr.finish(s)
+        tr.finish(s, late="attr")
+        assert s.end == 1.0
+        assert s.attrs["late"] == "attr"
+
+    def test_context_manager_records_errors(self):
+        tr = Tracer(clock=_fake_clock([0.0, 1.0, 2.0, 3.0]))
+        with tr.span("plan") as s:
+            pass
+        assert s.end is not None
+        with pytest.raises(ValueError):
+            with tr.span("boom") as s2:
+                raise ValueError("nope")
+        assert s2.attrs["error"] == "ValueError"
+
+    def test_max_spans_bounds_retention_not_timing(self):
+        tr = Tracer(clock=_fake_clock([float(i) for i in range(20)]), max_spans=3)
+        spans = [tr.start("s") for _ in range(5)]
+        assert len(tr.roots) == 3
+        assert tr.dropped == 2
+        assert all(s.start >= 0 for s in spans)  # still timed
+        assert "2 spans dropped" in tr.render()
+        with pytest.raises(ConfigurationError):
+            Tracer(max_spans=0)
+
+
+class TestRendering:
+    def _forest(self) -> Tracer:
+        tr = Tracer()
+        req = tr.start("request", at=0.0, idx=0, n_items=4)
+        tr.finish(tr.start("plan", parent=req, at=0.0, level=0), at=0.0)
+        txn = tr.start("txn", parent=req, at=0.5, server=1, n_items=4)
+        tr.finish(txn, at=1.5)
+        tr.finish(req, at=2.0, shed=0)
+        return tr
+
+    def test_render_is_deterministic(self):
+        a, b = self._forest(), self._forest()
+        assert a.render() == b.render()
+        assert a.token() == b.token()
+        assert a.token(seed=1) != a.token()
+
+    def test_render_shape(self):
+        text = self._forest().render()
+        lines = text.splitlines()
+        assert lines[0].startswith("request #1")
+        assert lines[1].startswith("  plan #2")
+        assert lines[2].startswith("  txn #3")
+        assert "server=1" in lines[2]
+        assert "t=0.500000000" in lines[2] and "dur=1.000000000" in lines[2]

@@ -13,7 +13,7 @@ from repro.perf.bench import (
     run_perfbench,
 )
 
-LAYERS = ("cover", "plan", "end_to_end")
+LAYERS = ("cover", "plan", "end_to_end", "obs_overhead")
 
 
 def _tiny_run():
@@ -29,6 +29,7 @@ def test_perfbench_document_schema():
         assert entry["fast_rps"] > 0
         assert entry["speedup"] > 0
     assert doc["config"]["n_requests"] == 40
+    assert "overhead_pct" in doc["benchmarks"]["obs_overhead"]
     assert json.loads(dumps(doc)) == doc
 
 

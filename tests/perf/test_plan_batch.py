@@ -102,6 +102,22 @@ def test_plan_footprints_match_plans(table):
         assert bundler.plan_footprints(requests) == expected
 
 
+def test_plan_footprints_bulk_metrics_match_scalar(table):
+    """The vectorised path's bulk plan recording is snapshot-identical
+    to the scalar path's per-plan hooks."""
+    from repro.obs import MetricsRegistry
+
+    rng = np.random.default_rng(13)
+    requests = _mixed_requests(rng, n=60)
+
+    fast_reg, scalar_reg = MetricsRegistry(), MetricsRegistry()
+    Bundler(table, metrics=fast_reg).plan_footprints(requests)
+    scalar = Bundler(table, metrics=scalar_reg)
+    for r in requests:
+        scalar.plan(r)
+    assert fast_reg.snapshot() == scalar_reg.snapshot()
+
+
 def test_tally_footprint_matches_execute_plan(table):
     """Counters and FetchResults agree with real execution when nothing
     can miss (naive allocation, pinned policy)."""

@@ -151,3 +151,50 @@ class TestStatsAndHandle:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             MemcachedServer(capacity_bytes=-1)
+
+
+class TestStatsMetricsVerb:
+    """The extended `stats metrics` verb (docs/OBSERVABILITY.md)."""
+
+    def _server(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter(
+            "rnb_requests_total", "requests", path="live", outcome="ok"
+        ).inc(2)
+        s = MemcachedServer(name="m0", metrics=registry)
+        s.execute(set_cmd("a", b"v"))
+        s.execute(Command("get", keys=("a",)))
+        return s, registry
+
+    def test_cache_stats_re_exported_with_server_label(self):
+        s, _ = self._server()
+        out = s.execute(Command("stats", keys=("metrics",)))
+        assert b'STAT rnb_cache_cmd_get_total{server="m0"} 1' in out
+        assert b'STAT rnb_cache_curr_items{server="m0"} 1' in out
+        assert out.endswith(b"END\r\n")
+
+    def test_registry_samples_ride_along(self):
+        s, _ = self._server()
+        out = s.execute(Command("stats", keys=("metrics",)))
+        assert b'STAT rnb_requests_total{outcome="ok",path="live"} 2' in out
+
+    def test_works_without_a_registry(self):
+        s = MemcachedServer(name="bare")
+        s.execute(set_cmd("a", b"v"))
+        out = s.execute(Command("stats", keys=("metrics",)))
+        assert b'STAT rnb_cache_cmd_set_total{server="bare"} 1' in out
+
+    def test_unknown_argument_is_client_error(self):
+        s, _ = self._server()
+        out = s.execute(Command("stats", keys=("bogus",)))
+        assert out.startswith(b"CLIENT_ERROR")
+
+    def test_metrics_samples_matches_the_wire(self):
+        s, _ = self._server()
+        wire = s.execute(Command("stats", keys=("metrics",)))
+        for name, value in s.metrics_samples():
+            from repro.obs.metrics import format_value
+
+            assert f"STAT {name} {format_value(value)}\r\n".encode() in wire
