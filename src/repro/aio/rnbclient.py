@@ -35,6 +35,14 @@ import time
 from collections import defaultdict
 
 from repro.cluster.placement import ReplicaPlacer
+from repro.consistency.quorum import COMMITTED, FAILED, PARTIAL, WriteOutcome, resolve_w
+from repro.consistency.readrepair import MISSING, STALE, ReadOutcome
+from repro.consistency.version import (
+    VersionClock,
+    decode_versioned,
+    encode_versioned,
+    newer,
+)
 from repro.core.bundling import Bundler
 from repro.errors import ConfigurationError, ProtocolError, ServerBusy
 from repro.faults.health import HealthTracker
@@ -70,6 +78,7 @@ class AsyncRnBClient:
         breakers=None,
         metrics=None,
         tracer=None,
+        writer_id: int = 0,
     ) -> None:
         needed = set(range(placer.n_servers))
         if not needed <= set(connections):
@@ -99,7 +108,16 @@ class AsyncRnBClient:
         #: ``path="aio"`` request families (docs/OBSERVABILITY.md) and a
         #: Tracer records request -> plan/txn spans on the wall clock
         self._tracer = tracer
+        self.metrics = metrics
         self._metrics = _request_instruments(metrics, "aio")
+        #: version clock for the async quorum write path (parity with
+        #: the sync client's set_versioned/get_versioned)
+        self.writer_id = writer_id
+        self._vclock = VersionClock(
+            writer_id, epoch_fn=lambda: getattr(self.placer, "epoch", 0)
+        )
+        self._quorum_counters = None
+        self._div_counters = None
 
     # -- fault plumbing ------------------------------------------------------
 
@@ -219,6 +237,146 @@ class AsyncRnBClient:
         """Remove every replica of ``key`` (missing replicas are fine)."""
         await asyncio.gather(
             *(self.connections[sid].delete(key) for sid in self.placer.servers_for(key))
+        )
+
+    # -- versioned write path (repro.consistency parity) ---------------------
+
+    def _quorum_instruments(self):
+        if self._quorum_counters is None and self.metrics is not None:
+            self._quorum_counters = {
+                outcome: self.metrics.counter(
+                    "rnb_quorum_writes_total",
+                    "quorum writes by outcome",
+                    outcome=outcome,
+                    path="aio",
+                )
+                for outcome in (COMMITTED, PARTIAL, FAILED)
+            }
+        return self._quorum_counters
+
+    async def set_versioned(self, key: str, value: bytes, *, w="majority") -> WriteOutcome:
+        """Quorum write with **concurrent** replica dispatch.
+
+        Same W policies and outcome semantics as the sync client's
+        ``set_versioned`` (docs/CONSISTENCY.md); the replicas are written
+        in parallel, so latency is the W-th fastest ack, not the sum —
+        this closes the ROADMAP follow-up "async quorum write path".
+        """
+        replicas = tuple(self.placer.servers_for(key))
+        need = resolve_w(w, len(replicas))
+        stamp = self._vclock.next_stamp()
+        data = encode_versioned(value, stamp)
+        results = await asyncio.gather(
+            *(self.connections[sid].set(key, data) for sid in replicas),
+            return_exceptions=True,
+        )
+        acked: list[int] = []
+        failed: list[int] = []
+        for sid, res in zip(replicas, results):
+            if res is True:
+                acked.append(sid)
+                if self.health is not None:
+                    self.health.record_success(sid)
+            elif isinstance(res, ServerBusy):
+                failed.append(sid)  # shed, not sick: no health strike
+                if self.breakers is not None:
+                    self.breakers.record_failure(sid)
+            elif res is False or isinstance(res, FAILOVER_ERRORS):
+                failed.append(sid)
+                if isinstance(res, FAILOVER_ERRORS) and self.health is not None:
+                    self.health.record_error(sid)
+            elif isinstance(res, BaseException):
+                raise res
+        committed = len(acked) >= need
+        if w == "leader" and replicas and replicas[0] not in acked:
+            committed = False
+        outcome = FAILED if not committed else (PARTIAL if failed else COMMITTED)
+        instruments = self._quorum_instruments()
+        if instruments is not None:
+            instruments[outcome].inc()
+        return WriteOutcome(
+            key=key,
+            stamp=stamp,
+            acked=tuple(acked),
+            failed=tuple(failed),
+            w=need,
+            outcome=outcome,
+        )
+
+    async def get_versioned(self, key: str, *, repair: bool = True) -> ReadOutcome:
+        """Versioned read across all replicas (concurrently) with inline
+        newest-wins read-repair — async parity for the sync client."""
+        replicas = tuple(self.placer.servers_for(key))
+        results = await asyncio.gather(
+            *(self.connections[sid].get(key) for sid in replicas),
+            return_exceptions=True,
+        )
+        seen: dict[int, tuple] = {}
+        missing: list[int] = []
+        dead: list[int] = []
+        for sid, res in zip(replicas, results):
+            if isinstance(res, FAILOVER_ERRORS):
+                dead.append(sid)
+                if self.health is not None:
+                    self.health.record_error(sid)
+                continue
+            if isinstance(res, BaseException):
+                raise res
+            if self.health is not None:
+                self.health.record_success(sid)
+            if res is None:
+                missing.append(sid)
+            else:
+                seen[sid] = decode_versioned(res)
+        best = source = payload = None
+        for sid in replicas:
+            if sid not in seen:
+                continue
+            stamp, data = seen[sid]
+            self._vclock.observe(stamp)
+            if source is None or newer(stamp, best):
+                best, source, payload = stamp, sid, data
+        newest = tuple(
+            sid for sid, (stamp, _) in seen.items() if not newer(best, stamp)
+        )
+        stale = tuple(sid for sid in seen if sid not in newest)
+        if self.metrics is not None:
+            if self._div_counters is None:
+                self._div_counters = {
+                    kind: self.metrics.counter(
+                        "rnb_divergences_total",
+                        "replica divergences detected by versioned reads",
+                        kind=kind,
+                        path="aio",
+                    )
+                    for kind in (STALE, MISSING)
+                }
+            if stale:
+                self._div_counters[STALE].inc(len(stale))
+            if missing and newest:
+                self._div_counters[MISSING].inc(len(missing))
+        repaired: list[int] = []
+        targets = (stale + tuple(missing)) if newest else ()
+        if repair and targets and best is not None:
+            data = encode_versioned(payload or b"", best)
+            fixes = await asyncio.gather(
+                *(self.connections[sid].set(key, data) for sid in targets),
+                return_exceptions=True,
+            )
+            for sid, res in zip(targets, fixes):
+                if res is True:
+                    repaired.append(sid)
+        return ReadOutcome(
+            key=key,
+            stamp=best,
+            payload=payload,
+            source=source,
+            newest=newest,
+            stale=stale,
+            missing=tuple(missing),
+            dead=tuple(dead),
+            repaired=tuple(repaired),
+            queued=0,
         )
 
     # -- read path -----------------------------------------------------------

@@ -8,7 +8,11 @@ Subcommands
     Run one experiment (or ``all``) and print its figure tables.
     ``rnb run hotspot`` is the overload soak (docs/OVERLOAD.md): a
     Zipf-skewed workload plus one straggler, with and without the
-    backpressure / breaker / hedging stack.
+    backpressure / breaker / hedging stack.  ``rnb run write_chaos``
+    is the replicated-write-path convergence proof
+    (docs/CONSISTENCY.md): quorum writes with servers killed
+    mid-burst, then read-repair and anti-entropy scrub back to zero
+    divergent keys, deterministically by seed.
 ``rnb calibrate``
     Run the in-process micro-benchmark and print the fitted cost model.
 ``rnb perfbench [--quick] [--out BENCH.json] [--baseline BENCH_PR7.json]``

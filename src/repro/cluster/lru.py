@@ -190,6 +190,10 @@ class PinnedLRU:
     def replica_keys(self) -> list:
         return self._lru.keys()
 
+    def pinned_keys(self) -> list:
+        """Pinned (distinguished) entries, deterministically ordered."""
+        return sorted(self._pinned, key=repr)
+
     def wipe(self) -> None:
         """Drop every entry, pinned or not, keeping the capacity.
 
@@ -286,6 +290,10 @@ class PriorityClassStore:
 
     def replica_keys(self) -> list:
         return [k for k in self._lru._b.keys()]
+
+    def pinned_keys(self) -> list:
+        """Distinguished entries, deterministically ordered."""
+        return sorted(self._distinguished, key=repr)
 
     def wipe(self) -> None:
         """Drop every entry, keeping the capacity (server restart)."""

@@ -73,6 +73,11 @@ class Server:
         # PriorityClassStore for the shared-budget policy ablation)
         self.store = store if store is not None else PinnedLRU(replica_capacity)
         self.counters = ServerCounters()
+        #: per-key version stamps (repro.consistency); items are
+        #: presence-only so the "value envelope" on the simulated path is
+        #: (presence, stamp).  Keys written by unversioned paths simply
+        #: have no entry here, which decodes as stamp None.
+        self.stamps: dict[ItemId, object] = {}
         #: latency inflation for slow servers (set by the fault injector;
         #: consumed by latency models — 1.0 means healthy)
         self.latency_multiplier: float = 1.0
@@ -149,14 +154,23 @@ class Server:
         if dt > 0:
             self._admission_clock += dt
 
-    def write_back(self, item: ItemId) -> None:
-        """Insert a replica copy after a DB fetch (miss path)."""
+    def write_back(self, item: ItemId, *, stamp=None) -> None:
+        """Insert a replica copy after a DB fetch (miss path).
+
+        ``stamp`` (a :class:`repro.consistency.version.VersionStamp`)
+        carries the version of the copy being installed — miss repair
+        propagates the stamp it read from the source replica so
+        write-backs never masquerade as fresh writes.
+        """
         self.store.put(item)
+        if stamp is not None and item in self.store:
+            self.stamps[item] = stamp
         self.counters.writes += 1
 
     def wipe(self) -> None:
         """Lose all stored data (crash): capacity survives, contents do not."""
         self.store.wipe()
+        self.stamps.clear()
 
     # -- introspection ----------------------------------------------------
 
@@ -167,6 +181,11 @@ class Server:
     @property
     def pinned_items(self) -> int:
         return self.store.n_pinned
+
+    def resident_keys(self) -> list:
+        """Every key this server currently holds (pinned + replicas),
+        deterministically ordered — the scrubber's scan surface."""
+        return self.store.pinned_keys() + self.store.replica_keys()
 
     def reset_counters(self) -> None:
         self.counters.reset()

@@ -1,0 +1,72 @@
+"""Replicated write path: versioning, quorum writes, repair, anti-entropy.
+
+The read stack (bundling, covers, failover) was fault-hardened in
+earlier PRs; this package does the same for the **write** side, closing
+the ROADMAP item "Write path at scale: quorum writes, versioning,
+anti-entropy".  See docs/CONSISTENCY.md for the full design and the
+guarantees relative to the paper's §IV scheme.
+
+Layers (each usable alone):
+
+* :mod:`repro.consistency.version` — per-key
+  :class:`~repro.consistency.version.VersionStamp` total order and the
+  wire value envelope.
+* :mod:`repro.consistency.store` — one read/write surface over both
+  backends (simulated cluster, live memcached).
+* :mod:`repro.consistency.quorum` — :class:`QuorumWriter`, commit at W
+  of R acks with explicit outcomes.
+* :mod:`repro.consistency.readrepair` — :class:`VersionedReader`,
+  divergence detection + inline or budget-throttled repair.
+* :mod:`repro.consistency.scrub` — :class:`AntiEntropyScrubber`,
+  background digest-pruned reconciliation of everything reads miss.
+"""
+
+from repro.consistency.quorum import (
+    COMMITTED,
+    FAILED,
+    PARTIAL,
+    WRITE_ERRORS,
+    QuorumWriter,
+    WriteOutcome,
+    resolve_w,
+)
+from repro.consistency.readrepair import (
+    ReadOutcome,
+    VersionedReader,
+    make_repair_executor,
+)
+from repro.consistency.scrub import AntiEntropyScrubber, ScrubReport
+from repro.consistency.store import ClusterStore, WireStore
+from repro.consistency.version import (
+    MAGIC,
+    VersionClock,
+    VersionStamp,
+    decode_versioned,
+    encode_versioned,
+    newer,
+    parse_token,
+)
+
+__all__ = [
+    "AntiEntropyScrubber",
+    "COMMITTED",
+    "ClusterStore",
+    "FAILED",
+    "MAGIC",
+    "PARTIAL",
+    "QuorumWriter",
+    "ReadOutcome",
+    "ScrubReport",
+    "VersionClock",
+    "VersionStamp",
+    "VersionedReader",
+    "WRITE_ERRORS",
+    "WireStore",
+    "WriteOutcome",
+    "decode_versioned",
+    "encode_versioned",
+    "make_repair_executor",
+    "newer",
+    "parse_token",
+    "resolve_w",
+]

@@ -92,7 +92,9 @@ class RnBClient:
         if self.write_back:
             for item in missed:
                 if item not in obtained:
-                    self.cluster.server(missed[item]).write_back(item)
+                    self.cluster.server(missed[item]).write_back(
+                        item, stamp=self._authoritative_stamp(item)
+                    )
 
         # ---- round two: distinguished copies ----
         second_round = 0
@@ -208,6 +210,22 @@ class RnBClient:
         )
 
     # -- helpers ---------------------------------------------------------------
+
+    def _authoritative_stamp(self, item: ItemId):
+        """Version stamp a DB-fetched copy of ``item`` should carry.
+
+        The backing store serves the committed version, which the pinned
+        distinguished copy mirrors — so write-backs inherit the
+        distinguished server's stamp instead of installing an unversioned
+        copy that anti-entropy would flag as divergent.  An unreachable
+        home (chaos) yields ``None``: the copy is installed unversioned
+        and reconciled by the scrubber later.
+        """
+        try:
+            home = self.cluster.server(self.bundler.placer.distinguished_for(item))
+        except (ConnectionError, OSError):
+            return None
+        return home.stamps.get(item)
 
     @staticmethod
     def _second_round_order(groups: dict[int, list[ItemId]]):

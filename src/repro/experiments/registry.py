@@ -30,6 +30,7 @@ from repro.experiments import (
     scalability,
     sensitivity,
     single_item,
+    write_chaos,
 )
 from repro.experiments.base import ExperimentResult
 
@@ -58,6 +59,7 @@ EXPERIMENTS: dict[str, Callable[..., list[ExperimentResult]]] = {
     "hotspot": hotspot.run,
     "queueing": queueing.run,
     "sensitivity": sensitivity.run,
+    "write_chaos": write_chaos.run,
 }
 
 

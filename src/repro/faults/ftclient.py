@@ -276,7 +276,9 @@ class FaultTolerantRnBClient:
                 # distinguished copy (or survivors) in the failover waves
                 misses += 1
                 if self.write_back:
-                    self.cluster.servers[txn.server].write_back(item)
+                    self.cluster.servers[txn.server].write_back(
+                        item, stamp=self._authoritative_stamp(item)
+                    )
                 tried[item] = {txn.server}
                 pending.add(item)
 
@@ -443,11 +445,23 @@ class FaultTolerantRnBClient:
         answered us."""
         return any(self.health.state(s) == "alive" for s in tried_servers)
 
+    def _authoritative_stamp(self, item: ItemId):
+        """Version of the backing-store copy being written back — the
+        distinguished copy's stamp when its home is reachable, ``None``
+        (unversioned; the scrubber reconciles later) when it is not."""
+        try:
+            home = self.cluster.server(self.bundler.placer.distinguished_for(item))
+        except (ConnectionError, OSError):
+            return None
+        return home.stamps.get(item)
+
     def _db_repair(self, item: ItemId, tried_servers: set[int]) -> None:
         """Re-materialise an everywhere-evicted item onto a live replica."""
         if not self.write_back:
             return
         for sid in self.bundler.placer.servers_for(item):
             if sid in tried_servers and self.health.state(sid) == "alive":
-                self.cluster.servers[sid].write_back(item)
+                self.cluster.servers[sid].write_back(
+                    item, stamp=self._authoritative_stamp(item)
+                )
                 return

@@ -9,6 +9,7 @@ verb and the ``rnb stats`` CLI.
 """
 
 from repro.obs.export import (
+    CONSISTENCY_FAMILIES,
     CORE_REQUEST_FAMILIES,
     family_of,
     merge_samples,
@@ -30,6 +31,7 @@ from repro.obs.metrics import (
 from repro.obs.tracing import Span, Tracer
 
 __all__ = [
+    "CONSISTENCY_FAMILIES",
     "CORE_REQUEST_FAMILIES",
     "COUNTER",
     "GAUGE",

@@ -49,6 +49,26 @@ CORE_REQUEST_FAMILIES = (
     "rnb_cover_size",
 )
 
+#: the write-path / consistency metric families (docs/CONSISTENCY.md):
+#: quorum writes by outcome and acks landed (repro.consistency.quorum),
+#: divergences seen and repairs dispatched by versioned reads
+#: (repro.consistency.readrepair), scrub progress gauges
+#: (repro.consistency.scrub), and the paper-§IV atomic-operation
+#: counters (repro.protocol.consistency)
+CONSISTENCY_FAMILIES = (
+    "rnb_quorum_writes_total",
+    "rnb_quorum_acks",
+    "rnb_divergences_total",
+    "rnb_divergence_repairs_total",
+    "rnb_scrub_cycles",
+    "rnb_scrub_repairs",
+    "rnb_scrub_divergent_last",
+    "rnb_scrub_prune_ratio",
+    "rnb_consistency_ops_total",
+    "rnb_consistency_strip_skips_total",
+    "rnb_cas_retries",
+)
+
 
 def _histogram_samples(name: str, key: str, snap: dict) -> list[tuple[str, float]]:
     """Cumulative ``_bucket``/``_sum``/``_count`` expansion of one series."""

@@ -10,7 +10,11 @@ completes."
 protocol client:
 
 1. delete every non-distinguished replica (readers now fall back to the
-   distinguished copy via the normal miss-repair path);
+   distinguished copy via the normal miss-repair path) — a replica
+   server that is dead or refusing gets a health strike and is skipped,
+   never aborting the protocol mid-strip: its copy is already
+   unreachable to readers, and anti-entropy removes/overwrites it on
+   recovery (docs/CONSISTENCY.md);
 2. ``gets`` + ``cas`` loop on the distinguished copy until the
    compare-and-swap wins;
 3. leave replica re-creation to demand (the RnB client's write-back after
@@ -20,6 +24,13 @@ protocol client:
 The resulting guarantee matches the paper's claim: no worse than plain
 memcached — the distinguished copy is always the single linearisation
 point, and stale replicas are removed before the point of update.
+
+Both operations feed the client's :class:`repro.obs.MetricsRegistry`
+when one is attached: ``rnb_consistency_ops_total`` counts operations by
+kind and outcome, ``rnb_cas_retries`` histograms how many CAS rounds
+each atomic update needed, and ``rnb_consistency_strip_skips_total``
+counts replicas the strip phase had to skip as unreachable — so the
+existing ``rnb stats`` scrape covers the write path too.
 """
 
 from __future__ import annotations
@@ -27,7 +38,65 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import ProtocolError
-from repro.protocol.rnbclient import RnBProtocolClient
+from repro.protocol.rnbclient import FAILOVER_ERRORS, RnBProtocolClient
+
+
+def _instruments(client: RnBProtocolClient, op: str) -> dict | None:
+    """The write-path instrument set on the client's registry (if any).
+
+    Registries hand back the same instrument for identical
+    (family, labels), so re-deriving these per call registers nothing
+    twice.
+    """
+    metrics = getattr(client, "metrics", None)
+    if metrics is None:
+        return None
+    return {
+        "ok": metrics.counter(
+            "rnb_consistency_ops_total",
+            "atomic/repair consistency operations by outcome",
+            op=op,
+            outcome="ok",
+        ),
+        "failed": metrics.counter(
+            "rnb_consistency_ops_total",
+            "atomic/repair consistency operations by outcome",
+            op=op,
+            outcome="failed",
+        ),
+        "strip_skips": metrics.counter(
+            "rnb_consistency_strip_skips_total",
+            "replicas skipped (unreachable) while stripping before an update",
+            op=op,
+        ),
+        "cas_retries": metrics.histogram(
+            "rnb_cas_retries",
+            "CAS rounds needed per atomic update",
+            op=op,
+        ),
+    }
+
+
+def _strip_replicas(client: RnBProtocolClient, key: str, instruments) -> None:
+    """Delete the non-distinguished replicas of ``key``, tolerating dead
+    or refusing servers.
+
+    A strip target that cannot be reached holds — at worst — a stale
+    copy that no reader can fetch either (reads to it fail the same
+    way); skipping it keeps the protocol running instead of leaving the
+    key half-stripped with an exception mid-flight.  The skip is
+    recorded as a health strike so covers route around the server, and
+    the copy is reconciled by read-repair/anti-entropy once the server
+    returns.
+    """
+    for sid in client.placer.servers_for(key)[1:]:
+        try:
+            client.connections[sid].delete(key)
+        except FAILOVER_ERRORS:
+            if client.health is not None:
+                client.health.record_error(sid)
+            if instruments is not None:
+                instruments["strip_skips"].inc()
 
 
 def atomic_update(
@@ -47,35 +116,52 @@ def atomic_update(
     placer = client.placer
     distinguished = placer.distinguished_for(key)
     conn = client.connections[distinguished]
+    instruments = _instruments(client, "atomic_update")
 
     # 1. strip non-distinguished replicas so no reader can observe a
     #    stale copy after the update commits
-    for sid in placer.servers_for(key)[1:]:
-        client.connections[sid].delete(key)
+    _strip_replicas(client, key, instruments)
 
     # 2. CAS loop on the distinguished copy
-    for _ in range(max_retries):
-        current = conn.get_multi([key], with_cas=True).get(key)
-        if current is None:
-            # absent: plain set is the creation path; a concurrent creator
-            # may win, in which case loop again via cas
-            new_value = update(None)
-            if conn.set(key, new_value):
+    rounds = 0
+    try:
+        for rounds in range(max_retries):
+            current = conn.get_multi([key], with_cas=True).get(key)
+            if current is None:
+                # absent: plain set is the creation path; a concurrent
+                # creator may win, in which case loop again via cas
+                new_value = update(None)
+                if conn.set(key, new_value):
+                    break
+                continue  # pragma: no cover - set on our server cannot fail
+            value, cas_id = current
+            new_value = update(value)
+            status = conn.cas(key, new_value, cas_id)
+            if status == "STORED":
                 break
-            continue  # pragma: no cover - set on our server cannot fail
-        value, cas_id = current
-        new_value = update(value)
-        status = conn.cas(key, new_value, cas_id)
-        if status == "STORED":
-            break
-        # EXISTS (lost the race) or NOT_FOUND (concurrent delete): retry
-    else:
-        raise ProtocolError(f"atomic update of {key!r} exceeded {max_retries} retries")
+            # EXISTS (lost the race) or NOT_FOUND (concurrent delete): retry
+        else:
+            raise ProtocolError(
+                f"atomic update of {key!r} exceeded {max_retries} retries"
+            )
+    except (ProtocolError, ConnectionError, OSError):
+        if instruments is not None:
+            instruments["failed"].inc()
+            instruments["cas_retries"].observe(float(rounds))
+        raise
+    if instruments is not None:
+        instruments["ok"].inc()
+        instruments["cas_retries"].observe(float(rounds))
 
-    # 3. optionally re-create replicas eagerly
+    # 3. optionally re-create replicas eagerly (dead targets are skipped
+    #    exactly like the strip phase — demand repopulation covers them)
     if repopulate:
         for sid in placer.servers_for(key)[1:]:
-            client.connections[sid].set(key, new_value)
+            try:
+                client.connections[sid].set(key, new_value)
+            except FAILOVER_ERRORS:
+                if client.health is not None:
+                    client.health.record_error(sid)
     return new_value
 
 
@@ -84,11 +170,26 @@ def read_repair(client: RnBProtocolClient, key: str) -> bytes | None:
 
     Returns the value, or ``None`` if the item does not exist.  Useful
     after ``atomic_update(..., repopulate=False)`` when read traffic is
-    too low to repopulate on demand.
+    too low to repopulate on demand.  Unreachable replicas are skipped
+    with a health strike (anti-entropy converges them later).
     """
-    value = client.get(key)
+    instruments = _instruments(client, "read_repair")
+    try:
+        value = client.get(key)
+    except (ProtocolError, ConnectionError, OSError):
+        if instruments is not None:
+            instruments["failed"].inc()
+        raise
     if value is None:
+        if instruments is not None:
+            instruments["ok"].inc()
         return None
     for sid in client.placer.servers_for(key)[1:]:
-        client.connections[sid].set(key, value)
+        try:
+            client.connections[sid].set(key, value)
+        except FAILOVER_ERRORS:
+            if client.health is not None:
+                client.health.record_error(sid)
+    if instruments is not None:
+        instruments["ok"].inc()
     return value

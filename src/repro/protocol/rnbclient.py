@@ -145,6 +145,7 @@ class RnBProtocolClient:
         breakers=None,
         metrics=None,
         tracer=None,
+        writer_id: int = 0,
     ) -> None:
         # An epoch-aware placer only routes to servers alive in its view,
         # so connections must cover those; a static placer needs the full
@@ -195,7 +196,18 @@ class RnBProtocolClient:
         #: ``path="live"`` request families (docs/OBSERVABILITY.md) and a
         #: Tracer records request -> plan/txn spans on the wall clock
         self._tracer = tracer
+        #: the registry itself stays public so satellite layers (the
+        #: consistency stack, atomic_update/read_repair instrumentation)
+        #: can register their own families on it
+        self.metrics = metrics
         self._metrics = _request_instruments(metrics, "live")
+        #: id carried in this client's version stamps (tiebreak between
+        #: concurrent writers; see repro.consistency.version)
+        self.writer_id = writer_id
+        self._cons_store = None
+        self._cons_clock = None
+        self._cons_reader = None
+        self._cons_writers: dict = {}
 
     # -- fault plumbing ------------------------------------------------------
 
@@ -287,6 +299,63 @@ class RnBProtocolClient:
         """Remove every replica of ``key`` (missing replicas are fine)."""
         for sid in self.placer.servers_for(key):
             self.connections[sid].delete(key)
+
+    # -- versioned write path (repro.consistency) ---------------------------
+
+    def _consistency_stack(self) -> None:
+        """Lazily build the shared store/clock/reader the versioned
+        methods use (plain ``set``/``get`` callers never pay for it)."""
+        if self._cons_store is not None:
+            return
+        from repro.consistency import VersionClock, VersionedReader, WireStore
+
+        self._cons_store = WireStore(self.connections, self.placer)
+        self._cons_clock = VersionClock(
+            self.writer_id, epoch_fn=lambda: getattr(self.placer, "epoch", 0)
+        )
+        self._cons_reader = VersionedReader(
+            self._cons_store,
+            self.placer,
+            clock=self._cons_clock,
+            health=self.health,
+        )
+        if self.metrics is not None:
+            self._cons_reader.bind_metrics(self.metrics, path="live")
+
+    def set_versioned(self, key: str, value: bytes, *, w="majority"):
+        """Quorum write: commit ``key`` at W of its R replicas.
+
+        Returns the :class:`repro.consistency.quorum.WriteOutcome`; see
+        docs/CONSISTENCY.md for the W policies and what each outcome
+        guarantees.  The value is wrapped in the version envelope, so
+        plain :meth:`get` returns envelope bytes — use
+        :meth:`get_versioned` to read them back decoded.
+        """
+        self._consistency_stack()
+        writer = self._cons_writers.get(w)
+        if writer is None:
+            from repro.consistency import QuorumWriter
+
+            writer = self._cons_writers[w] = QuorumWriter(
+                self._cons_store,
+                self.placer,
+                clock=self._cons_clock,
+                w=w,
+                health=self.health,
+            )
+            if self.metrics is not None:
+                writer.bind_metrics(self.metrics, path="live")
+        return writer.write(key, value)
+
+    def get_versioned(self, key: str, *, repair: bool = True):
+        """Versioned read across all replicas with inline read-repair.
+
+        Returns the :class:`repro.consistency.readrepair.ReadOutcome`
+        (payload, winning stamp, and which replicas were stale, missing,
+        dead, or repaired).
+        """
+        self._consistency_stack()
+        return self._cons_reader.read(key, repair=repair)
 
     # -- read path -----------------------------------------------------------
 

@@ -1,0 +1,167 @@
+"""Async versioned write path: quorum set / versioned get parity."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.consistency.version import VersionStamp, decode_versioned, encode_versioned
+from repro.protocol.codec import Command
+
+from tests.aio.test_rnbclient import _Cluster
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def backend_value(cluster, sid, key):
+    entry = cluster.backends[sid]._get_live(key)
+    return None if entry is None else entry.data
+
+
+def plant(cluster, sid, key, data):
+    cluster.backends[sid].execute(Command(name="set", keys=(key,), data=data))
+
+
+class TestQuorumWrite:
+    def test_committed_everywhere(self):
+        async def go():
+            async with _Cluster() as c:
+                outcome = await c.client.set_versioned("k", b"hello")
+                assert outcome.outcome == "committed"
+                assert set(outcome.acked) == set(c.placer.servers_for("k"))
+                # every replica holds the same enveloped value
+                for sid in c.placer.servers_for("k"):
+                    assert decode_versioned(backend_value(c, sid, "k")) == (
+                        outcome.stamp,
+                        b"hello",
+                    )
+
+        run(go())
+
+    def test_dead_replica_fails_majority_at_r2(self):
+        """R=2 makes majority equal to all: one dead replica, no commit."""
+
+        async def go():
+            async with _Cluster() as c:
+                victim = c.placer.servers_for("k")[-1]
+                await c.kill(victim)
+                outcome = await c.client.set_versioned("k", b"v")
+                assert outcome.outcome == "failed"
+                assert victim in outcome.failed
+                # the surviving ack still seeded divergence
+                assert outcome.divergent
+
+        run(go())
+
+    def test_dead_replica_is_partial_in_leader_mode(self):
+        async def go():
+            async with _Cluster() as c:
+                victim = c.placer.servers_for("k")[-1]
+                await c.kill(victim)
+                outcome = await c.client.set_versioned("k", b"v", w="leader")
+                assert outcome.outcome == "partial"
+                assert victim in outcome.failed
+                assert outcome.committed and outcome.divergent
+
+        run(go())
+
+    def test_leader_mode_fails_without_the_distinguished_ack(self):
+        async def go():
+            async with _Cluster() as c:
+                home = c.placer.distinguished_for("k")
+                await c.kill(home)
+                outcome = await c.client.set_versioned("k", b"v", w="leader")
+                assert outcome.outcome == "failed"
+
+        run(go())
+
+    def test_stamps_are_monotonic(self):
+        async def go():
+            async with _Cluster() as c:
+                first = (await c.client.set_versioned("k", b"1")).stamp
+                second = (await c.client.set_versioned("k", b"2")).stamp
+                assert second > first
+
+        run(go())
+
+
+class TestVersionedRead:
+    def test_roundtrip(self):
+        async def go():
+            async with _Cluster() as c:
+                outcome = await c.client.set_versioned("k", b"payload")
+                read = await c.client.get_versioned("k")
+                assert read.payload == b"payload"
+                assert read.stamp == outcome.stamp
+                assert not read.divergent
+
+        run(go())
+
+    def test_stale_replica_repaired_inline(self):
+        async def go():
+            async with _Cluster() as c:
+                outcome = await c.client.set_versioned("k", b"new")
+                victim = c.placer.servers_for("k")[-1]
+                plant(
+                    c, victim, "k", encode_versioned(b"old", VersionStamp(0, 0, 0))
+                )
+                read = await c.client.get_versioned("k")
+                assert read.stale == (victim,) and read.divergent
+                assert read.payload == b"new"
+                assert victim in read.repaired
+                assert decode_versioned(backend_value(c, victim, "k")) == (
+                    outcome.stamp,
+                    b"new",
+                )
+
+        run(go())
+
+    def test_missing_replica_repaired_inline(self):
+        async def go():
+            async with _Cluster() as c:
+                await c.client.set_versioned("k", b"v")
+                victim = c.placer.servers_for("k")[-1]
+                c.backends[victim].execute(Command(name="delete", keys=("k",)))
+                read = await c.client.get_versioned("k")
+                assert read.missing == (victim,)
+                assert victim in read.repaired
+                assert backend_value(c, victim, "k") is not None
+
+        run(go())
+
+    def test_dead_distinguished_served_from_replicas(self):
+        async def go():
+            async with _Cluster() as c:
+                outcome = await c.client.set_versioned("k", b"v")
+                home = c.placer.distinguished_for("k")
+                await c.kill(home)
+                read = await c.client.get_versioned("k")
+                assert read.found and read.payload == b"v"
+                assert read.stamp == outcome.stamp
+                assert home in read.dead and read.source != home
+
+        run(go())
+
+    def test_unversioned_value_reads_back_plain(self):
+        async def go():
+            async with _Cluster() as c:
+                c.preload({"legacy": b"plain"})
+                read = await c.client.get_versioned("legacy")
+                assert read.stamp is None and read.payload == b"plain"
+                assert not read.divergent
+
+        run(go())
+
+    def test_repair_false_leaves_the_stale_copy(self):
+        async def go():
+            async with _Cluster() as c:
+                stale = encode_versioned(b"old", VersionStamp(0, 0, 0))
+                await c.client.set_versioned("k", b"new")
+                victim = c.placer.servers_for("k")[-1]
+                plant(c, victim, "k", stale)
+                read = await c.client.get_versioned("k", repair=False)
+                assert read.stale == (victim,)
+                assert backend_value(c, victim, "k") == stale
+
+        run(go())

@@ -1,0 +1,150 @@
+"""QuorumWriter: W policies, outcomes, health plumbing, metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency import (
+    COMMITTED,
+    FAILED,
+    PARTIAL,
+    QuorumWriter,
+    VersionClock,
+    resolve_w,
+)
+from repro.errors import ConfigurationError
+from repro.faults.health import HealthTracker
+from repro.obs import MetricsRegistry
+
+from tests.consistency.conftest import BusyStore, SimStack
+
+
+class TestResolveW:
+    def test_policies(self):
+        assert resolve_w("majority", 3) == 2
+        assert resolve_w("majority", 4) == 3
+        assert resolve_w("all", 3) == 3
+        assert resolve_w("leader", 3) == 1
+
+    def test_int_clamped(self):
+        assert resolve_w(2, 3) == 2
+        assert resolve_w(0, 3) == 1
+        assert resolve_w(99, 3) == 3
+
+    @pytest.mark.parametrize("bad", [True, False, "most", 1.5, None])
+    def test_invalid_policy_raises(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_w(bad, 3)
+
+    def test_invalid_replication_raises(self):
+        with pytest.raises(ConfigurationError):
+            resolve_w("majority", 0)
+
+
+class TestWrite:
+    def test_healthy_fleet_commits_everywhere(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer)
+        outcome = writer.write(0)
+        assert outcome.outcome == COMMITTED
+        assert not outcome.divergent
+        assert set(outcome.acked) == set(stack.placer.servers_for(0))
+        # every replica carries the stamp
+        assert set(stack.stamps_of(0).values()) == {outcome.stamp}
+
+    def test_stamps_are_monotonic(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer)
+        first = writer.write(0).stamp
+        second = writer.write(0).stamp
+        assert second > first
+
+    def test_one_dead_replica_is_partial_at_majority(self):
+        stack = SimStack()
+        health = HealthTracker(stack.placer.n_servers, dead_after=2)
+        writer = QuorumWriter(stack.store, stack.placer, health=health)
+        victim = stack.placer.servers_for(0)[-1]
+        stack.kill(victim)
+        outcome = writer.write(0)
+        assert outcome.outcome == PARTIAL
+        assert outcome.committed and outcome.divergent
+        assert outcome.failed == (victim,)
+        assert health.state(victim) == "suspected"  # one strike so far
+
+    def test_below_quorum_fails(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer, w="majority")
+        replicas = stack.placer.servers_for(0)
+        for sid in replicas[1:]:  # leave only the distinguished copy
+            stack.kill(sid)
+        outcome = writer.write(0)
+        assert outcome.outcome == FAILED
+        assert not outcome.committed
+        # one ack still landed, so divergence was seeded regardless
+        assert outcome.divergent
+
+    def test_leader_mode_requires_distinguished_ack(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer, w="leader")
+        stack.kill(stack.placer.distinguished_for(0))
+        outcome = writer.write(0)
+        # every other replica acked, but the copy of record missed
+        assert len(outcome.acked) == len(stack.placer.servers_for(0)) - 1
+        assert outcome.outcome == FAILED
+
+    def test_all_mode_never_commits_partially(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer, w="all")
+        stack.kill(stack.placer.servers_for(0)[-1])
+        assert writer.write(0).outcome == FAILED
+
+    def test_busy_replica_misses_ack_without_health_strike(self):
+        stack = SimStack()
+        health = HealthTracker(stack.placer.n_servers, dead_after=2)
+        busy_sid = stack.placer.servers_for(0)[-1]
+        store = BusyStore(stack.store, busy=[busy_sid])
+        writer = QuorumWriter(store, stack.placer, health=health)
+        outcome = writer.write(0)
+        assert outcome.outcome == PARTIAL
+        assert outcome.failed == (busy_sid,)
+        assert health.state(busy_sid) == "alive"  # shed, not sick
+
+    def test_invalid_w_rejected_at_construction(self):
+        stack = SimStack()
+        with pytest.raises(ConfigurationError):
+            QuorumWriter(stack.store, stack.placer, w="everyone")
+
+    def test_write_many(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer)
+        outcomes = writer.write_many(range(5))
+        assert [o.outcome for o in outcomes] == [COMMITTED] * 5
+
+
+class TestMetrics:
+    def test_outcomes_and_acks_are_counted(self):
+        stack = SimStack()
+        registry = MetricsRegistry()
+        writer = QuorumWriter(stack.store, stack.placer, metrics=registry)
+        writer.write(0)
+        stack.kill(stack.placer.servers_for(1)[-1])
+        writer.write(1)
+        snap = registry.snapshot()
+        series = snap["rnb_quorum_writes_total"]["series"]
+        assert series['outcome="committed"'] == 1
+        assert series['outcome="partial"'] == 1
+        acks = snap["rnb_quorum_acks"]["series"][""]
+        assert acks["count"] == 2
+
+
+class TestClockIntegration:
+    def test_shared_clock_orders_two_writers(self):
+        stack = SimStack()
+        a = QuorumWriter(stack.store, stack.placer, clock=VersionClock(writer=1))
+        b = QuorumWriter(stack.store, stack.placer, clock=VersionClock(writer=2))
+        first = a.write(0).stamp
+        # writer b has not observed a's stamp: equal counters, writer
+        # tiebreak still totally orders them
+        second = b.write(0).stamp
+        assert first != second
+        assert (second > first) == (second.writer > first.writer)

@@ -1,0 +1,183 @@
+"""VersionedReader: divergence classification and both repair modes."""
+
+from __future__ import annotations
+
+from repro.consistency import (
+    QuorumWriter,
+    VersionClock,
+    VersionedReader,
+    make_repair_executor,
+)
+from repro.faults.health import HealthTracker
+from repro.obs import MetricsRegistry
+
+from tests.consistency.conftest import SimStack
+
+
+def bump_one_replica(stack, writer, key, sid):
+    """Install a strictly newer stamp on ``sid`` only (others go stale)."""
+    stamp = writer.clock.next_stamp()
+    stack.store.write(sid, key, b"", stamp)
+    return stamp
+
+
+class TestClassification:
+    def test_uniform_replicas_not_divergent(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer)
+        writer.write(0)
+        outcome = VersionedReader(stack.store, stack.placer).read(0)
+        assert outcome.found and not outcome.divergent
+        assert set(outcome.newest) == set(stack.placer.servers_for(0))
+        assert outcome.stale == outcome.missing == outcome.dead == ()
+
+    def test_stale_replicas_detected(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer)
+        writer.write(0)
+        home = stack.placer.distinguished_for(0)
+        stamp = bump_one_replica(stack, writer, 0, home)
+        outcome = VersionedReader(stack.store, stack.placer).read(0, repair=False)
+        assert outcome.divergent
+        assert outcome.stamp == stamp and outcome.source == home
+        assert set(outcome.stale) == set(stack.placer.servers_for(0)) - {home}
+
+    def test_missing_replica_detected(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer)
+        writer.write(0)
+        victim = stack.placer.servers_for(0)[-1]
+        stack.kill(victim)  # crash loses its memory
+        stack.restore(victim)  # back alive, but empty
+        outcome = VersionedReader(stack.store, stack.placer).read(0, repair=False)
+        assert outcome.divergent
+        assert outcome.missing == (victim,)
+
+    def test_dead_replica_is_not_divergence(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer)
+        writer.write(0)
+        victim = stack.placer.servers_for(0)[-1]
+        stack.kill(victim, wipe=False)
+        health = HealthTracker(stack.placer.n_servers, dead_after=2)
+        reader = VersionedReader(stack.store, stack.placer, health=health)
+        outcome = reader.read(0)
+        assert outcome.dead == (victim,)
+        assert not outcome.divergent  # nothing known about its copy
+        assert health.state(victim) == "suspected"
+
+    def test_dead_distinguished_still_serves_newest(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer)
+        committed = writer.write(0)
+        home = stack.placer.distinguished_for(0)
+        stack.kill(home, wipe=False)
+        outcome = VersionedReader(stack.store, stack.placer).read(0)
+        assert outcome.found
+        assert outcome.stamp == committed.stamp
+        assert outcome.source != home and outcome.dead == (home,)
+
+    def test_wholly_absent_key(self):
+        stack = SimStack()
+        outcome = VersionedReader(stack.store, stack.placer).read(999)
+        assert not outcome.found and not outcome.divergent
+        assert set(outcome.missing) == set(stack.placer.servers_for(999))
+
+    def test_clock_observes_read_stamps(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer, clock=VersionClock(writer=1))
+        for _ in range(5):
+            writer.write(0)
+        clock = VersionClock(writer=2)
+        VersionedReader(stack.store, stack.placer, clock=clock).read(0)
+        # Lamport receive: the reader's clock advanced past the winning
+        # stamp's counter, so its next write supersedes what it read
+        assert clock.counter == 5
+
+
+class TestInlineRepair:
+    def test_stale_and_missing_converge_inline(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer)
+        writer.write(0)
+        replicas = stack.placer.servers_for(0)
+        missing_sid = replicas[-1]
+        stack.kill(missing_sid)
+        stack.restore(missing_sid)
+        stamp = bump_one_replica(stack, writer, 0, replicas[0])
+        outcome = VersionedReader(stack.store, stack.placer).read(0)
+        assert set(outcome.repaired) == set(replicas) - {replicas[0]}
+        assert set(stack.stamps_of(0).values()) == {stamp}
+        # second read sees a converged replica set
+        assert not VersionedReader(stack.store, stack.placer).read(0).divergent
+
+    def test_repair_false_leaves_divergence(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer)
+        writer.write(0)
+        bump_one_replica(stack, writer, 0, stack.placer.distinguished_for(0))
+        VersionedReader(stack.store, stack.placer).read(0, repair=False)
+        assert len(set(stack.stamps_of(0).values())) == 2
+
+    def test_metrics_count_divergences_and_repairs(self):
+        stack = SimStack()
+        registry = MetricsRegistry()
+        writer = QuorumWriter(stack.store, stack.placer)
+        writer.write(0)
+        bump_one_replica(stack, writer, 0, stack.placer.distinguished_for(0))
+        VersionedReader(stack.store, stack.placer, metrics=registry).read(0)
+        series = registry.snapshot()["rnb_divergences_total"]["series"]
+        assert series['kind="stale"'] == 2
+        repairs = registry.snapshot()["rnb_divergence_repairs_total"]["series"]
+        assert repairs['mode="inline"'] == 2
+
+
+class TestThrottledRepair:
+    def test_repairs_queue_and_drain_at_budget(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer)
+        keys = [0, 1, 2]
+        for key in keys:
+            writer.write(key)
+            bump_one_replica(stack, writer, key, stack.placer.distinguished_for(key))
+        executor = make_repair_executor(stack.store)
+        reader = VersionedReader(stack.store, stack.placer, executor=executor)
+        queued = sum(reader.read(key).queued for key in keys)
+        assert queued == 6  # two stale replicas per key
+        assert executor.pending() == 6
+        # nothing repaired until the budget is spent
+        assert any(len(set(stack.stamps_of(k).values())) > 1 for k in keys)
+        steps = 0
+        while executor.pending():
+            executor.step(1, clock=steps)
+            steps += 1
+        assert steps == 6  # one copy per unit of budget
+        for key in keys:
+            assert len(set(stack.stamps_of(key).values())) == 1
+
+    def test_drain_time_reread_installs_latest(self):
+        """A write that lands while the op is queued wins (newest-wins)."""
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer)
+        writer.write(0)
+        home = stack.placer.distinguished_for(0)
+        bump_one_replica(stack, writer, 0, home)
+        executor = make_repair_executor(stack.store)
+        VersionedReader(stack.store, stack.placer, executor=executor).read(0)
+        # a later write supersedes the version the repair was queued for
+        final = bump_one_replica(stack, writer, 0, home)
+        executor.drain()
+        assert set(stack.stamps_of(0).values()) == {final}
+
+    def test_queued_mode_counts_metrics(self):
+        stack = SimStack()
+        registry = MetricsRegistry()
+        writer = QuorumWriter(stack.store, stack.placer)
+        writer.write(0)
+        bump_one_replica(stack, writer, 0, stack.placer.distinguished_for(0))
+        executor = make_repair_executor(stack.store, metrics=registry)
+        VersionedReader(
+            stack.store, stack.placer, metrics=registry, executor=executor
+        ).read(0)
+        series = registry.snapshot()["rnb_divergence_repairs_total"]["series"]
+        assert series['mode="queued"'] == 2

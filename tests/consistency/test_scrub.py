@@ -1,0 +1,169 @@
+"""AntiEntropyScrubber: digest pruning, reconciliation, convergence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency import AntiEntropyScrubber, QuorumWriter
+from repro.errors import ConfigurationError
+from repro.obs import MetricsRegistry
+
+from tests.consistency.conftest import SimStack
+
+
+def provision(stack):
+    """Version the whole keyspace with one quorum write per item."""
+    writer = QuorumWriter(stack.store, stack.placer)
+    for key in range(stack.n_items):
+        writer.write(key)
+    return writer
+
+
+class TestCleanFleet:
+    def test_converged_fleet_scrubs_clean_in_one_cycle(self):
+        stack = SimStack()
+        provision(stack)
+        scrubber = AntiEntropyScrubber(stack.store, stack.placer, seed=1)
+        reports = scrubber.scrub()
+        assert len(reports) == 1 and reports[0].clean
+        assert reports[0].keys_walked == 0
+        assert reports[0].buckets_pruned == reports[0].buckets_compared
+
+    def test_no_divergent_keys(self):
+        stack = SimStack()
+        provision(stack)
+        scrubber = AntiEntropyScrubber(stack.store, stack.placer)
+        assert scrubber.divergent_keys() == []
+
+
+class TestConvergence:
+    def test_stale_replicas_converge(self):
+        stack = SimStack()
+        writer = provision(stack)
+        key = 5
+        stamp = writer.clock.next_stamp()
+        stack.store.write(stack.placer.distinguished_for(key), key, b"", stamp)
+        scrubber = AntiEntropyScrubber(stack.store, stack.placer, seed=1)
+        assert scrubber.divergent_keys() == [key]
+        reports = scrubber.scrub()
+        assert reports[0].divergent == (key,)
+        assert reports[0].repairs_applied == len(stack.placer.servers_for(key)) - 1
+        assert reports[-1].clean
+        assert scrubber.divergent_keys() == []
+        assert set(stack.stamps_of(key).values()) == {stamp}
+
+    def test_wiped_server_is_repopulated(self):
+        stack = SimStack()
+        provision(stack)
+        victim = 0
+        stack.kill(victim)
+        stack.restore(victim)
+        scrubber = AntiEntropyScrubber(stack.store, stack.placer, seed=1)
+        lost = [
+            key
+            for key in range(stack.n_items)
+            if victim in stack.placer.servers_for(key)
+        ]
+        assert sorted(scrubber.divergent_keys(), key=repr) == sorted(lost, key=repr)
+        scrubber.scrub()
+        assert scrubber.divergent_keys() == []
+        # the victim holds every one of its assignments again
+        for key in lost:
+            assert victim in stack.stamps_of(key)
+
+    def test_dead_server_is_skipped_not_fatal(self):
+        stack = SimStack()
+        provision(stack)
+        victim = 0
+        stack.kill(victim, wipe=False)
+        scrubber = AntiEntropyScrubber(stack.store, stack.placer, seed=1)
+        reports = scrubber.scrub()
+        assert reports[0].servers_dead == (victim,)
+        assert reports[0].servers_scanned == stack.placer.n_servers - 1
+        # the alive portion of the fleet is converged
+        assert scrubber.divergent_keys() == []
+
+    def test_pruning_skips_agreeing_buckets(self):
+        stack = SimStack(n_items=60)
+        writer = provision(stack)
+        stack.store.write(
+            stack.placer.distinguished_for(7), 7, b"", writer.clock.next_stamp()
+        )
+        scrubber = AntiEntropyScrubber(
+            stack.store, stack.placer, n_buckets=128, seed=1
+        )
+        report = scrubber.scrub_cycle()
+        assert report.buckets_pruned > 0
+        # the digest tree narrowed the walk to a sliver of the keyspace
+        assert 0 < report.keys_walked < stack.n_items
+
+
+class TestUnversionedKeys:
+    def test_scrub_cannot_propagate_unversioned_copies(self):
+        """Presence-only copies carry no stamp, so there is no winner to
+        install; the gate keeps reporting them until a versioned write
+        lands (the chaos experiment provisions for exactly this reason)."""
+        stack = SimStack()
+        victim = 0
+        stack.kill(victim)
+        stack.restore(victim)
+        scrubber = AntiEntropyScrubber(stack.store, stack.placer, seed=1)
+        before = scrubber.divergent_keys()
+        assert before  # wiped unversioned assignments are divergent
+        scrubber.scrub(max_cycles=2)
+        assert scrubber.divergent_keys() == before  # nothing to propagate
+        # a quorum write versions the key and the next scrub converges it
+        writer = QuorumWriter(stack.store, stack.placer)
+        for key in before:
+            writer.write(key)
+        assert scrubber.divergent_keys() == []
+
+
+class TestDeterminism:
+    def test_identical_histories_scrub_identically(self):
+        def build():
+            stack = SimStack()
+            writer = provision(stack)
+            for key in (3, 11):
+                stack.store.write(
+                    stack.placer.distinguished_for(key),
+                    key,
+                    b"",
+                    writer.clock.next_stamp(),
+                )
+            scrubber = AntiEntropyScrubber(stack.store, stack.placer, seed=7)
+            return [
+                (r.divergent, r.repairs_applied, r.buckets_pruned, r.keys_walked)
+                for r in scrubber.scrub()
+            ]
+
+        assert build() == build()
+
+
+class TestValidationAndMetrics:
+    def test_bad_parameters_rejected(self):
+        stack = SimStack()
+        with pytest.raises(ConfigurationError):
+            AntiEntropyScrubber(stack.store, stack.placer, n_buckets=0)
+        scrubber = AntiEntropyScrubber(stack.store, stack.placer)
+        with pytest.raises(ConfigurationError):
+            scrubber.scrub(max_cycles=0)
+
+    def test_progress_gauges(self):
+        stack = SimStack()
+        writer = provision(stack)
+        stack.store.write(
+            stack.placer.distinguished_for(2), 2, b"", writer.clock.next_stamp()
+        )
+        registry = MetricsRegistry()
+        scrubber = AntiEntropyScrubber(
+            stack.store, stack.placer, seed=1, metrics=registry
+        )
+        scrubber.scrub()
+        snap = registry.snapshot()
+        assert snap["rnb_scrub_cycles"]["series"][""] == 2.0
+        assert snap["rnb_scrub_repairs"]["series"][""] == float(
+            len(stack.placer.servers_for(2)) - 1
+        )
+        assert snap["rnb_scrub_divergent_last"]["series"][""] == 0.0
+        assert snap["rnb_scrub_prune_ratio"]["series"][""] == 1.0
