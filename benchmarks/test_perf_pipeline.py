@@ -1,11 +1,12 @@
 """Bench: the fast-path read pipeline (PR 4's perf-regression net).
 
-Runs the same three layers as ``rnb perfbench`` — cover kernel, batched
-planning, end-to-end simulation — under pytest-benchmark, plus a
-regression gate comparing the measured speedups against the committed
-``BENCH_PR4.json`` baseline.  Absolute rates are machine-dependent, so
-only *speedups* (fast vs baseline arm, same machine, same run) are
-gated, with the generous tolerance ``repro.perf.bench`` defaults to.
+Runs the same layers as ``rnb perfbench`` — cover kernel, batched
+planning, end-to-end simulation, telemetry overhead, sharded engine —
+under pytest-benchmark, plus a regression gate comparing the measured
+speedups against the committed ``BENCH_PR9.json`` baseline.  Absolute
+rates are machine-dependent, so only *speedups* (fast vs baseline arm,
+same machine, same run) are gated, with the generous tolerance
+``repro.perf.bench`` defaults to.
 """
 
 from __future__ import annotations
@@ -25,7 +26,7 @@ from repro.workloads.synthetic import make_slashdot_like
 
 from .conftest import run_once
 
-BASELINE_PATH = Path(__file__).parent.parent / "BENCH_PR4.json"
+BASELINE_PATH = Path(__file__).parent.parent / "BENCH_PR9.json"
 
 
 @pytest.fixture(scope="module")

@@ -64,8 +64,16 @@ class AsyncMemcachedClient:
 
     # -- retrieval -------------------------------------------------------
 
-    async def get_multi(self, keys, *, with_cas: bool = False) -> dict:
-        """Fetch many keys in ONE transaction (missing keys absent)."""
+    async def get_multi(
+        self, keys, *, with_cas: bool = False, raw: bool = False
+    ) -> dict:
+        """Fetch many keys in ONE transaction (missing keys absent).
+
+        VALUE bodies are parsed zero-copy off the connection's receive
+        buffer and materialised to ``bytes`` here by default; ``raw=True``
+        returns the memoryview slices themselves (no per-item copy —
+        see :meth:`repro.protocol.memclient.MemcachedConnection.get_multi`).
+        """
         keys = tuple(keys)
         if not keys:
             return {}
@@ -76,9 +84,13 @@ class AsyncMemcachedClient:
         if resp.status != "END":
             raise ProtocolError(f"unexpected retrieval status: {resp.status}")
         self.transactions += 1
+        if raw:
+            if with_cas:
+                return {k: (v[1], v[2]) for k, v in resp.values.items()}
+            return {k: v[1] for k, v in resp.values.items()}
         if with_cas:
-            return {k: (v[1], v[2]) for k, v in resp.values.items()}
-        return {k: v[1] for k, v in resp.values.items()}
+            return {k: (bytes(v[1]), v[2]) for k, v in resp.values.items()}
+        return {k: bytes(v[1]) for k, v in resp.values.items()}
 
     async def get(self, key: str) -> bytes | None:
         return (await self.get_multi([key])).get(key)

@@ -36,7 +36,7 @@ from collections import deque
 
 from repro.errors import ProtocolError, ServerTimeout
 from repro.protocol import codec
-from repro.protocol.codec import IncompleteResponse, Response
+from repro.protocol.codec import Response
 from repro.protocol.retry import DEFAULT_POLICY, RetryPolicy
 
 
@@ -70,7 +70,7 @@ class AsyncConnection:
         self._connect_lock = asyncio.Lock()
         #: FIFO of (n_responses, future) for exchanges awaiting responses
         self._pending: deque[tuple[int, asyncio.Future]] = deque()
-        self._buf = b""
+        self._frames = codec.FrameBuffer()
         #: exchanges currently in flight (pool balancing signal)
         self.in_flight = 0
         self.exchanges = 0
@@ -118,7 +118,7 @@ class AsyncConnection:
                     f"connect to {self.host}:{self.port} did not complete within "
                     f"{self._connect_timeout}s"
                 ) from exc
-            self._buf = b""
+            self._frames.clear()
             self._reader, self._writer = reader, writer
             self._read_task = asyncio.ensure_future(self._read_loop())
 
@@ -138,7 +138,7 @@ class AsyncConnection:
             _, fut = self._pending.popleft()
             if not fut.done():
                 fut.set_exception(failure)
-        self._buf = b""
+        self._frames.clear()
 
     # -- the read side ------------------------------------------------------
 
@@ -150,31 +150,31 @@ class AsyncConnection:
                     n, fut = self._pending[0]
                     responses: list[Response] = []
                     while len(responses) < n:
-                        try:
-                            resp, self._buf = codec.parse_response(self._buf)
+                        resp = self._frames.next_response()
+                        if resp is not None:
                             responses.append(resp)
-                        except IncompleteResponse:
-                            chunk = await self._reader.read(65536)
-                            if not chunk:
-                                raise ProtocolError(
-                                    "connection closed mid-response"
-                                ) from None
-                            self._buf += chunk
+                            continue
+                        chunk = await self._reader.read(65536)
+                        if not chunk:
+                            raise ProtocolError(
+                                "connection closed mid-response"
+                            ) from None
+                        self._frames.feed(chunk)
                     self._pending.popleft()
                     if not fut.done():
                         fut.set_result(responses)
-                if self._buf:
+                if len(self._frames):
                     # bytes with no exchange awaiting them: the FIFO
                     # pairing is broken — tear down rather than spin
                     raise ProtocolError(
-                        f"unexpected trailing response bytes: {self._buf[:40]!r}"
+                        f"unexpected trailing response bytes: {self._frames.peek(40)!r}"
                     )
                 # idle: wait for the next exchange to enqueue (or EOF)
                 chunk = await self._reader.read(65536)
                 if not chunk:
                     self.close()
                     return
-                self._buf += chunk
+                self._frames.feed(chunk)
         except asyncio.CancelledError:
             raise
         except Exception as exc:

@@ -15,10 +15,12 @@ Subcommands
     divergent keys, deterministically by seed.
 ``rnb calibrate``
     Run the in-process micro-benchmark and print the fitted cost model.
-``rnb perfbench [--quick] [--out BENCH.json] [--baseline BENCH_PR7.json]``
+``rnb perfbench [--quick] [--workers N] [--out BENCH.json] [--baseline BENCH_PR9.json]``
     Benchmark the fast-path read pipeline (cover kernel, batched
-    planning, end-to-end simulation, telemetry overhead) and optionally
-    fail on regression against a committed baseline.
+    planning, end-to-end simulation, telemetry overhead, sharded
+    multiprocessing engine) and optionally fail on regression against a
+    committed baseline.  ``--workers`` sizes the sharded section
+    (default ``RNB_BENCH_WORKERS``, else 1).
 ``rnb loadtest [--users 5000] [--curve flash] [--out REPORT.json]``
     Open-loop load test against a real in-process async server fleet
     (docs/SERVING.md): one coroutine per simulated user, arrival times
@@ -101,6 +103,13 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="allowed fractional speedup drop vs baseline (default 0.4)",
+    )
+    perf_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the sharded section "
+        "(default: RNB_BENCH_WORKERS, else 1)",
     )
 
     load_p = sub.add_parser(
@@ -339,6 +348,7 @@ def main(argv: list[str] | None = None) -> int:
             n_requests=args.n_requests,
             repeats=args.repeats,
             quick=args.quick,
+            workers=args.workers,
         )
         print(format_report(doc))
         if args.out is not None:

@@ -33,6 +33,7 @@ from repro.errors import CoverError
 from repro.perf.batchcover import (
     HAS_BITWISE_COUNT,
     MAX_BATCH_ELEMENTS,
+    CoverWorkspace,
     batch_greedy_cover,
     batch_greedy_cover_wide,
     batch_masks,
@@ -81,6 +82,9 @@ class Bundler:
         self.tie_break = tie_break
         self.rng = rng
         self.metrics = metrics
+        #: lazily-created scratch shared by every batch cover this
+        #: bundler plans (one allocation per sweep, not per chunk)
+        self._workspace: CoverWorkspace | None = None
         if metrics is not None:
             policy = tie_break if isinstance(tie_break, str) else "callable"
             self._m_plans = metrics.counter(
@@ -363,9 +367,15 @@ class Bundler:
         local = np.arange(servers.shape[0]) - offsets[req_of_item]
         picks: list[list[tuple[int, int]]] = [[] for _ in range(n_requests)]
 
-        narrow = counts <= MAX_BATCH_ELEMENTS
+        # 0-item requests (LIMIT-stripped) have an empty cover by
+        # definition: keep them out of both kernels so lane/mask
+        # allocation never sees a zero-width request.
+        narrow = (counts > 0) & (counts <= MAX_BATCH_ELEMENTS)
         narrow_rows = np.flatnonzero(narrow)
         if narrow_rows.size:
+            workspace = self._workspace
+            if workspace is None or workspace.n_servers != n_servers:
+                workspace = self._workspace = CoverWorkspace(n_servers)
             sel = narrow[req_of_item]
             row_of = np.cumsum(narrow) - 1  # chunk row -> narrow row
             masks = batch_masks(
@@ -374,19 +384,22 @@ class Bundler:
                 servers[sel],
                 narrow_rows.size,
                 n_servers,
+                workspace=workspace,
             )
             full = (np.uint64(1) << counts[narrow_rows].astype(np.uint64)) - np.uint64(
                 1
             )
             for row, row_picks in zip(
-                narrow_rows.tolist(), batch_greedy_cover(masks, full)
+                narrow_rows.tolist(),
+                batch_greedy_cover(masks, full, workspace=workspace),
             ):
                 picks[row] = row_picks
 
-        wide_rows = np.flatnonzero(~narrow)
+        wide = counts > MAX_BATCH_ELEMENTS
+        wide_rows = np.flatnonzero(wide)
         if wide_rows.size:
-            sel = ~narrow[req_of_item]
-            row_of = np.cumsum(~narrow) - 1
+            sel = wide[req_of_item]
+            row_of = np.cumsum(wide) - 1
             n_lanes = int(counts[wide_rows].max() + MAX_BATCH_ELEMENTS - 1) // (
                 MAX_BATCH_ELEMENTS
             )

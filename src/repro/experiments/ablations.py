@@ -55,6 +55,29 @@ def _sim(
     return run_simulation(graph, cfg)
 
 
+def _run_jobs(
+    graph: SocialGraph, jobs: dict[str, dict], workers: int
+) -> dict[str, object]:
+    """Run the ablation grid, optionally fanned across processes.
+
+    Most ablation points are *outside* the sharded engine's tally
+    envelope (overbooked memory makes LRU state order-dependent), so
+    intra-run sharding can't help here — but every point is a fully
+    independent simulation, so the grid itself parallelises trivially.
+    Results are assembled by job key, never by completion order, so the
+    output is identical for any ``workers``.
+    """
+    if workers <= 1 or len(jobs) <= 1:
+        return {key: _sim(graph, **kwargs) for key, kwargs in jobs.items()}
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(workers, len(jobs))) as pool:
+        futures = {
+            key: pool.submit(_sim, graph, **kwargs) for key, kwargs in jobs.items()
+        }
+        return {key: future.result() for key, future in futures.items()}
+
+
 def run(
     graph: SocialGraph | None = None,
     *,
@@ -62,14 +85,33 @@ def run(
     n_requests: int = 1000,
     warmup: int = 2000,
     seed: int = 2013,
+    workers: int = 1,
 ) -> list[ExperimentResult]:
     graph = graph or make_slashdot_like(seed=seed, scale=scale)
     kw = dict(n_requests=n_requests, warmup=warmup, seed=seed)
+
+    placements = ["rch", "multihash", "random"]
+    levels = [1, 2, 3, 4, 6, 8]
+    jobs: dict[str, dict] = {
+        "sticky": dict(hitchhiking=True, tie_break="lowest", **kw),
+        "random_tb": dict(hitchhiking=True, tie_break="random", **kw),
+        "hh_on": dict(hitchhiking=True, **kw),
+        "hh_off": dict(hitchhiking=False, **kw),
+        "rule_on": dict(hitchhiking=True, single_item_rule=True, **kw),
+        "rule_off": dict(hitchhiking=True, single_item_rule=False, **kw),
+        "pinned": dict(hitchhiking=True, lru_policy="pinned", **kw),
+        "priority": dict(hitchhiking=True, lru_policy="priority", **kw),
+    }
+    for p in placements:
+        jobs[f"placement_{p}"] = dict(hitchhiking=True, placement=p, **kw)
+    for r in levels:
+        jobs[f"overbook_{r}"] = dict(hitchhiking=True, replication=r, **kw)
+    sims = _run_jobs(graph, jobs, workers)
     results = []
 
     # 1. tie-breaking
-    sticky = _sim(graph, hitchhiking=True, tie_break="lowest", **kw)
-    random_tb = _sim(graph, hitchhiking=True, tie_break="random", **kw)
+    sticky = sims["sticky"]
+    random_tb = sims["random_tb"]
     results.append(
         ExperimentResult(
             name="ablation_tie_break",
@@ -85,8 +127,8 @@ def run(
     )
 
     # 2. hitchhiking
-    hh_on = _sim(graph, hitchhiking=True, **kw)
-    hh_off = _sim(graph, hitchhiking=False, **kw)
+    hh_on = sims["hh_on"]
+    hh_off = sims["hh_off"]
     results.append(
         ExperimentResult(
             name="ablation_hitchhiking",
@@ -112,8 +154,8 @@ def run(
     )
 
     # 3. single-item rule
-    rule_on = _sim(graph, hitchhiking=True, single_item_rule=True, **kw)
-    rule_off = _sim(graph, hitchhiking=True, single_item_rule=False, **kw)
+    rule_on = sims["rule_on"]
+    rule_off = sims["rule_off"]
     results.append(
         ExperimentResult(
             name="ablation_single_item_rule",
@@ -132,10 +174,9 @@ def run(
     )
 
     # 4. placement scheme
-    placements = ["rch", "multihash", "random"]
     tprs, balance = [], []
     for p in placements:
-        res = _sim(graph, hitchhiking=True, placement=p, **kw)
+        res = sims[f"placement_{p}"]
         tprs.append(res.tpr)
         per_server = np.array(
             [res.stats.per_server_transactions.get(s, 0) for s in range(16)],
@@ -157,8 +198,8 @@ def run(
     )
 
     # 5. LRU service-class policy: fixed reserve vs shared priority budget
-    pinned = _sim(graph, hitchhiking=True, lru_policy="pinned", **kw)
-    priority = _sim(graph, hitchhiking=True, lru_policy="priority", **kw)
+    pinned = sims["pinned"]
+    priority = sims["priority"]
     results.append(
         ExperimentResult(
             name="ablation_lru_policy",
@@ -178,10 +219,9 @@ def run(
     )
 
     # 6. overbooking level at fixed memory
-    levels = [1, 2, 3, 4, 6, 8]
     ob_tpr, ob_miss = [], []
     for r in levels:
-        res = _sim(graph, hitchhiking=True, replication=r, **kw)
+        res = sims[f"overbook_{r}"]
         ob_tpr.append(res.tpr)
         ob_miss.append(res.miss_rate)
     results.append(

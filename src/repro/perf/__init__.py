@@ -6,7 +6,12 @@ Three layers, each exactly equivalent to the code it accelerates:
   replica placer into a dense ``item -> R servers`` array with O(1)
   vectorised batch lookup.
 * :mod:`repro.perf.batchcover` — the chunk-vectorised greedy set cover
-  used by :meth:`repro.core.bundling.Bundler.plan_batch`.
+  used by :meth:`repro.core.bundling.Bundler.plan_batch`, with a
+  :class:`CoverWorkspace` so a whole sweep plans through one
+  preallocated uint64 scratch.
+* :mod:`repro.perf.shard` — the sharded multiprocessing engine:
+  contiguous request-stream slices across worker processes with a
+  deterministic, bit-identical merge.
 * :mod:`repro.perf.bench` — the ``rnb perfbench`` regression harness
   measuring cover / plan / end-to-end requests per second.
 
@@ -15,12 +20,17 @@ Equivalence is load-bearing: every experiment table under
 is on or off, and the property tests in ``tests/perf`` enforce it.
 """
 
-from repro.perf.batchcover import batch_greedy_cover
+from repro.perf.batchcover import CoverWorkspace, batch_greedy_cover
+from repro.perf.shard import plan_shards, run_simulation_sharded, shardable
 from repro.perf.table import PlacementTable, compile_placement, splitmix64_array
 
 __all__ = [
+    "CoverWorkspace",
     "PlacementTable",
     "batch_greedy_cover",
     "compile_placement",
+    "plan_shards",
+    "run_simulation_sharded",
+    "shardable",
     "splitmix64_array",
 ]

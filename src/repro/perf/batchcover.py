@@ -41,12 +41,62 @@ MAX_BATCH_ELEMENTS = 63
 HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
 
 
+class CoverWorkspace:
+    """Preallocated uint64 scratch for a whole sweep's cover chunks.
+
+    The single-lane kernel's arrays are the same shape chunk after chunk
+    (``(C, N)`` masks, ``(C,)`` targets, per-round gain/sub scratch), so
+    a sweep of thousands of chunks can plan through ONE workspace instead
+    of reallocating every matrix per chunk: :func:`batch_masks` scatters
+    into ``masks`` views and the greedy rounds in
+    :func:`batch_greedy_cover` run ``np.take`` / ``bitwise_and`` /
+    ``bitwise_count`` with ``out=`` into the scratch rows.
+
+    ``reserve`` grows capacity by powers of two, so a steady chunk size
+    settles on one allocation for the whole sweep.  The workspace is
+    bound to one ``n_servers`` (one compiled placement table) and is NOT
+    thread-safe — one workspace per :class:`repro.core.bundling.Bundler`.
+
+    Results are bit-identical with and without a workspace: the kernels
+    run the same operations in the same order, only the destination
+    buffers differ (property-tested).
+    """
+
+    __slots__ = ("n_servers", "capacity", "masks", "full", "sub", "gains")
+
+    def __init__(self, n_servers: int, capacity: int = 256) -> None:
+        self.n_servers = int(n_servers)
+        self.capacity = 0
+        self._grow(max(1, int(capacity)))
+
+    def _grow(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.masks = np.zeros((capacity, self.n_servers), dtype=np.uint64)
+        self.full = np.empty(capacity, dtype=np.uint64)
+        self.sub = np.empty((capacity, self.n_servers), dtype=np.uint64)
+        # np.bitwise_count yields uint8 (popcount of uint64 <= 64): the
+        # gains buffer matches the allocating kernel's dtype exactly so
+        # argmax tie-breaking is identical.
+        self.gains = np.empty((capacity, self.n_servers), dtype=np.uint8)
+
+    def reserve(self, n_requests: int) -> None:
+        """Ensure capacity for a chunk of ``n_requests`` covers."""
+        if n_requests <= self.capacity:
+            return
+        cap = self.capacity
+        while cap < n_requests:
+            cap *= 2
+        self._grow(cap)
+
+
 def batch_masks(
     req_of_item: np.ndarray,
     bit_of_item: np.ndarray,
     servers: np.ndarray,
     n_requests: int,
     n_servers: int,
+    *,
+    workspace: CoverWorkspace | None = None,
 ) -> np.ndarray:
     """Scatter per-replica rows into the ``(C, N)`` uint64 mask matrix.
 
@@ -54,9 +104,18 @@ def batch_masks(
     row and its single-bit mask; ``servers`` is the matching ``(T, R)``
     replica table slice.  One ``bitwise_or.at`` call builds every
     request's per-server bitmasks at once.
+
+    With a :class:`CoverWorkspace` the matrix is a zeroed view of the
+    workspace's preallocated ``masks`` buffer instead of a fresh
+    allocation per chunk.
     """
     replication = servers.shape[1]
-    masks = np.zeros((n_requests, n_servers), dtype=np.uint64)
+    if workspace is not None:
+        workspace.reserve(n_requests)
+        masks = workspace.masks[:n_requests]
+        masks[...] = np.uint64(0)
+    else:
+        masks = np.zeros((n_requests, n_servers), dtype=np.uint64)
     np.bitwise_or.at(
         masks,
         (np.repeat(req_of_item, replication), servers.ravel()),
@@ -66,7 +125,10 @@ def batch_masks(
 
 
 def batch_greedy_cover(
-    masks: np.ndarray, full: np.ndarray
+    masks: np.ndarray,
+    full: np.ndarray,
+    *,
+    workspace: CoverWorkspace | None = None,
 ) -> list[list[tuple[int, int]]]:
     """Greedy full cover of every request in the chunk, lock-step.
 
@@ -76,6 +138,11 @@ def batch_greedy_cover(
         ``(C, N)`` uint64 per-server element bitmasks.
     full:
         ``(C,)`` uint64 target bitmasks (all of request *r*'s elements).
+    workspace:
+        Optional :class:`CoverWorkspace`; the per-round sub-matrix, AND
+        and popcount then run ``out=`` into its preallocated scratch
+        instead of allocating three temporaries per greedy round.  Picks
+        are bit-identical either way.
 
     Returns, per request, the pick list ``[(server, newly_mask), ...]``
     in selection order — the exact ``selected``/``assignment`` content of
@@ -83,20 +150,36 @@ def batch_greedy_cover(
     """
     n_requests = masks.shape[0]
     picks: list[list[tuple[int, int]]] = [[] for _ in range(n_requests)]
-    uncovered = full.astype(np.uint64, copy=True)
+    if workspace is not None:
+        workspace.reserve(n_requests)
+        uncovered = workspace.full[:n_requests]
+        np.copyto(uncovered, full)
+    else:
+        uncovered = full.astype(np.uint64, copy=True)
     active = np.flatnonzero(uncovered)
     while active.size:
-        sub = masks[active]
+        k = active.size
         unc = uncovered[active]
-        gains = np.bitwise_count(sub & unc[:, None])
+        if workspace is not None:
+            sub = np.take(masks, active, axis=0, out=workspace.sub[:k])
+            np.bitwise_and(sub, unc[:, None], out=sub)
+            gains = np.bitwise_count(sub, out=workspace.gains[:k])
+            newly_src = sub  # already masked down to uncovered bits
+        else:
+            sub = masks[active]
+            gains = np.bitwise_count(sub & unc[:, None])
+            newly_src = None
         best = gains.argmax(axis=1)
-        rows = np.arange(active.size)
+        rows = np.arange(k)
         if not gains[rows, best].all():
             raise CoverError(
                 "batched greedy stalled: some request has an element with no "
                 "replica on any server"
             )
-        newly = sub[rows, best] & unc
+        if newly_src is not None:
+            newly = newly_src[rows, best]  # advanced indexing: a fresh array
+        else:
+            newly = sub[rows, best] & unc
         unc ^= newly  # newly is a subset of unc
         uncovered[active] = unc
         for req, server, mask in zip(active.tolist(), best.tolist(), newly.tolist()):
@@ -119,6 +202,11 @@ def batch_greedy_cover_wide(
     """
     n_requests, _, n_lanes = masks.shape
     picks: list[list[tuple[int, int]]] = [[] for _ in range(n_requests)]
+    if n_lanes == 0:
+        # Degenerate lane allocation: every request in the batch is the
+        # 0-item request (reachable via LIMIT-stripped requests), so
+        # ceil(0 / 63) lanes were allocated.  Nothing to cover.
+        return picks
     uncovered = full.astype(np.uint64, copy=True)
     active = np.flatnonzero(uncovered.any(axis=1))
     lane_shifts = [63 * lane for lane in range(n_lanes)]

@@ -19,18 +19,31 @@ requests-per-second at fixed seeds:
   MetricsRegistry` wired in against the bare fast path.  Here
   ``speedup`` is instrumented-over-bare relative throughput (so ~1.0 is
   free, 0.97 is 3% overhead) and ``overhead_pct`` states it directly;
-  the committed baseline (``BENCH_PR7.json``) shows the telemetry layer
-  inside the <3% budget docs/OBSERVABILITY.md promises.
+  the committed baseline shows the telemetry layer inside the <3%
+  budget docs/OBSERVABILITY.md promises.
+* ``sharded`` — the sharded multiprocessing engine
+  (:mod:`repro.perf.shard`) with ``max(2, workers)`` real worker
+  processes against the single-process fast path, at the same seed.
+  The entry records ``token_match``: the sharded run's merged
+  determinism token must be byte-identical to the single-process
+  run's — the CI perf-smoke gate fails on a mismatch.
+
+Schema 2 adds a ``workers`` field to every benchmark entry (how many
+processes that section used) and ``cpus``/``workers`` to the config
+block; worker count resolves ``--workers`` > ``RNB_BENCH_WORKERS`` > 1.
+Schema-1 baseline files are still readable: :func:`compare_against_
+baseline` compares the sections both documents carry.
 
 Absolute rates are machine-dependent, so regression checking compares
 *speedups* (fast over baseline on the same machine, same run) against a
-committed baseline file (``BENCH_PR7.json``) within a tolerance; see
+committed baseline file (``BENCH_PR9.json``) within a tolerance; see
 :func:`compare_against_baseline`.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import statistics
 import time
 from dataclasses import replace
@@ -40,18 +53,37 @@ from repro.core.setcover import (
     greedy_partial_cover,
     greedy_partial_cover_reference,
 )
+from repro.perf.shard import run_simulation_sharded
 from repro.sim.config import ClientConfig, ClusterConfig, SimConfig
 from repro.sim.engine import build_client, build_cluster, run_simulation
 from repro.utils.rng import derive_rng
 from repro.workloads.requests import EgoRequestGenerator
 from repro.workloads.synthetic import make_slashdot_like
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Default regression tolerance: a run's speedup may fall this fraction
 #: below the committed baseline's before the comparison fails.  Generous
 #: because CI machines are noisy and shared.
 DEFAULT_TOLERANCE = 0.4
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Worker count: explicit arg > ``RNB_BENCH_WORKERS`` > 1.
+
+    The env var is the same knob the full benchmark profile
+    (``benchmarks/conftest.py``) reads, so one setting drives both
+    harnesses consistently.
+    """
+    if workers is not None:
+        return max(1, int(workers))
+    env = os.environ.get("RNB_BENCH_WORKERS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
 
 
 def _target_config(*, seed: int, n_requests: int, fast_path: bool) -> SimConfig:
@@ -95,12 +127,16 @@ def run_perfbench(
     n_requests: int = 1500,
     repeats: int = 5,
     quick: bool = False,
+    workers: int | None = None,
 ) -> dict:
-    """Run all three benchmarks and return the result document.
+    """Run every benchmark section and return the result document.
 
     ``quick`` shrinks the request count and repeat count for CI smoke
     runs; the configuration block records the effective values.
+    ``workers`` sizes the sharded section (``None`` resolves through
+    :func:`resolve_workers`, honoring ``RNB_BENCH_WORKERS``).
     """
+    workers = resolve_workers(workers)
     if quick:
         n_requests = min(n_requests, 400)
         repeats = min(repeats, 3)
@@ -171,15 +207,38 @@ def run_perfbench(
     obs_bare = min(bare_times)
     obs_instr = min(instr_times)
 
-    def entry(base_s: float, fast_s: float) -> dict:
+    # -- sharded engine ----------------------------------------------------
+    # max(2, workers) real processes against the single-process fast
+    # path: the interesting quantities are the scaling factor on this
+    # machine AND the determinism-token match (the merge must reproduce
+    # the sequential run bit for bit; CI diffs this).  Fork + pickle
+    # overhead is part of the measurement — on small boxes the speedup
+    # honestly dips below 1.0, which is exactly the "when is forking
+    # worth it" data point docs/PERFORMANCE.md discusses.
+    shard_workers = max(2, workers)
+    shard_kwargs = dict(workers=shard_workers, inline=False)
+    sharded_fast = _median_seconds(
+        lambda: run_simulation_sharded(graph, fast_config, **shard_kwargs), repeats
+    )
+    seq_token = run_simulation(graph, fast_config).determinism_token()
+    shard_token = run_simulation_sharded(
+        graph, fast_config, **shard_kwargs
+    ).determinism_token()
+
+    def entry(base_s: float, fast_s: float, *, workers_used: int = 1) -> dict:
         return {
             "baseline_rps": round(n_requests / base_s, 1),
             "fast_rps": round(n_requests / fast_s, 1),
             "speedup": round(base_s / fast_s, 3),
+            "workers": workers_used,
         }
 
     obs_entry = entry(obs_bare, obs_instr)
     obs_entry["overhead_pct"] = round((obs_instr / obs_bare - 1.0) * 100.0, 2)
+
+    sharded_entry = entry(e2e_fast, sharded_fast, workers_used=shard_workers)
+    sharded_entry["determinism_token"] = str(shard_token)
+    sharded_entry["token_match"] = shard_token == seq_token
 
     return {
         "schema": SCHEMA_VERSION,
@@ -191,12 +250,15 @@ def run_perfbench(
             "quick": quick,
             "n_servers": 16,
             "replication": 3,
+            "workers": workers,
+            "cpus": os.cpu_count() or 1,
         },
         "benchmarks": {
             "cover": entry(cover_base, cover_fast),
             "plan": entry(plan_base, plan_fast),
             "end_to_end": entry(e2e_base, e2e_fast),
             "obs_overhead": obs_entry,
+            "sharded": sharded_entry,
         },
     }
 
@@ -209,18 +271,35 @@ def compare_against_baseline(
     Speedups (not absolute rates) are compared so the check is portable
     across machines: each benchmark's current speedup must reach at least
     ``(1 - tolerance)`` of the baseline speedup.
+
+    Back-compat: a schema-2 run may be checked against a schema-1
+    baseline file (``BENCH_PR7.json`` and earlier) — only the sections
+    the baseline carries are compared.  Any other schema pairing fails.
     """
     failures: list[str] = []
-    if current.get("schema") != baseline.get("schema"):
+    cur_schema, base_schema = current.get("schema"), baseline.get("schema")
+    if cur_schema != base_schema and not (cur_schema == 2 and base_schema == 1):
         failures.append(
-            f"schema mismatch: current={current.get('schema')} "
-            f"baseline={baseline.get('schema')}"
+            f"schema mismatch: current={cur_schema} baseline={base_schema}"
         )
         return failures
+    sharded = current.get("benchmarks", {}).get("sharded")
+    if sharded is not None and not sharded.get("token_match", True):
+        failures.append(
+            "sharded: merged determinism token diverged from the "
+            "single-process run (the sharded merge is no longer exact)"
+        )
     for name, base_entry in baseline.get("benchmarks", {}).items():
         cur_entry = current.get("benchmarks", {}).get(name)
         if cur_entry is None:
             failures.append(f"benchmark {name!r} missing from current run")
+            continue
+        if name == "sharded":
+            # The sharded speedup is dominated by how well the run
+            # amortises fork + pickle overhead, which swings wildly
+            # between the quick CI profile and the committed full
+            # profile (and with core count).  Its gate is the
+            # token_match check above, not a throughput floor.
             continue
         floor = base_entry["speedup"] * (1.0 - tolerance)
         if cur_entry["speedup"] < floor:
@@ -235,17 +314,26 @@ def compare_against_baseline(
 def format_report(doc: dict) -> str:
     """Render the benchmark document as an aligned text table."""
     cfg = doc["config"]
-    lines = [
+    header = (
         "rnb perfbench  (16 servers, R=3, slashdot-like "
         f"scale={cfg['scale']}, seed={cfg['seed']}, "
-        f"{cfg['n_requests']} requests, median of {cfg['repeats']})",
-        f"{'layer':12s} {'baseline req/s':>14s} {'fast req/s':>12s} {'speedup':>8s}",
+        f"{cfg['n_requests']} requests, median of {cfg['repeats']}"
+    )
+    if "cpus" in cfg:
+        header += f", {cfg['cpus']} cpus"
+    lines = [
+        header + ")",
+        f"{'layer':12s} {'baseline req/s':>14s} {'fast req/s':>12s} "
+        f"{'speedup':>8s} {'workers':>8s}",
     ]
     for name, e in doc["benchmarks"].items():
-        lines.append(
+        line = (
             f"{name:12s} {e['baseline_rps']:14.1f} {e['fast_rps']:12.1f} "
-            f"{e['speedup']:7.2f}x"
+            f"{e['speedup']:7.2f}x {e.get('workers', 1):8d}"
         )
+        if "token_match" in e:
+            line += "  token=" + ("match" if e["token_match"] else "MISMATCH")
+        lines.append(line)
     return "\n".join(lines)
 
 

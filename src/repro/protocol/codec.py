@@ -48,10 +48,16 @@ class Response:
 
     ``status`` is the terminal line (``END``, ``STORED`` ...);
     ``values`` maps key -> (flags, data, cas-or-None) for retrievals.
+    ``data`` is ``bytes`` from :func:`parse_response` or a zero-copy
+    ``memoryview`` when parsed off a transport's :class:`FrameBuffer`
+    (equal to the bytes it aliases; clients materialise at their
+    boundary — see ``MemcachedConnection.get_multi``).
     """
 
     status: str
-    values: dict[str, tuple[int, bytes, int | None]] = field(default_factory=dict)
+    values: dict[str, tuple[int, bytes | memoryview, int | None]] = field(
+        default_factory=dict
+    )
     stats: dict[str, str] = field(default_factory=dict)
 
 
@@ -118,66 +124,179 @@ def encode_command(cmd: Command) -> bytes:
     raise ProtocolError(f"unknown command {name!r}")
 
 
-def parse_response(data: bytes) -> tuple[Response, bytes]:
-    """Parse one complete response from a byte buffer.
+_TERMINAL_TOKENS = frozenset(
+    {
+        "END",
+        "STORED",
+        "NOT_STORED",
+        "EXISTS",
+        "NOT_FOUND",
+        "DELETED",
+        "TOUCHED",
+        "OK",
+        "ERROR",
+        "VERSION",
+        "CLIENT_ERROR",
+        "SERVER_ERROR",
+    }
+)
 
-    Returns (response, remaining bytes).  Raises ``ProtocolError`` on
-    malformed input and ``IncompleteResponse`` (a ``ProtocolError``
-    subclass via ``need_more``) when more bytes are required.
+
+def parse_response_at(
+    data: bytes, pos: int = 0, *, view: memoryview | None = None
+) -> tuple[Response, int]:
+    """Parse one complete response from ``data`` starting at offset ``pos``.
+
+    Returns ``(response, end_offset)``.  This is the offset-based core
+    both :func:`parse_response` and :class:`FrameBuffer` share: it never
+    re-slices the unconsumed tail, so parsing a pipelined buffer is
+    linear in its length instead of quadratic.
+
+    With ``view`` (a ``memoryview`` of ``data``), VALUE payloads are
+    returned as zero-copy slices of that view.  ``data`` must then be an
+    *immutable* ``bytes`` object — the views alias it and stay valid for
+    as long as the caller holds them.  Without ``view``, payloads are
+    materialised ``bytes`` copies (the legacy behaviour).
     """
-    values: dict[str, tuple[int, bytes, int | None]] = {}
+    values: dict[str, tuple[int, bytes | memoryview, int | None]] = {}
     stats: dict[str, str] = {}
-    buf = data
+    n_data = len(data)
     while True:
-        line, sep, rest = buf.partition(CRLF)
-        if not sep:
+        eol = data.find(CRLF, pos)
+        if eol < 0:
             raise IncompleteResponse("response line incomplete")
-        text = line.decode("utf-8", errors="replace")
+        text = data[pos:eol].decode("utf-8", errors="replace")
         token = text.split(" ", 1)[0]
+        line_end = eol + 2
         if token == "VALUE":
             parts = text.split()
             if len(parts) not in (4, 5):
                 raise ProtocolError(f"malformed VALUE line: {text!r}")
             key, flags, nbytes = parts[1], int(parts[2]), int(parts[3])
             cas = int(parts[4]) if len(parts) == 5 else None
-            if len(rest) < nbytes + 2:
+            body_end = line_end + nbytes
+            if n_data < body_end + 2:
                 raise IncompleteResponse("value data incomplete")
-            payload, rest = rest[:nbytes], rest[nbytes:]
-            if rest[:2] != CRLF:
+            if data[body_end : body_end + 2] != CRLF:
                 raise ProtocolError("value data not CRLF-terminated")
-            rest = rest[2:]
+            if view is not None:
+                payload: bytes | memoryview = view[line_end:body_end]
+            else:
+                payload = data[line_end:body_end]
             values[key] = (flags, payload, cas)
-            buf = rest
+            pos = body_end + 2
             continue
         if token == "STAT":
             parts = text.split(" ", 2)
             if len(parts) != 3:
                 raise ProtocolError(f"malformed STAT line: {text!r}")
             stats[parts[1]] = parts[2]
-            buf = rest
+            pos = line_end
             continue
         if token.isdigit():
             # incr/decr reply: the new counter value as a bare number
-            return Response(status=text, values=values, stats=stats), rest
-        if token in (
-            "END",
-            "STORED",
-            "NOT_STORED",
-            "EXISTS",
-            "NOT_FOUND",
-            "DELETED",
-            "TOUCHED",
-            "OK",
-            "ERROR",
-            "VERSION",
-        ) or token in ("CLIENT_ERROR", "SERVER_ERROR"):
+            return Response(status=text, values=values, stats=stats), line_end
+        if token in _TERMINAL_TOKENS:
             status = text if token in ("CLIENT_ERROR", "SERVER_ERROR", "VERSION") else token
-            return Response(status=status, values=values, stats=stats), rest
+            return Response(status=status, values=values, stats=stats), line_end
         raise ProtocolError(f"unexpected response line: {text!r}")
+
+
+def parse_response(data: bytes) -> tuple[Response, bytes]:
+    """Parse one complete response from a byte buffer.
+
+    Returns (response, remaining bytes).  Raises ``ProtocolError`` on
+    malformed input and ``IncompleteResponse`` (a ``ProtocolError``
+    subclass via ``need_more``) when more bytes are required.
+
+    Payloads are materialised ``bytes``; transports that want zero-copy
+    VALUE bodies use :class:`FrameBuffer` / :func:`parse_response_at`
+    with a ``view`` instead.
+    """
+    resp, end = parse_response_at(bytes(data), 0)
+    return resp, data[end:]
 
 
 class IncompleteResponse(ProtocolError):
     """More bytes are needed to complete parsing."""
+
+
+class FrameBuffer:
+    """Incremental response framing with zero-copy VALUE payloads.
+
+    Transports feed raw socket chunks in; :meth:`next_response` parses
+    out one complete response at a time, returning ``None`` when more
+    bytes are needed.  Internally the unconsumed bytes are tracked as an
+    (immutable snapshot, offset) pair plus a list of not-yet-joined
+    chunks, so pipelined response streams parse with one join per read
+    instead of one whole-buffer copy per value block.
+
+    VALUE payloads are ``memoryview`` slices into the immutable
+    snapshot (``zero_copy=True``, the default): no per-item bytes copy
+    is made, and because the snapshot is ``bytes`` the views stay valid
+    for as long as the caller keeps them — at the cost of keeping the
+    snapshot alive.  Callers that hand payloads to long-lived storage
+    should materialise them (``bytes(payload)``) at their boundary;
+    :meth:`repro.protocol.memclient.MemcachedConnection.get_multi` does
+    exactly that unless asked for ``raw`` views.
+    """
+
+    __slots__ = ("_data", "_pos", "_chunks")
+
+    def __init__(self) -> None:
+        self._data = b""
+        self._pos = 0
+        self._chunks: list[bytes] = []
+
+    def feed(self, chunk: bytes) -> None:
+        """Append raw received bytes (joined lazily on next parse)."""
+        if chunk:
+            self._chunks.append(bytes(chunk))
+
+    def __len__(self) -> int:
+        return (len(self._data) - self._pos) + sum(len(c) for c in self._chunks)
+
+    def peek(self, n: int) -> bytes:
+        """Up to ``n`` unconsumed bytes (for error messages)."""
+        self._consolidate()
+        return self._data[self._pos : self._pos + n]
+
+    def clear(self) -> None:
+        self._data = b""
+        self._pos = 0
+        self._chunks.clear()
+
+    def _consolidate(self) -> None:
+        if not self._chunks:
+            return
+        tail = self._data[self._pos :]
+        if tail:
+            self._data = tail + b"".join(self._chunks)
+        elif len(self._chunks) == 1:
+            self._data = self._chunks[0]
+        else:
+            self._data = b"".join(self._chunks)
+        self._pos = 0
+        self._chunks.clear()
+
+    def next_response(self, *, zero_copy: bool = True) -> Response | None:
+        """Parse one response if complete, else ``None``.
+
+        With ``zero_copy`` the response's VALUE payloads are memoryview
+        slices of this buffer's current snapshot (see class docstring);
+        otherwise they are independent ``bytes``.
+        """
+        self._consolidate()
+        try:
+            resp, end = parse_response_at(
+                self._data,
+                self._pos,
+                view=memoryview(self._data) if zero_copy else None,
+            )
+        except IncompleteResponse:
+            return None
+        self._pos = end
+        return resp
 
 
 # ---------------------------------------------------------------------------
@@ -191,14 +310,16 @@ def parse_command_stream(data: bytes) -> tuple[list[Command], bytes]:
     Returns (commands, unconsumed tail).
     """
     commands: list[Command] = []
-    buf = data
+    pos = 0
+    n_data = len(data)
     while True:
-        line, sep, rest = buf.partition(CRLF)
-        if not sep:
-            return commands, buf
-        text = line.decode("utf-8", errors="replace")
+        eol = data.find(CRLF, pos)
+        if eol < 0:
+            return commands, data[pos:]
+        text = data[pos:eol].decode("utf-8", errors="replace")
+        line_end = eol + 2
         if not text.strip():
-            buf = rest
+            pos = line_end
             continue
         parts = text.split()
         name = parts[0]
@@ -209,7 +330,7 @@ def parse_command_stream(data: bytes) -> tuple[list[Command], bytes]:
             for k in keys:
                 _validate_key(k)
             commands.append(Command(name=name, keys=keys))
-            buf = rest
+            pos = line_end
             continue
         if name in STORAGE_COMMANDS:
             want = 6 if name == "cas" else 5
@@ -223,23 +344,25 @@ def parse_command_stream(data: bytes) -> tuple[list[Command], bytes]:
             cas = int(parts[5]) if name == "cas" else None
             if nbytes < 0:
                 raise ProtocolError("negative data length")
-            if len(rest) < nbytes + 2:
-                return commands, buf  # wait for the data block
-            payload, rest2 = rest[:nbytes], rest[nbytes:]
-            if rest2[:2] != CRLF:
+            body_end = line_end + nbytes
+            if n_data < body_end + 2:
+                return commands, data[pos:]  # wait for the data block
+            if data[body_end : body_end + 2] != CRLF:
                 raise ProtocolError("storage data not CRLF-terminated")
+            # data blocks stay bytes copies: the server stores them past
+            # the lifetime of this receive buffer
             commands.append(
                 Command(
                     name=name,
                     keys=(key,),
                     flags=flags,
                     exptime=exptime,
-                    data=payload,
+                    data=data[line_end:body_end],
                     cas=cas,
                     noreply=noreply,
                 )
             )
-            buf = rest2[2:]
+            pos = body_end + 2
             continue
         if name == "delete":
             if len(parts) < 2:
@@ -248,7 +371,7 @@ def parse_command_stream(data: bytes) -> tuple[list[Command], bytes]:
             commands.append(
                 Command(name="delete", keys=(parts[1],), noreply=parts[-1] == "noreply")
             )
-            buf = rest
+            pos = line_end
             continue
         if name == "touch":
             if len(parts) < 3:
@@ -262,7 +385,7 @@ def parse_command_stream(data: bytes) -> tuple[list[Command], bytes]:
                     noreply=parts[-1] == "noreply",
                 )
             )
-            buf = rest
+            pos = line_end
             continue
         if name in COUNTER_COMMANDS:
             if len(parts) < 3:
@@ -279,7 +402,7 @@ def parse_command_stream(data: bytes) -> tuple[list[Command], bytes]:
                     noreply=parts[-1] == "noreply",
                 )
             )
-            buf = rest
+            pos = line_end
             continue
         if name == "stats":
             # `stats [<arg>]` — real memcached takes an optional argument
@@ -288,11 +411,11 @@ def parse_command_stream(data: bytes) -> tuple[list[Command], bytes]:
             if len(parts) > 2:
                 raise ProtocolError(f"stats takes at most one argument: {text!r}")
             commands.append(Command(name="stats", keys=tuple(parts[1:])))
-            buf = rest
+            pos = line_end
             continue
         if name in ("flush_all", "version"):
             commands.append(Command(name=name))
-            buf = rest
+            pos = line_end
             continue
         raise ProtocolError(f"unknown command: {text!r}")
 

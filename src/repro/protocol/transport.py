@@ -18,7 +18,7 @@ import socket
 
 from repro.errors import ProtocolError, ServerTimeout
 from repro.protocol import codec
-from repro.protocol.codec import IncompleteResponse, Response
+from repro.protocol.codec import Response
 from repro.protocol.memserver import MemcachedServer
 from repro.protocol.retry import DEFAULT_POLICY, RetryPolicy
 
@@ -30,14 +30,17 @@ class LoopbackTransport:
         self.server = server
 
     def exchange(self, request: bytes, n_responses: int = 1) -> list[Response]:
-        raw = self.server.handle(request)
+        raw = bytes(self.server.handle(request))
+        view = memoryview(raw)
         responses: list[Response] = []
-        buf = raw
+        pos = 0
         for _ in range(n_responses):
-            resp, buf = codec.parse_response(buf)
+            resp, pos = codec.parse_response_at(raw, pos, view=view)
             responses.append(resp)
-        if buf:
-            raise ProtocolError(f"unexpected trailing response bytes: {buf[:40]!r}")
+        if pos != len(raw):
+            raise ProtocolError(
+                f"unexpected trailing response bytes: {raw[pos : pos + 40]!r}"
+            )
         return responses
 
     def close(self) -> None:  # symmetric API with TCPTransport
@@ -83,7 +86,7 @@ class TCPTransport:
             read_timeout, timeout, self.policy.request_timeout
         )
         self._sock: socket.socket | None = None
-        self._buf = b""
+        self._frames = codec.FrameBuffer()
         self._connect()
 
     @staticmethod
@@ -113,7 +116,7 @@ class TCPTransport:
                 f"{self._connect_timeout}s"
             ) from exc
         self._sock.settimeout(self._request_timeout)
-        self._buf = b""
+        self._frames.clear()
 
     def exchange(self, request: bytes, n_responses: int = 1) -> list[Response]:
         if self._sock is None:
@@ -124,16 +127,14 @@ class TCPTransport:
             self._sock.sendall(request)
             responses: list[Response] = []
             while len(responses) < n_responses:
-                try:
-                    resp, self._buf = codec.parse_response(self._buf)
+                resp = self._frames.next_response()
+                if resp is not None:
                     responses.append(resp)
                     continue
-                except IncompleteResponse:
-                    pass
                 chunk = self._sock.recv(65536)
                 if not chunk:
                     raise ProtocolError("connection closed mid-response")
-                self._buf += chunk
+                self._frames.feed(chunk)
             return responses
         except socket.timeout as exc:
             self.close()
@@ -149,4 +150,4 @@ class TCPTransport:
         except OSError:  # pragma: no cover - best-effort cleanup
             pass
         self._sock = None
-        self._buf = b""
+        self._frames.clear()

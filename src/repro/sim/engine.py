@@ -139,7 +139,7 @@ def _request_stream(
 
 
 def run_simulation(
-    graph: SocialGraph, config: SimConfig, *, metrics=None
+    graph: SocialGraph, config: SimConfig, *, metrics=None, workers: int = 1
 ) -> SimResult:
     """Run warmup + measurement and return aggregated metrics.
 
@@ -149,7 +149,19 @@ def run_simulation(
     draw from the same endless request stream, so measurement continues
     the warmed state rather than replaying it.  ``metrics`` threads an
     obs registry into the client's planner (:func:`build_client`).
+
+    ``workers > 1`` dispatches to the sharded multiprocessing engine
+    (:mod:`repro.perf.shard`) when the config is in the tally regime —
+    the result is bit-identical to ``workers=1`` — and silently runs
+    in-process otherwise.
     """
+    if workers > 1:
+        from repro.perf.shard import run_simulation_sharded, shardable
+
+        if shardable(config):
+            return run_simulation_sharded(
+                graph, config, workers=workers, metrics=metrics
+            )
     cluster = build_cluster(config, graph.n_nodes)
     client = build_client(config, cluster, metrics=metrics)
     stream = iter(_request_stream(graph, config, 0))

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from repro.analysis.calibration import CostModel
 from repro.analysis.throughput import system_throughput
+from repro.hashing.hashfns import stable_hash64
 from repro.types import ClusterStats
 from repro.utils.histogram import Histogram
 
@@ -56,6 +58,37 @@ class SimResult:
         return system_throughput(
             self.txn_histogram, self.n_original_requests, self.n_servers, cost_model
         )
+
+    def determinism_token(self, seed: int = 0) -> int:
+        """64-bit digest of every counter this result carries.
+
+        Hashes the full aggregate state — headline counters, the exact
+        transaction-size histogram, and the per-server transaction
+        spread — canonically sorted, in the repo's established
+        determinism-token pattern.  Because the sharded engine's merge
+        (:mod:`repro.perf.shard`) reproduces the sequential run's
+        aggregates bit for bit, a sharded run and its single-process
+        twin produce the *same* token; any divergence in any counter
+        changes it.
+        """
+        payload = {
+            "n_servers": self.n_servers,
+            "n_original_requests": self.n_original_requests,
+            "merge_window": self.merge_window,
+            "requests": self.stats.requests,
+            "transactions": self.stats.transactions,
+            "items_fetched": self.stats.items_fetched,
+            "items_transferred": self.stats.items_transferred,
+            "misses": self.stats.misses,
+            "second_round_transactions": self.stats.second_round_transactions,
+            "txn_size_histogram": sorted(self.stats.txn_size_histogram.items()),
+            "per_server_transactions": sorted(
+                self.stats.per_server_transactions.items()
+            ),
+            "txn_histogram": sorted(self.txn_histogram.counts.items()),
+            "meta": {k: repr(v) for k, v in sorted(self.meta.items())},
+        }
+        return stable_hash64(json.dumps(payload, sort_keys=True), seed=seed)
 
     def to_dict(self) -> dict:
         """Flat summary for tables / JSON export."""

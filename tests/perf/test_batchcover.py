@@ -120,3 +120,75 @@ def test_infeasible_batch_raises():
     full = np.array([0b11], dtype=np.uint64)
     with pytest.raises(CoverError):
         batch_greedy_cover(masks, full)
+
+
+def test_workspace_kernels_match_allocating(table):
+    # One workspace reused across chunks of very different sizes (forcing
+    # reserve growth and stale-scratch reuse): picks must be identical to
+    # the allocating kernels chunk for chunk.
+    from repro.perf.batchcover import CoverWorkspace
+
+    rng = np.random.default_rng(44)
+    ws = CoverWorkspace(N_SERVERS, capacity=4)
+    for n_req, max_items in [(16, MAX_BATCH_ELEMENTS), (200, 20), (7, 5)]:
+        batches = _random_requests(rng, n_req, max_items)
+        counts = np.array([len(b) for b in batches])
+        offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        flat = np.array([i for b in batches for i in b])
+        servers = table.lookup(flat)
+        req_of_item = np.repeat(np.arange(len(batches)), counts)
+        local = np.arange(flat.size) - offsets[req_of_item]
+        bit = np.uint64(1) << local.astype(np.uint64)
+        full = ((np.uint64(1) << counts.astype(np.uint64)) - np.uint64(1)).astype(
+            np.uint64
+        )
+
+        plain_masks = batch_masks(req_of_item, bit, servers, n_req, N_SERVERS)
+        ws_masks = batch_masks(
+            req_of_item, bit, servers, n_req, N_SERVERS, workspace=ws
+        )
+        assert np.array_equal(plain_masks, ws_masks)
+        plain_picks = batch_greedy_cover(plain_masks, full)
+        ws_picks = batch_greedy_cover(ws_masks, full, workspace=ws)
+        assert plain_picks == ws_picks
+
+
+def test_workspace_reserve_grows_by_powers_of_two():
+    from repro.perf.batchcover import CoverWorkspace
+
+    ws = CoverWorkspace(8, capacity=2)
+    ws.reserve(2)
+    assert ws.capacity == 2
+    ws.reserve(9)
+    assert ws.capacity == 16
+    assert ws.masks.shape == (16, 8)
+    assert ws.sub.shape == (16, 8)
+    assert ws.gains.dtype == np.uint8
+
+
+def test_wide_kernel_zero_lanes_returns_empty_picks():
+    # Regression: a batch made entirely of 0-item requests (reachable via
+    # LIMIT-stripped requests) allocates ceil(0/63) == 0 lanes; the wide
+    # kernel must return empty covers instead of indexing a 0-lane axis.
+    masks = np.zeros((3, N_SERVERS, 0), dtype=np.uint64)
+    full = np.zeros((3, 0), dtype=np.uint64)
+    assert batch_greedy_cover_wide(masks, full) == [[], [], []]
+
+
+def test_batch_covers_skips_zero_item_rows(table):
+    # A chunk mixing a narrow request, a 0-item request, and a wide one:
+    # the empty row gets an empty cover and never reaches either kernel.
+    from repro.core.bundling import Bundler
+
+    bundler = Bundler(table)
+    rng = np.random.default_rng(45)
+    wide_items = rng.choice(800, size=100, replace=False).tolist()
+    reqs = [[1, 2, 3], [], wide_items]
+    counts = np.array([3, 0, 100])
+    offsets = np.array([0, 3, 3])
+    flat = np.array([i for r in reqs for i in r])
+    servers = table.lookup(flat)
+    picks = bundler._batch_covers(counts, offsets, servers)
+    assert picks[1] == []
+    assert picks[0] == _scalar_picks(table, reqs[0])
+    assert picks[2] == _scalar_picks(table, reqs[2])

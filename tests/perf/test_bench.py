@@ -10,14 +10,18 @@ from repro.perf.bench import (
     compare_against_baseline,
     dumps,
     format_report,
+    resolve_workers,
     run_perfbench,
 )
 
-LAYERS = ("cover", "plan", "end_to_end", "obs_overhead")
+LAYERS = ("cover", "plan", "end_to_end", "obs_overhead", "sharded")
 
 
-def _tiny_run():
-    return run_perfbench(scale=0.02, n_requests=40, repeats=1)
+def _tiny_run(**kwargs):
+    # 40 requests is below MIN_REQUESTS_PER_SHARD * 2, so the sharded
+    # section measures the in-process fallback — fast, and the token
+    # comparison still exercises the full schema.
+    return run_perfbench(scale=0.02, n_requests=40, repeats=1, **kwargs)
 
 
 def test_perfbench_document_schema():
@@ -28,8 +32,15 @@ def test_perfbench_document_schema():
         assert entry["baseline_rps"] > 0
         assert entry["fast_rps"] > 0
         assert entry["speedup"] > 0
+        assert entry["workers"] >= 1
     assert doc["config"]["n_requests"] == 40
+    assert doc["config"]["workers"] >= 1
+    assert doc["config"]["cpus"] >= 1
     assert "overhead_pct" in doc["benchmarks"]["obs_overhead"]
+    sharded = doc["benchmarks"]["sharded"]
+    assert sharded["workers"] >= 2
+    assert sharded["token_match"] is True
+    assert sharded["determinism_token"] == str(int(sharded["determinism_token"]))
     assert json.loads(dumps(doc)) == doc
 
 
@@ -58,8 +69,12 @@ def test_compare_flags_regression():
     for entry in regressed["benchmarks"].values():
         entry["speedup"] = entry["speedup"] * 0.1
     failures = compare_against_baseline(regressed, doc, tolerance=0.4)
-    assert len(failures) == len(LAYERS)
+    # every layer but "sharded" is speedup-gated; the sharded section is
+    # gated on token_match instead (fork amortisation makes its speedup
+    # incomparable across profiles)
+    assert len(failures) == len(LAYERS) - 1
     assert all("below floor" in f for f in failures)
+    assert not any("sharded" in f for f in failures)
 
 
 def test_compare_flags_schema_and_missing_benchmarks():
@@ -69,3 +84,43 @@ def test_compare_flags_schema_and_missing_benchmarks():
     del missing["benchmarks"]["plan"]
     failures = compare_against_baseline(missing, doc)
     assert any("missing" in f for f in failures)
+
+
+def test_compare_accepts_schema1_baseline():
+    doc = _tiny_run()
+    legacy = copy.deepcopy(doc)
+    legacy["schema"] = 1
+    del legacy["benchmarks"]["sharded"]
+    for entry in legacy["benchmarks"].values():
+        entry.pop("workers", None)
+    # schema-2 current vs schema-1 baseline: compares the common sections
+    assert compare_against_baseline(doc, legacy) == []
+    # the reverse pairing (stale harness, new baseline) still fails loudly
+    assert any("schema" in f for f in compare_against_baseline(legacy, doc))
+
+
+def test_compare_flags_sharded_token_mismatch():
+    doc = _tiny_run()
+    diverged = copy.deepcopy(doc)
+    diverged["benchmarks"]["sharded"]["token_match"] = False
+    failures = compare_against_baseline(diverged, doc)
+    assert any("determinism token" in f for f in failures)
+
+
+def test_resolve_workers_precedence(monkeypatch):
+    monkeypatch.delenv("RNB_BENCH_WORKERS", raising=False)
+    assert resolve_workers() == 1
+    assert resolve_workers(4) == 4
+    assert resolve_workers(0) == 1  # clamped
+    monkeypatch.setenv("RNB_BENCH_WORKERS", "3")
+    assert resolve_workers() == 3
+    assert resolve_workers(2) == 2  # explicit argument beats the env
+    monkeypatch.setenv("RNB_BENCH_WORKERS", "not-a-number")
+    assert resolve_workers() == 1
+
+
+def test_run_perfbench_workers_recorded(monkeypatch):
+    monkeypatch.setenv("RNB_BENCH_WORKERS", "2")
+    doc = _tiny_run()
+    assert doc["config"]["workers"] == 2
+    assert doc["benchmarks"]["sharded"]["workers"] == 2
