@@ -47,13 +47,23 @@ class AsyncMemcachedServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        gate=None,
     ) -> None:
         self.backend = backend if backend is not None else MemcachedServer()
         self.host = host
         self.port = port
+        #: optional link gate ``gate() -> bool`` — True means the path to
+        #: this server is currently *cut* (a nemesis blackout window, see
+        #: docs/PARTITIONS.md): new connections are refused and live ones
+        #: are dropped before the next command batch, which is how a
+        #: loopback fleet imitates a network partition without touching
+        #: the kernel.  None (the default) never blocks.
+        self.gate = gate
         self._server: asyncio.AbstractServer | None = None
         #: connections accepted over this front's lifetime
         self.connections_accepted = 0
+        #: connections refused or dropped by the link gate
+        self.connections_refused = 0
 
     @property
     def address(self) -> tuple[str, int]:
@@ -91,10 +101,22 @@ class AsyncMemcachedServer:
         loop yields at the socket reads/writes — the same cooperative
         shape AppScale's datastore servers use for their memcache path.
         """
+        if self.gate is not None and self.gate():
+            self.connections_refused += 1
+            try:
+                writer.close()
+            except (OSError, RuntimeError):  # pragma: no cover - teardown race
+                pass
+            return
         self.connections_accepted += 1
         buf = b""
         try:
             while True:
+                if self.gate is not None and self.gate():
+                    # the link was cut mid-connection: drop it without a
+                    # response, exactly what a partitioned TCP peer sees
+                    self.connections_refused += 1
+                    return
                 chunk = await reader.read(65536)
                 if not chunk:
                     return

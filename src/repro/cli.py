@@ -62,6 +62,15 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=None)
     run_p.add_argument("--n-requests", type=int, default=None, dest="n_requests")
     run_p.add_argument(
+        "--nemesis",
+        type=int,
+        default=None,
+        dest="nemesis_seed",
+        metavar="SEED",
+        help="run under a seeded link-blackout nemesis schedule "
+        "(experiments that accept nemesis_seed only)",
+    )
+    run_p.add_argument(
         "--format",
         choices=("table", "json", "csv"),
         default="table",
@@ -148,6 +157,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-server admission bound; sheds BUSY above it",
     )
     load_p.add_argument(
+        "--nemesis",
+        type=int,
+        default=None,
+        dest="nemesis_seed",
+        metavar="SEED",
+        help="cut one server's link during seeded blackout windows "
+        "(the fleet refuses connections; default: no partition)",
+    )
+    load_p.add_argument(
         "--out", default=None, metavar="FILE", help="write the report JSON to FILE"
     )
     load_p.add_argument(
@@ -209,7 +227,7 @@ def _run_one(name: str, args) -> None:
     import inspect
 
     accepted = inspect.signature(fn).parameters
-    for attr in ("scale", "seed", "n_requests"):
+    for attr in ("scale", "seed", "n_requests", "nemesis_seed"):
         value = getattr(args, attr, None)
         if value is not None and attr in accepted:
             kwargs[attr] = value
@@ -388,6 +406,7 @@ def main(argv: list[str] | None = None) -> int:
             pool_size=args.pool_size,
             deadline=args.deadline if args.deadline > 0 else None,
             queue_limit=args.queue_limit,
+            nemesis_seed=args.nemesis_seed,
         )
         report = run_loadtest(config)
         print(report.summary())

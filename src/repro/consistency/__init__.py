@@ -19,12 +19,27 @@ Layers (each usable alone):
   divergence detection + inline or budget-throttled repair.
 * :mod:`repro.consistency.scrub` — :class:`AntiEntropyScrubber`,
   background digest-pruned reconciliation of everything reads miss.
+* :mod:`repro.consistency.history` — :class:`HistoryRecorder` +
+  :func:`check_history`, client-visible session-guarantee checking
+  (read-your-writes, monotonic reads, post-heal convergence) with
+  minimal counter-examples (docs/PARTITIONS.md).
 """
 
+from repro.consistency.history import (
+    CONVERGENCE,
+    MONOTONIC_READS,
+    READ_YOUR_WRITES,
+    HistoryRecorder,
+    HistoryReport,
+    Op,
+    Violation,
+    check_history,
+)
 from repro.consistency.quorum import (
     COMMITTED,
     FAILED,
     PARTIAL,
+    REJECTED,
     WRITE_ERRORS,
     QuorumWriter,
     WriteOutcome,
@@ -50,19 +65,28 @@ from repro.consistency.version import (
 __all__ = [
     "AntiEntropyScrubber",
     "COMMITTED",
+    "CONVERGENCE",
     "ClusterStore",
     "FAILED",
+    "HistoryRecorder",
+    "HistoryReport",
     "MAGIC",
+    "MONOTONIC_READS",
+    "Op",
     "PARTIAL",
     "QuorumWriter",
+    "READ_YOUR_WRITES",
+    "REJECTED",
     "ReadOutcome",
     "ScrubReport",
     "VersionClock",
     "VersionStamp",
     "VersionedReader",
+    "Violation",
     "WRITE_ERRORS",
     "WireStore",
     "WriteOutcome",
+    "check_history",
     "decode_versioned",
     "encode_versioned",
     "make_repair_executor",

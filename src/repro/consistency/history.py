@@ -1,0 +1,318 @@
+"""History-based consistency checking for the versioned read/write path.
+
+Injecting partitions is only half the work — the other half is *checking*
+that the client-visible history stayed consistent while the network
+misbehaved.  A :class:`HistoryRecorder` captures every invocation /
+response of the versioned operations (``set_versioned`` /
+``get_versioned`` semantics: epoch-qualified Lamport stamps, see
+:mod:`repro.consistency.version`) as :class:`Op` records, and
+:func:`check_history` verifies the guarantees the write path actually
+makes:
+
+* **read-your-writes** (per session, per key): a successful read that
+  starts after the same session's acknowledged write completed must
+  return a stamp at least as new as that write's.  A read that finds
+  *nothing* is exempt — this is a cache, and an evicted copy is a miss,
+  not a stale value.
+* **monotonic reads** (per session, per key): successive non-overlapping
+  successful reads never observe stamps going backwards.
+* **convergence** (global, per key): reads tagged ``phase="final"`` —
+  issued after the partition healed and the anti-entropy scrubber ran —
+  must find every key that ever had an acknowledged write, at a stamp at
+  least as new as the newest acknowledged write anywhere.
+
+These are exactly the session guarantees newest-wins replication can
+promise (full linearizability cannot hold under ``PARTIAL`` quorum
+writes, and is deliberately not claimed — docs/CONSISTENCY.md).  Each
+:class:`Violation` renders a minimal counter-example: the two operations
+whose order the guarantee forbids, nothing else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consistency.version import VersionStamp, newer
+
+READ_YOUR_WRITES = "read_your_writes"
+MONOTONIC_READS = "monotonic_reads"
+CONVERGENCE = "convergence"
+
+
+@dataclass(frozen=True, slots=True)
+class Op:
+    """One client-visible versioned operation, invocation to response.
+
+    ``invoked`` / ``completed`` are logical times from the recorder's
+    monotone counter; an op only happens-before another when it
+    completed before the other was invoked, so overlapping (concurrent)
+    ops constrain nothing.  ``ok`` means the write was acknowledged
+    committed / the read returned a value; failed or rejected operations
+    are recorded (they are part of the history) but exempt from the
+    session guarantees.
+    """
+
+    session: object
+    kind: str  #: "write" | "read"
+    key: object
+    invoked: int
+    completed: int
+    ok: bool
+    stamp: VersionStamp | None = None
+    phase: str = ""  #: free-form tag; ``"final"`` enables the convergence check
+
+    def describe(self) -> str:
+        state = "ok" if self.ok else "failed"
+        stamp = "∅" if self.stamp is None else str(self.stamp)
+        tag = f" [{self.phase}]" if self.phase else ""
+        return (
+            f"{self.kind}({self.key!r}) by session {self.session!r} "
+            f"@[{self.invoked},{self.completed}] -> {state}, stamp {stamp}{tag}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """A guarantee broken by a specific pair of operations."""
+
+    kind: str  #: READ_YOUR_WRITES / MONOTONIC_READS / CONVERGENCE
+    key: object
+    earlier: Op | None  #: the op that established the obligation
+    later: Op  #: the op that broke it
+    detail: str
+
+    def render(self) -> str:
+        """The minimal counter-example, human-readable."""
+        lines = [f"{self.kind} violated on key {self.key!r}: {self.detail}"]
+        if self.earlier is not None:
+            lines.append(f"  earlier: {self.earlier.describe()}")
+        lines.append(f"  later:   {self.later.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass(slots=True)
+class HistoryReport:
+    """What :func:`check_history` concluded."""
+
+    violations: tuple[Violation, ...]
+    n_ops: int
+    n_writes_acked: int
+    n_reads_ok: int
+    n_final_reads: int
+    #: newest acknowledged write stamp per key (the convergence target)
+    newest_acked: dict = field(default_factory=dict)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+    def render(self) -> str:
+        if self.consistent:
+            return (
+                f"history consistent: {self.n_ops} ops, "
+                f"{self.n_writes_acked} acked writes, {self.n_reads_ok} reads"
+            )
+        return "\n".join(v.render() for v in self.violations)
+
+
+class HistoryRecorder:
+    """Collects :class:`Op` records on a process-wide logical clock.
+
+    ``begin`` hands out an invocation time, ``complete`` closes the op —
+    the split exists so genuinely concurrent harnesses record real
+    overlap.  Sequential callers use the one-shot :meth:`record_write` /
+    :meth:`record_read` helpers.
+    """
+
+    def __init__(self, metrics=None) -> None:
+        self.ops: list[Op] = []
+        self._clock = 0
+        self._counters = None
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    def bind_metrics(self, registry, **labels) -> None:
+        self._counters = {
+            kind: registry.counter(
+                "rnb_history_ops_total",
+                "versioned operations recorded for consistency checking",
+                kind=kind,
+                **labels,
+            )
+            for kind in ("write", "read")
+        }
+
+    def now(self) -> int:
+        self._clock += 1
+        return self._clock
+
+    def begin(self, session, kind: str, key) -> tuple:
+        """Open an op; returns the token :meth:`complete` consumes."""
+        return (session, kind, key, self.now())
+
+    def complete(
+        self, token: tuple, *, ok: bool, stamp: VersionStamp | None = None,
+        phase: str = "",
+    ) -> Op:
+        session, kind, key, invoked = token
+        op = Op(
+            session=session,
+            kind=kind,
+            key=key,
+            invoked=invoked,
+            completed=self.now(),
+            ok=ok,
+            stamp=stamp,
+            phase=phase,
+        )
+        self.ops.append(op)
+        if self._counters is not None:
+            self._counters[kind].inc()
+        return op
+
+    def record_write(
+        self, session, key, *, ok: bool, stamp: VersionStamp | None = None,
+        phase: str = "",
+    ) -> Op:
+        return self.complete(
+            self.begin(session, "write", key), ok=ok, stamp=stamp, phase=phase
+        )
+
+    def record_read(
+        self, session, key, *, ok: bool, stamp: VersionStamp | None = None,
+        phase: str = "",
+    ) -> Op:
+        return self.complete(
+            self.begin(session, "read", key), ok=ok, stamp=stamp, phase=phase
+        )
+
+
+def check_history(ops, *, metrics=None) -> HistoryReport:
+    """Verify the session guarantees over a recorded history.
+
+    ``ops`` is any iterable of :class:`Op` (usually
+    ``recorder.ops``).  Returns a :class:`HistoryReport`; with
+    ``metrics``, violations are also counted into
+    ``rnb_history_violations_total{kind=...}``.
+    """
+    ops = sorted(ops, key=lambda op: (op.completed, op.invoked))
+    violations: list[Violation] = []
+    newest_acked: dict = {}
+    n_writes_acked = 0
+    n_reads_ok = 0
+    n_final = 0
+
+    for op in ops:
+        if op.kind == "write" and op.ok:
+            n_writes_acked += 1
+            prev = newest_acked.get(op.key)
+            if prev is None or newer(op.stamp, prev):
+                newest_acked[op.key] = op.stamp
+
+    # per-(session, key) register safety over non-overlapping ops
+    by_session_key: dict = {}
+    for op in ops:
+        by_session_key.setdefault((op.session, op.key), []).append(op)
+    for (_session, key), seq in by_session_key.items():
+        last_acked_write: Op | None = None
+        last_ok_read: Op | None = None
+        for op in seq:
+            if op.kind == "write":
+                if op.ok and (
+                    last_acked_write is None
+                    or newer(op.stamp, last_acked_write.stamp)
+                ):
+                    last_acked_write = op
+                continue
+            if not op.ok:
+                continue  # miss / failure: no value observed, nothing to check
+            n_reads_ok += 1
+            if (
+                last_acked_write is not None
+                and last_acked_write.completed <= op.invoked
+                and newer(last_acked_write.stamp, op.stamp)
+            ):
+                violations.append(
+                    Violation(
+                        kind=READ_YOUR_WRITES,
+                        key=key,
+                        earlier=last_acked_write,
+                        later=op,
+                        detail=(
+                            "read observed a stamp older than the session's "
+                            "own acknowledged write"
+                        ),
+                    )
+                )
+            if (
+                last_ok_read is not None
+                and last_ok_read.completed <= op.invoked
+                and newer(last_ok_read.stamp, op.stamp)
+            ):
+                violations.append(
+                    Violation(
+                        kind=MONOTONIC_READS,
+                        key=key,
+                        earlier=last_ok_read,
+                        later=op,
+                        detail="read observed a stamp older than an earlier read",
+                    )
+                )
+            if last_ok_read is None or not newer(last_ok_read.stamp, op.stamp):
+                last_ok_read = op
+
+    # global convergence over phase="final" reads
+    for op in ops:
+        if op.kind != "read" or op.phase != "final":
+            continue
+        n_final += 1
+        target = newest_acked.get(op.key)
+        if target is None:
+            continue  # never successfully written: nothing to converge to
+        if not op.ok:
+            violations.append(
+                Violation(
+                    kind=CONVERGENCE,
+                    key=op.key,
+                    earlier=None,
+                    later=op,
+                    detail=(
+                        f"final read found nothing although an acknowledged "
+                        f"write committed at {target}"
+                    ),
+                )
+            )
+        elif newer(target, op.stamp):
+            violations.append(
+                Violation(
+                    kind=CONVERGENCE,
+                    key=op.key,
+                    earlier=None,
+                    later=op,
+                    detail=(
+                        f"final read is stale: newest acknowledged write is "
+                        f"{target}"
+                    ),
+                )
+            )
+
+    if metrics is not None:
+        counters = {
+            kind: metrics.counter(
+                "rnb_history_violations_total",
+                "consistency guarantees broken in a recorded history",
+                kind=kind,
+            )
+            for kind in (READ_YOUR_WRITES, MONOTONIC_READS, CONVERGENCE)
+        }
+        for violation in violations:
+            counters[violation.kind].inc()
+
+    return HistoryReport(
+        violations=tuple(violations),
+        n_ops=len(ops),
+        n_writes_acked=n_writes_acked,
+        n_reads_ok=n_reads_ok,
+        n_final_reads=n_final,
+        newest_acked=newest_acked,
+    )

@@ -40,6 +40,7 @@ WRITE_ERRORS = (ProtocolError, ConnectionError, OSError)
 COMMITTED = "committed"  #: >= W acks and every replica took the write
 PARTIAL = "partial"  #: committed, but some replica missed — divergence seeded
 FAILED = "failed"  #: fewer than W acks (or leader down in leader mode)
+REJECTED = "rejected"  #: refused before any replica was attempted (no quorum)
 
 
 def resolve_w(w, r: int) -> int:
@@ -64,17 +65,24 @@ class WriteOutcome:
     """What one quorum write achieved."""
 
     key: object
-    stamp: VersionStamp
+    stamp: VersionStamp | None  #: None iff the write was REJECTED at the gate
     #: replica servers that acknowledged the write, placement order
     acked: tuple[int, ...]
     #: replica servers that did not (dead, refused, or shedding)
     failed: tuple[int, ...]
     w: int  #: acks that were required
-    outcome: str  #: COMMITTED / PARTIAL / FAILED
+    outcome: str  #: COMMITTED / PARTIAL / FAILED / REJECTED
 
     @property
     def committed(self) -> bool:
-        return self.outcome != FAILED
+        return self.outcome not in (FAILED, REJECTED)
+
+    @property
+    def retryable(self) -> bool:
+        """Rejected writes touched no replica: safe to retry verbatim
+        once the client regains quorum (failed writes may have seeded
+        partial state and need read-repair first)."""
+        return self.outcome == REJECTED
 
     @property
     def divergent(self) -> bool:
@@ -106,6 +114,14 @@ class QuorumWriter:
         Optional :class:`~repro.obs.metrics.MetricsRegistry`; writes are
         counted into ``rnb_quorum_writes_total{outcome=...}`` and acks
         into ``rnb_quorum_acks``.
+    gate:
+        Optional zero-arg callable consulted *before* any replica is
+        attempted.  Falsy means "this writer must not write now" — the
+        write returns a :data:`REJECTED` outcome (retryable, no stamp
+        consumed, no replica touched).  Pass a membership service's
+        ``has_quorum`` so clients on the minority side of a partition
+        refuse cleanly instead of seeding divergence
+        (docs/PARTITIONS.md).
     """
 
     def __init__(
@@ -117,6 +133,7 @@ class QuorumWriter:
         w="majority",
         health=None,
         metrics=None,
+        gate=None,
     ) -> None:
         resolve_w(w, getattr(placer, "replication", 1))  # validate eagerly
         self.store = store
@@ -124,6 +141,7 @@ class QuorumWriter:
         self.clock = clock if clock is not None else VersionClock()
         self.w = w
         self.health = health
+        self.gate = gate
         self._counters = None
         self._ack_hist = None
         if metrics is not None:
@@ -137,7 +155,7 @@ class QuorumWriter:
                 outcome=outcome,
                 **labels,
             )
-            for outcome in (COMMITTED, PARTIAL, FAILED)
+            for outcome in (COMMITTED, PARTIAL, FAILED, REJECTED)
         }
         self._ack_hist = registry.histogram(
             "rnb_quorum_acks",
@@ -154,6 +172,20 @@ class QuorumWriter:
         """
         replicas = tuple(self.placer.servers_for(key))
         need = resolve_w(self.w, len(replicas))
+        if self.gate is not None and not self.gate():
+            # refused before any replica attempt: no stamp consumed, no
+            # divergence seeded — the caller retries after regaining
+            # quorum, with the verdict visible in the outcome
+            if self._counters is not None:
+                self._counters[REJECTED].inc()
+            return WriteOutcome(
+                key=key,
+                stamp=None,
+                acked=(),
+                failed=(),
+                w=need,
+                outcome=REJECTED,
+            )
         stamp = self.clock.next_stamp()
         acked: list[int] = []
         failed: list[int] = []

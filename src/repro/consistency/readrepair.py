@@ -62,6 +62,9 @@ class ReadOutcome:
     dead: tuple[int, ...]
     repaired: tuple[int, ...]  #: replicas overwritten inline
     queued: int  #: repairs submitted to the executor instead
+    #: the read was served distinguished-only because the reader's gate
+    #: reported no quorum (partition minority) — weaker freshness, no repair
+    degraded: bool = False
 
     @property
     def found(self) -> bool:
@@ -82,6 +85,15 @@ class VersionedReader:
     version).  ``clock`` (a :class:`~repro.consistency.version.
     VersionClock`) is advanced past every stamp read, keeping this
     client's future writes causally after what it has seen.
+
+    ``gate`` (a zero-arg callable, same contract as
+    :class:`~repro.consistency.quorum.QuorumWriter`'s) switches the
+    reader into **degraded distinguished-only mode** while falsy: only
+    the key's distinguished home is read and no repair is attempted —
+    on the minority side of a partition a read-all would classify every
+    unreachable majority replica as dead and, worse, "repair" reachable
+    replicas from a possibly-stale local copy.  Degraded reads are
+    marked on the outcome and counted into ``rnb_reads_degraded_total``.
     """
 
     def __init__(
@@ -93,14 +105,17 @@ class VersionedReader:
         health=None,
         metrics=None,
         executor: RepairExecutor | None = None,
+        gate=None,
     ) -> None:
         self.store = store
         self.placer = placer
         self.clock = clock
         self.health = health
         self.executor = executor
+        self.gate = gate
         self._div_counters = None
         self._repair_counters = None
+        self._degraded_counter = None
         if metrics is not None:
             self.bind_metrics(metrics)
 
@@ -123,9 +138,20 @@ class VersionedReader:
             )
             for mode in ("inline", "queued", "failed")
         }
+        self._degraded_counter = registry.counter(
+            "rnb_reads_degraded_total",
+            "versioned reads served distinguished-only for lack of quorum",
+            **labels,
+        )
 
     def read(self, key, *, repair: bool = True) -> ReadOutcome:
-        """Read every replica of ``key``; repair divergence if asked."""
+        """Read every replica of ``key``; repair divergence if asked.
+
+        Without quorum (``gate`` falsy) the read degrades to the
+        distinguished home only — see the class docstring.
+        """
+        if self.gate is not None and not self.gate():
+            return self._read_degraded(key)
         replicas = tuple(self.placer.servers_for(key))
         seen: dict[int, tuple[VersionStamp | None, bytes]] = {}
         missing: list[int] = []
@@ -180,6 +206,39 @@ class VersionedReader:
             dead=tuple(dead),
             repaired=repaired,
             queued=n_queued,
+        )
+
+    def _read_degraded(self, key) -> ReadOutcome:
+        """Distinguished-only read: one replica, no classification work,
+        no repair — the weakest honest answer while quorum is lost."""
+        home = self.placer.distinguished_for(key)
+        if self._degraded_counter is not None:
+            self._degraded_counter.inc()
+        try:
+            record = self.store.read(home, key)
+        except WRITE_ERRORS:
+            if self.health is not None:
+                self.health.record_error(home)
+            return ReadOutcome(
+                key=key, stamp=None, payload=None, source=None,
+                newest=(), stale=(), missing=(), dead=(home,),
+                repaired=(), queued=0, degraded=True,
+            )
+        if self.health is not None:
+            self.health.record_success(home)
+        if record is None:
+            return ReadOutcome(
+                key=key, stamp=None, payload=None, source=None,
+                newest=(), stale=(), missing=(home,), dead=(),
+                repaired=(), queued=0, degraded=True,
+            )
+        stamp, payload = record
+        if self.clock is not None:
+            self.clock.observe(stamp)
+        return ReadOutcome(
+            key=key, stamp=stamp, payload=payload, source=home,
+            newest=(home,), stale=(), missing=(), dead=(),
+            repaired=(), queued=0, degraded=True,
         )
 
     def _repair(self, key, source, stamp, payload, targets):

@@ -47,6 +47,12 @@ class CoverError(RnBError):
     """
 
 
+class NoQuorumError(RnBError):
+    """A membership commit was refused: the coordinating service cannot
+    reach a strict majority of the view's members (it is on the minority
+    side of a partition).  Retryable once the partition heals."""
+
+
 class ServerFault(RnBError):
     """A storage server could not serve a transaction.
 
@@ -68,6 +74,21 @@ class ServerTimeout(ServerFault, TimeoutError):
 
     Also a :class:`TimeoutError` (hence :class:`OSError`) so socket-level
     timeout handling treats injected and real timeouts identically.
+    """
+
+
+class ServerUnreachable(ServerFault, ConnectionError):
+    """Link-level failure: the *path* to the server is cut, not the server.
+
+    Raised by the partition layer (:mod:`repro.faults.partition`) when a
+    :class:`~repro.faults.partition.PartitionPlan` blocks the edge
+    between the caller's vantage and the target server.  The server
+    itself may be healthy and serving the other side of the split, so —
+    unlike :class:`ServerDown` — an unreachable verdict must not be
+    escalated into a removal proposal by clients; only a quorum-checked
+    membership decision may do that (docs/PARTITIONS.md).  Also a
+    :class:`ConnectionError` so pre-partition failover paths
+    (``FAILOVER_ERRORS``, ``WRITE_ERRORS``) treat it as retryable.
     """
 
 

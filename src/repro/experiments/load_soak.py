@@ -32,13 +32,46 @@ from repro.analysis.calibration import DEFAULT_MEMCACHED_MODEL
 from repro.core.bundling import Bundler
 from repro.experiments.base import ExperimentResult
 from repro.experiments.hotspot import make_requests
+from repro.faults.partition import link_blackout_windows
 from repro.hashing.hashfns import stable_hash64
 from repro.hashing.rch import RangedConsistentHashPlacer
 from repro.loadgen.schedule import arrival_times
 from repro.overload.desim import OverloadConfig, simulate_overload
+from repro.utils.rng import derive_rng
 
 ARMS = ("steady", "diurnal", "flash")
 _CURVES = {"steady": "constant", "diurnal": "diurnal", "flash": "flash"}
+
+#: notional tick axis the nemesis blackout schedule is drawn on before
+#: being scaled onto the DES's schedule span
+_NEMESIS_TICKS = 1000
+
+
+def _nemesis_oracle(nemesis_seed: int, n_servers: int, duration: float):
+    """A seeded ``unreachable(sid, now)`` oracle plus its span list.
+
+    Two link-blackout windows from :func:`repro.faults.partition.
+    link_blackout_windows`, each cutting one seeded victim server for
+    the window's span — the DES-side twin of the loopback fleet's
+    connection-refusing gate (docs/PARTITIONS.md).  Pure function of
+    the arguments.
+    """
+    windows = link_blackout_windows(
+        nemesis_seed, _NEMESIS_TICKS, n_windows=2, min_len=60, max_len=200
+    )
+    rng = derive_rng(
+        nemesis_seed, stable_hash64("load-soak-nemesis-targets") & 0x7FFFFFFF
+    )
+    scale = duration / _NEMESIS_TICKS
+    spans = [
+        (start * scale, end * scale, int(rng.integers(0, n_servers)))
+        for start, end in windows
+    ]
+
+    def unreachable(sid: int, now: float) -> bool:
+        return any(s <= now < e for s, e, victim in spans if victim == sid)
+
+    return unreachable, spans
 
 
 def run(
@@ -53,6 +86,7 @@ def run(
     flash_factor: float = 6.0,
     seed: int = 2013,
     scale: float = 1.0,
+    nemesis_seed: int | None = None,
 ) -> list[ExperimentResult]:
     """Soak the defence ladder under three arrival-time regimes.
 
@@ -60,6 +94,13 @@ def run(
     diurnal peak and the flash spike both run transiently past it.
     ``scale`` shrinks the run for smoke tests; at any fixed parameter
     set the run is a pure function of ``seed``.
+
+    ``nemesis_seed`` (None by default — the CI load-smoke gates assume
+    the default) additionally runs the **flash** arm under a seeded
+    link-blackout schedule: two windows each cutting one server's link
+    at the DES dispatcher, so the worst arrival regime is also fighting
+    a partial partition.  Steady and diurnal arms are untouched, which
+    keeps the cross-arm comparison meaningful.
     """
     n_requests = max(int(n_requests * scale), 200)
     n_items = max(int(n_items * scale), 200)
@@ -91,6 +132,13 @@ def run(
         seed=seed,
     )
 
+    unreachable = None
+    nemesis_spans: list[tuple[float, float, int]] = []
+    if nemesis_seed is not None:
+        unreachable, nemesis_spans = _nemesis_oracle(
+            nemesis_seed, n_servers, duration
+        )
+
     results = {}
     for arm in ARMS:
         times = arrival_times(
@@ -108,6 +156,7 @@ def run(
             cost_model=cost_model,
             arrival_times=times,
             config=config,
+            unreachable=unreachable if arm == "flash" else None,
         )
 
     def col(fn):
@@ -147,6 +196,11 @@ def run(
         ),
         "busy_verdicts": {arm: results[arm].busy_verdicts for arm in ARMS},
         "requests_failed": sum(results[arm].requests_failed for arm in ARMS),
+        "nemesis_seed": nemesis_seed,
+        "nemesis_blackouts": [
+            [round(s, 6), round(e, 6), victim] for s, e, victim in nemesis_spans
+        ],
+        "partition_blocked": {arm: results[arm].partition_blocked for arm in ARMS},
         "determinism_token": token,
         # per-arm repro.obs telemetry (docs/OBSERVABILITY.md): the same
         # metric families the live loadtest emits; tokens make the

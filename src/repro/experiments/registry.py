@@ -26,6 +26,7 @@ from repro.experiments import (
     latency,
     limit_memory,
     load_soak,
+    partition_chaos,
     queueing,
     scalability,
     sensitivity,
@@ -54,6 +55,7 @@ EXPERIMENTS: dict[str, Callable[..., list[ExperimentResult]]] = {
     "latency": latency.run,
     "limit_memory": limit_memory.run,
     "load_soak": load_soak.run,
+    "partition_chaos": partition_chaos.run,
     "single_item": single_item.run,
     "growth": growth.run,
     "hotspot": hotspot.run,

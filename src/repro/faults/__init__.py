@@ -7,7 +7,10 @@ sections I-C, III-B): deterministic failure schedules
 (:class:`HealthTracker`), cluster gates that inject the failures
 (:class:`FaultInjector` from a fixed plan,
 :class:`DynamicFaultInjector` for runtime-edited kill / restore /
-straggler schedules), and a read path that routes around them
+straggler / busy schedules), link-level partitions layered over them
+(:class:`PartitionPlan` + :class:`PartitionedInjector`, see
+docs/PARTITIONS.md), the :class:`Nemesis` composed-incident scheduler,
+and a read path that routes around all of it
 (:class:`FaultTolerantRnBClient`).  See docs/FAULTS.md for the failure
 model and the degraded-read semantics, and docs/OVERLOAD.md for the
 overload half (stragglers, breakers, backpressure).
@@ -16,10 +19,19 @@ overload half (stragglers, breakers, backpressure).
 from repro.faults.ftclient import DegradedFetchResult, FaultTolerantRnBClient
 from repro.faults.health import ALIVE, DEAD, SUSPECTED, HealthTracker, ServerHealth
 from repro.faults.injector import DynamicFaultInjector, FaultInjector
+from repro.faults.nemesis import Nemesis, NemesisEvent, make_nemesis_schedule
+from repro.faults.partition import (
+    CLIENT,
+    LinkRule,
+    PartitionedInjector,
+    PartitionPlan,
+    link_blackout_windows,
+)
 from repro.faults.plan import FaultConfig, FaultEvent, FaultPlan
 
 __all__ = [
     "ALIVE",
+    "CLIENT",
     "DEAD",
     "SUSPECTED",
     "DegradedFetchResult",
@@ -30,5 +42,12 @@ __all__ = [
     "FaultPlan",
     "FaultTolerantRnBClient",
     "HealthTracker",
+    "LinkRule",
+    "Nemesis",
+    "NemesisEvent",
+    "PartitionPlan",
+    "PartitionedInjector",
     "ServerHealth",
+    "link_blackout_windows",
+    "make_nemesis_schedule",
 ]

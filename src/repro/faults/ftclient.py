@@ -260,7 +260,7 @@ class FaultTolerantRnBClient:
                 if status in ("timeout", "busy"):
                     strikes[txn.server] += 1
                 final = (
-                    status == "down"
+                    status in ("down", "unreachable")
                     or strikes[txn.server] >= self.timeout_strikes
                 )
                 for item in txn.primary:
@@ -336,7 +336,10 @@ class FaultTolerantRnBClient:
                     failovers += 1
                     if status in ("timeout", "busy"):
                         strikes[sid] += 1
-                    if status == "down" or strikes[sid] >= self.timeout_strikes:
+                    if (
+                        status in ("down", "unreachable")
+                        or strikes[sid] >= self.timeout_strikes
+                    ):
                         for item in group:
                             tried[item].add(sid)
                     # else: leave the group pending — the next wave retries
@@ -387,10 +390,15 @@ class FaultTolerantRnBClient:
         Returns ``(status, result)`` where status is ``"ok"``, ``"down"``
         (crash-stop refusal: final), ``"timeout"`` (retries exhausted —
         the server is alive but flaky; the caller may re-dispatch to it
-        in a later wave, which rolls fresh timeout draws) or ``"busy"``
+        in a later wave, which rolls fresh timeout draws), ``"busy"``
         (backpressure shed — also alive, also retryable later; strikes
         accumulate exactly as for timeouts so a saturated server is
-        eventually routed around instead of hammered).
+        eventually routed around instead of hammered) or
+        ``"unreachable"`` (link-level cut: final for this request, like
+        ``"down"``, but never promoted to a removal proposal — the
+        server may be healthy on the far side of a partition, and a
+        client-side dead verdict must not amputate the other half of a
+        split; see docs/PARTITIONS.md).
         """
         attempt = 0
         while True:
@@ -407,10 +415,16 @@ class FaultTolerantRnBClient:
                 attempt += 1
                 counters["retries"] += 1
                 continue
-            except ServerFault:  # pragma: no cover - future fault kinds
+            except ServerBusy:
+                if self.breakers is not None:
+                    self.breakers.record_failure(sid)
+                return "busy", None
+            except ServerFault:
+                # partition cut (ServerUnreachable) or an unknown future
+                # kind: strike health so covers route around the edge,
+                # but no removal proposal — unreachable is not dead
                 self.health.record_error(sid)
-                self._propose_if_dead(sid, counters)
-                return "down", None
+                return "unreachable", None
             try:
                 result = server.multi_get(primary, hitchhikers)
             except ServerBusy:

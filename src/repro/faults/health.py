@@ -154,14 +154,21 @@ class HealthTracker:
 
         Unlike :meth:`record_success` this is not an inference from one
         lucky transaction: the server is *known* restarted, so the
-        verdict resets unconditionally — flap damping does not apply.
-        Counters persist; only the live state machine resets.
+        health verdict resets unconditionally.  The *observer
+        notification* is damped, though: with ``flap_threshold`` set, a
+        repeat offender (two or more deaths — a flapping link restores
+        "authoritatively" on every up-phase) notifies ``"success"``
+        instead of ``"recovery"``, so a listening breaker board applies
+        its normal half-open discipline instead of force-closing and
+        forgetting its escalated backoff on every flap.  Counters
+        persist; only the live state machine resets.
         """
         h = self._health[server]
+        damped = self.flap_threshold is not None and h.flaps >= 2
         h.state = ALIVE
         h.consecutive_errors = 0
         h.consecutive_successes = 0
-        self._notify(server, "recovery")
+        self._notify(server, "success" if damped else "recovery")
 
     # -- queries ------------------------------------------------------------
 

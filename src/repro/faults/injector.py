@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro.errors import ConfigurationError, ServerDown, ServerTimeout
+from repro.errors import ConfigurationError, ServerBusy, ServerDown, ServerTimeout
 from repro.faults.plan import FaultPlan
 from repro.hashing.hashfns import hash64_int
 
@@ -101,9 +101,11 @@ class DynamicFaultInjector:
         self.tick = 0
         self.down: set[int] = set()
         self.slow: dict[int, float] = {}
+        self.busy: set[int] = set()
         self._attempts: Counter[int] = Counter()
         self.down_rejections = 0
         self.timeouts_injected = 0
+        self.busy_rejections = 0
 
     # -- schedule edits ----------------------------------------------------
 
@@ -128,6 +130,20 @@ class DynamicFaultInjector:
         """The straggler recovered; back to nominal service times."""
         self.slow.pop(server, None)
 
+    def set_busy(self, server: int) -> None:
+        """Mark ``server`` as saturated: every access is shed with
+        :class:`ServerBusy` until :meth:`clear_busy`.
+
+        A soft refusal, not sickness — breakers trip and covers route
+        around it, but health trackers and quorum writers must not
+        strike it (docs/OVERLOAD.md), which is why the nemesis drives
+        overload through this verdict rather than timeouts.
+        """
+        self.busy.add(server)
+
+    def clear_busy(self, server: int) -> None:
+        self.busy.discard(server)
+
     # -- clock -------------------------------------------------------------
 
     def advance(self, ticks: int = 1) -> None:
@@ -140,6 +156,9 @@ class DynamicFaultInjector:
         if server in self.down:
             self.down_rejections += 1
             raise ServerDown(f"server {server} is down (tick {self.tick})")
+        if server in self.busy:
+            self.busy_rejections += 1
+            raise ServerBusy(f"server {server} shed the access (tick {self.tick})")
         if self.timeout_rate > 0.0:
             attempt = self._attempts[server]
             self._attempts[server] += 1

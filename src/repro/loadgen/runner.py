@@ -47,6 +47,7 @@ from repro.aio.rnbclient import AsyncRnBClient
 from repro.aio.server import AsyncMemcachedServer
 from repro.aio.transport import AsyncConnectionPool
 from repro.errors import ConfigurationError
+from repro.faults.partition import link_blackout_windows
 from repro.hashing.hashfns import stable_hash64
 from repro.hashing.rch import RangedConsistentHashPlacer
 from repro.loadgen.schedule import CURVES, SCHEDULERS, arrival_times
@@ -91,6 +92,12 @@ class LoadTestConfig:
     queue_limit: int | None = None
     connect_timeout: float = 5.0
     read_timeout: float = 15.0
+    #: seed for a link-blackout nemesis schedule (docs/PARTITIONS.md):
+    #: seeded windows during which one server's link is cut — its async
+    #: front refuses connections, so the client rides failover / partial
+    #: covers through the outage.  None (the default) runs the classic
+    #: partition-free test; CI load-smoke gates assume None.
+    nemesis_seed: int | None = None
 
     def __post_init__(self) -> None:
         if self.users < 1:
@@ -141,6 +148,36 @@ def build_workload(config: LoadTestConfig) -> tuple[np.ndarray, list[tuple[str, 
         for _ in range(config.users)
     ]
     return offsets, requests
+
+
+#: notional tick resolution the blackout schedule is drawn at before
+#: being scaled onto the test's wall-clock duration
+_NEMESIS_TICKS = 1000
+
+
+def nemesis_blackouts(config: LoadTestConfig) -> list[tuple[float, float, int]]:
+    """Seeded ``(start_s, end_s, server)`` link-blackout spans.
+
+    Pure function of ``(nemesis_seed, n_servers, duration)``: the
+    windows come from :func:`repro.faults.partition.
+    link_blackout_windows` on a notional tick axis and are scaled onto
+    the arrival schedule's span; each window cuts the link to one seeded
+    victim server.  Empty without a ``nemesis_seed``.
+    """
+    if config.nemesis_seed is None:
+        return []
+    windows = link_blackout_windows(
+        config.nemesis_seed, _NEMESIS_TICKS, n_windows=2, min_len=60, max_len=200
+    )
+    rng = derive_rng(
+        config.nemesis_seed,
+        stable_hash64("loadtest-nemesis-targets") & 0x7FFFFFFF,
+    )
+    scale = config.duration / _NEMESIS_TICKS
+    return [
+        (start * scale, end * scale, int(rng.integers(0, config.n_servers)))
+        for start, end in windows
+    ]
 
 
 def workload_token(offsets: np.ndarray, requests: list[tuple[str, ...]]) -> int:
@@ -211,7 +248,32 @@ async def _run(config: LoadTestConfig, offsets, requests) -> tuple[dict, dict]:
     for sid, backend in enumerate(backends):
         if backend.admission is not None:
             backend.admission.bind_metrics(registry, server=f"s{sid}")
-    servers = [AsyncMemcachedServer(b) for b in backends]
+    # Link-level nemesis: each blackout span gates one server's async
+    # front — connections refused while the span is live, exactly the
+    # refusal a partitioned peer produces.  The clock starts at the
+    # schedule origin t0 (set below), so spans align with arrivals.
+    run_loop = asyncio.get_running_loop()
+    blackouts = nemesis_blackouts(config)
+    nemesis_clock: dict[str, float | None] = {"t0": None}
+
+    def _gate_for(sid: int):
+        spans = [(s, e) for s, e, victim in blackouts if victim == sid]
+        if not spans:
+            return None
+
+        def gate() -> bool:
+            t0 = nemesis_clock["t0"]
+            if t0 is None:
+                return False
+            now = run_loop.time() - t0
+            return any(s <= now < e for s, e in spans)
+
+        return gate
+
+    servers = [
+        AsyncMemcachedServer(b, gate=_gate_for(sid))
+        for sid, b in enumerate(backends)
+    ]
     pools: dict[int, AsyncConnectionPool] = {}
     try:
         addrs = [await s.start() for s in servers]
@@ -251,6 +313,7 @@ async def _run(config: LoadTestConfig, offsets, requests) -> tuple[dict, dict]:
 
         loop = asyncio.get_running_loop()
         t0 = loop.time() + 0.05  # small runway so user 0 isn't already late
+        nemesis_clock["t0"] = t0
         state = {"in_flight": 0, "peak": 0}
         # the generator's own end-to-end clock, exact percentiles; the
         # client's rnb_request_latency_seconds keeps the mergeable
@@ -311,6 +374,7 @@ async def _run(config: LoadTestConfig, offsets, requests) -> tuple[dict, dict]:
             "peak_in_flight": state["peak"],
             "elapsed_s": elapsed,
             "connections": sum(len(p.connections) for p in pools.values()),
+            "connections_refused": sum(s.connections_refused for s in servers),
         }
         metrics_doc = {
             "families": registry.families(),
@@ -346,6 +410,11 @@ def run_loadtest(config: LoadTestConfig | None = None) -> LoadTestReport:
         "seed": config.seed,
         "deadline": config.deadline,
         "queue_limit": config.queue_limit,
+        "nemesis_seed": config.nemesis_seed,
+        "nemesis_blackouts": [
+            [round(s, 6), round(e, 6), victim]
+            for s, e, victim in nemesis_blackouts(config)
+        ],
         "determinism_token": workload_token(offsets, requests),
     }
     return LoadTestReport(workload=workload, measured=measured, metrics=metrics_doc)

@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, NoQuorumError
 from repro.membership.epoched import EpochedPlacer
 from repro.membership.repair import (
     RepairExecutor,
@@ -70,6 +70,20 @@ class MembershipService:
         positives from transient timeouts.
     repair_rate:
         Max item copies applied per :meth:`tick` (None = unthrottled).
+    quorum_prober:
+        Optional reachability oracle ``prober(server) -> bool`` for the
+        servers of the current view (e.g. a bound
+        :meth:`repro.faults.partition.PartitionedInjector.can_reach`).
+        When given, **every** commit — removals, recoveries, joins — is
+        gated on this service still reaching a strict majority of the
+        view's *members* (dead or alive: a partitioned-away server still
+        counts toward the denominator, which is what makes two disjoint
+        sides unable to both clear the bar).  Proposals made without
+        quorum are rejected with ``False`` and counted in
+        ``quorum_rejections``, so a minority-side service can never
+        commit an epoch that the majority side would also commit —
+        split-brain by construction requires two disjoint majorities of
+        one member set, which cannot exist (docs/PARTITIONS.md).
     """
 
     def __init__(
@@ -80,6 +94,7 @@ class MembershipService:
         executor: RepairExecutor | None = None,
         confirm_after: int = 1,
         repair_rate: int | None = None,
+        quorum_prober=None,
     ) -> None:
         if confirm_after < 1:
             raise ConfigurationError("confirm_after must be >= 1")
@@ -90,6 +105,8 @@ class MembershipService:
         self.executor = executor
         self.confirm_after = confirm_after
         self.repair_rate = repair_rate
+        self.quorum_prober = quorum_prober
+        self.quorum_rejections = 0
         self.clock: object = None  #: last clock value seen (set by tick)
         self.events: list[MembershipEvent] = []
         # proposal sources per server, reset at each epoch change
@@ -108,6 +125,20 @@ class MembershipService:
     def pending_repair(self) -> int:
         return self.executor.pending() if self.executor is not None else 0
 
+    def has_quorum(self) -> bool:
+        """Can this service reach a strict majority of the view's members?
+
+        Always True without a ``quorum_prober`` (single-coordinator
+        deployments, the pre-partition behaviour).  The denominator is
+        ``n_members`` — every server of the view, reachable or not — so
+        the two sides of a split can never both answer True.
+        """
+        if self.quorum_prober is None:
+            return True
+        members = self.view.members
+        reachable = sum(1 for server in members if self.quorum_prober(server))
+        return reachable >= len(members) // 2 + 1
+
     # -- proposals ----------------------------------------------------------
 
     def propose_removal(self, server: int, *, source: object = "client") -> bool:
@@ -124,17 +155,26 @@ class MembershipService:
         self._proposals[server].add(source)
         if len(self._proposals[server]) < self.confirm_after:
             return False
+        if not self.has_quorum():
+            # confirmed by this side's clients, but this side cannot
+            # prove it is the majority — rejecting here is what keeps a
+            # minority partition from amputating the healthy majority
+            self.quorum_rejections += 1
+            self._proposals[server].clear()
+            return False
         self._commit(self.view.without(server), "remove", server)
         return True
 
     def announce_recovery(self, server: int) -> ClusterView:
         """A crashed member restarted (empty); re-admit and re-replicate."""
+        self._require_quorum("recover", server)
         view = self.view.with_recovered(server)
         self._commit(view, "recover", server)
         return view
 
     def announce_join(self, server: int) -> ClusterView:
         """A brand-new server joined; rebalance onto it."""
+        self._require_quorum("join", server)
         view = self.view.with_join(server)
         self._commit(view, "join", server)
         return view
@@ -150,6 +190,14 @@ class MembershipService:
         return self.executor.step(budget, clock=clock)
 
     # -- internals ------------------------------------------------------------
+
+    def _require_quorum(self, kind: str, server: int) -> None:
+        if not self.has_quorum():
+            self.quorum_rejections += 1
+            raise NoQuorumError(
+                f"cannot commit {kind} of server {server}: this service "
+                f"reaches fewer than a majority of the view's members"
+            )
 
     def _commit(self, view: ClusterView, kind: str, server: int) -> None:
         old_placement = self.placer.servers_for
@@ -182,6 +230,7 @@ def make_cluster_service(
     *,
     confirm_after: int = 1,
     repair_rate: int | None = None,
+    quorum_prober=None,
 ) -> MembershipService:
     """Convenience: a service repairing through a simulated cluster."""
     copy_fn, drop_fn, demote_fn, pin_fn = cluster_repair_fns(cluster, placer)
@@ -192,4 +241,5 @@ def make_cluster_service(
         executor=executor,
         confirm_after=confirm_after,
         repair_rate=repair_rate,
+        quorum_prober=quorum_prober,
     )

@@ -11,6 +11,7 @@ verb and the ``rnb stats`` CLI.
 from repro.obs.export import (
     CONSISTENCY_FAMILIES,
     CORE_REQUEST_FAMILIES,
+    PARTITION_FAMILIES,
     family_of,
     merge_samples,
     parse_sample_name,
@@ -33,6 +34,7 @@ from repro.obs.tracing import Span, Tracer
 __all__ = [
     "CONSISTENCY_FAMILIES",
     "CORE_REQUEST_FAMILIES",
+    "PARTITION_FAMILIES",
     "COUNTER",
     "GAUGE",
     "HISTOGRAM",

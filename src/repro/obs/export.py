@@ -69,6 +69,23 @@ CONSISTENCY_FAMILIES = (
     "rnb_cas_retries",
 )
 
+#: the partition-tolerance metric families (docs/PARTITIONS.md): link
+#: cuts observed at the cluster gate / DES dispatcher
+#: (repro.faults.partition), nemesis timeline events
+#: (repro.faults.nemesis), distinguished-only degraded reads
+#: (repro.consistency.readrepair), and the history checker's op /
+#: violation counters (repro.consistency.history).  Quorum-gate write
+#: rejections ride the existing rnb_quorum_writes_total{outcome=
+#: "rejected"} series of CONSISTENCY_FAMILIES.
+PARTITION_FAMILIES = (
+    "rnb_partition_blocked_total",
+    "rnb_partition_links_active",
+    "rnb_nemesis_events_total",
+    "rnb_reads_degraded_total",
+    "rnb_history_ops_total",
+    "rnb_history_violations_total",
+)
+
 
 def _histogram_samples(name: str, key: str, snap: dict) -> list[tuple[str, float]]:
     """Cumulative ``_bucket``/``_sum``/``_count`` expansion of one series."""

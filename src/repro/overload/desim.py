@@ -171,6 +171,8 @@ class OverloadResult:
     horizon: float = 0.0
     #: items asked for by the measured (post-warmup) requests
     items_measured: int = 0
+    #: dispatches refused because the partition oracle cut the edge
+    partition_blocked: int = 0
     ladder_counts: dict[str, int] = field(default_factory=dict)
     latencies: np.ndarray = field(repr=False, default=None)
     #: structured telemetry snapshot (repro.obs registry) of this run —
@@ -199,6 +201,7 @@ def simulate_overload(
     rng=None,
     metrics: MetricsRegistry | None = None,
     tracer=None,
+    unreachable=None,
 ) -> OverloadResult:
     """Run an open-loop workload through the overload serving loop.
 
@@ -221,6 +224,15 @@ def simulate_overload(
     to the result.  ``tracer`` (a :class:`repro.obs.Tracer`) records one
     ``request`` span per arrival with ``plan``/``txn`` children stamped
     in simulated time — same-seed runs trace byte-identically.
+
+    ``unreachable`` (optional) is a link-level partition oracle
+    ``(sid, now) -> bool``: a True verdict refuses the dispatch before
+    admission, feeds the breaker a *soft* failure (so covers re-route
+    around the cut exactly as around BUSY sheds) and is counted into
+    ``rnb_partition_blocked_total`` / ``OverloadResult.
+    partition_blocked``.  Drive it from a
+    :class:`repro.faults.partition.PartitionPlan` with ticks derived
+    from simulated time (the ``load_soak`` nemesis arm does this).
     """
     if (arrival_rate is None) == (arrival_times is None):
         raise ConfigurationError(
@@ -337,8 +349,15 @@ def simulate_overload(
         "hedges": 0,
         "hedge_wins": 0,
         "degraded": 0,
+        "unreachable": 0,
         "ladder": {"full": 0, "partial": 0, "distinguished": 0},
     }
+    m_unreachable = registry.counter(
+        "rnb_partition_blocked_total",
+        "cluster accesses blocked by a partition rule",
+        edge="request",
+        path="sim",
+    )
 
     # -- dispatch machinery -------------------------------------------------
 
@@ -358,6 +377,14 @@ def simulate_overload(
     def dispatch(req: _Req, sid: int, items: tuple, now: float, *,
                  is_hedge: bool = False, rival_done: float = float("inf"),
                  hedge_won: list | None = None) -> "_Txn | None":
+        if unreachable is not None and unreachable(sid, now):
+            # link cut: refused before admission — a soft breaker
+            # failure, so later covers route around the dark edge
+            stats["unreachable"] += 1
+            m_unreachable.inc()
+            if board is not None:
+                board.record_failure(sid)
+            return None
         if not admit(sid, now):
             return None
         is_probe = board is not None and board.state(sid) == HALF_OPEN and board.allow_probe(sid)
@@ -672,6 +699,7 @@ def simulate_overload(
         ),
         horizon=horizon,
         items_measured=total_items,
+        partition_blocked=stats["unreachable"],
         ladder_counts=dict(stats["ladder"]),
         latencies=latencies,
         metrics=metrics_snapshot,

@@ -1,0 +1,111 @@
+"""Async server partition gate: refuse connections while the link is cut."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.aio.memclient import AsyncMemcachedClient
+from repro.aio.server import AsyncMemcachedServer
+from repro.aio.transport import AsyncConnection
+from repro.errors import ProtocolError, ServerTimeout
+from repro.protocol.memserver import MemcachedServer
+
+#: what a client sees talking across a cut link: refused, dropped mid-
+#: response, or hung until the deadline
+CUT_ERRORS = (
+    ConnectionError,
+    OSError,
+    asyncio.IncompleteReadError,
+    ProtocolError,
+    ServerTimeout,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestConnectionGate:
+    def test_cut_gate_refuses_new_connections(self):
+        async def scenario():
+            server = AsyncMemcachedServer(MemcachedServer(), gate=lambda: True)
+            host, port = await server.start()
+            try:
+                conn = AsyncConnection(host, port, timeout=2.0)
+                client = AsyncMemcachedClient(conn)
+                try:
+                    await client.get("k")
+                except CUT_ERRORS:
+                    pass
+                else:  # pragma: no cover - the cut must surface
+                    raise AssertionError("gated server served a request")
+                finally:
+                    conn.close()
+            finally:
+                await server.stop()
+            assert server.connections_refused >= 1
+            assert server.connections_accepted == 0
+
+        run(scenario())
+
+    def test_open_gate_serves_normally(self):
+        async def scenario():
+            server = AsyncMemcachedServer(MemcachedServer(), gate=lambda: False)
+            host, port = await server.start()
+            conn = AsyncConnection(host, port, timeout=2.0)
+            client = AsyncMemcachedClient(conn)
+            try:
+                assert await client.set("k", b"v")
+                assert await client.get("k") == b"v"
+            finally:
+                conn.close()
+                await server.stop()
+            assert server.connections_refused == 0
+            assert server.connections_accepted == 1
+
+        run(scenario())
+
+    def test_no_gate_is_the_default_path(self):
+        async def scenario():
+            server = AsyncMemcachedServer(MemcachedServer())
+            host, port = await server.start()
+            conn = AsyncConnection(host, port, timeout=2.0)
+            client = AsyncMemcachedClient(conn)
+            try:
+                assert await client.set("k", b"v")
+            finally:
+                conn.close()
+                await server.stop()
+            assert server.connections_refused == 0
+
+        run(scenario())
+
+    def test_mid_connection_cut_drops_established_sessions(self):
+        async def scenario():
+            cut = {"on": False}
+            server = AsyncMemcachedServer(MemcachedServer(), gate=lambda: cut["on"])
+            host, port = await server.start()
+            conn = AsyncConnection(host, port, timeout=2.0)
+            client = AsyncMemcachedClient(conn)
+            try:
+                assert await client.set("k", b"v")  # session established
+                cut["on"] = True  # the link goes down mid-session
+                # a request already in flight past the gate check may
+                # still be answered; the gate then closes the session,
+                # so the *next* request deterministically fails
+                try:
+                    await client.get("k")
+                except CUT_ERRORS:
+                    pass
+                try:
+                    await client.get("k")
+                except CUT_ERRORS:
+                    pass
+                else:  # pragma: no cover
+                    raise AssertionError("request crossed a cut link")
+            finally:
+                conn.close()
+                await server.stop()
+            assert server.connections_refused >= 1
+
+        run(scenario())

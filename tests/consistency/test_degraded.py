@@ -1,0 +1,121 @@
+"""Quorum-gated degradation: REJECTED writes, distinguished-only reads."""
+
+from __future__ import annotations
+
+from tests.consistency.conftest import SimStack
+
+from repro.consistency import (
+    COMMITTED,
+    REJECTED,
+    QuorumWriter,
+    VersionedReader,
+)
+from repro.obs import MetricsRegistry
+
+
+class TestWriteGate:
+    def test_rejected_write_touches_nothing(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer, gate=lambda: False)
+        outcome = writer.write(0, b"x")
+        assert outcome.outcome == REJECTED
+        assert outcome.stamp is None  # no stamp consumed
+        assert outcome.acked == () and outcome.failed == ()
+        assert not outcome.committed
+        assert outcome.retryable
+        # no replica took a stamp (pre-provisioned presence is unstamped)
+        assert all(s is None for s in stack.stamps_of(0).values())
+
+    def test_rejection_does_not_burn_the_clock(self):
+        stack = SimStack()
+        quorum = {"ok": False}
+        writer = QuorumWriter(stack.store, stack.placer, gate=lambda: quorum["ok"])
+        writer.write(0, b"x")
+        writer.write(0, b"x")
+        quorum["ok"] = True
+        outcome = writer.write(0, b"x")
+        assert outcome.outcome == COMMITTED
+        # rejections consumed no counters: first real stamp is counter 1
+        assert outcome.stamp.counter == 1
+
+    def test_gate_open_writes_normally(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer, gate=lambda: True)
+        outcome = writer.write(0, b"x")
+        assert outcome.outcome == COMMITTED
+        assert len(stack.stamps_of(0)) == stack.placer.replication
+
+    def test_rejections_are_counted(self):
+        stack = SimStack()
+        registry = MetricsRegistry()
+        writer = QuorumWriter(
+            stack.store, stack.placer, gate=lambda: False, metrics=registry
+        )
+        writer.write(0, b"x")
+        series = registry.snapshot()["rnb_quorum_writes_total"]["series"]
+        assert series['outcome="rejected"'] == 1
+
+
+class TestReadGate:
+    def seeded(self):
+        stack = SimStack()
+        writer = QuorumWriter(stack.store, stack.placer)
+        outcome = writer.write(0, b"payload")
+        assert outcome.outcome == COMMITTED
+        return stack, outcome
+
+    def test_degraded_read_is_distinguished_only(self):
+        stack, written = self.seeded()
+        reader = VersionedReader(stack.store, stack.placer, gate=lambda: False)
+        outcome = reader.read(0)
+        assert outcome.degraded
+        home = stack.placer.distinguished_for(0)
+        assert outcome.source == home
+        assert outcome.newest == (home,)
+        assert outcome.stamp == written.stamp
+        assert outcome.payload == b""  # sim store is presence-only
+
+    def test_degraded_read_never_repairs(self):
+        stack, written = self.seeded()
+        # seed divergence: wipe a non-distinguished replica's copy
+        home = stack.placer.distinguished_for(0)
+        other = next(s for s in stack.placer.servers_for(0) if s != home)
+        stack.store.delete(other, 0)
+        reader = VersionedReader(stack.store, stack.placer, gate=lambda: False)
+        outcome = reader.read(0)
+        assert outcome.degraded
+        assert outcome.repaired == () and outcome.queued == 0
+        assert other not in stack.stamps_of(0)  # still missing afterwards
+
+    def test_degraded_read_counted(self):
+        stack, _ = self.seeded()
+        registry = MetricsRegistry()
+        reader = VersionedReader(
+            stack.store, stack.placer, gate=lambda: False, metrics=registry
+        )
+        reader.read(0)
+        snap = registry.snapshot()["rnb_reads_degraded_total"]["series"]
+        assert sum(snap.values()) == 1
+
+    def test_degraded_read_miss_and_dead_home(self):
+        stack, _ = self.seeded()
+        home = stack.placer.distinguished_for(0)
+        reader = VersionedReader(stack.store, stack.placer, gate=lambda: False)
+        stack.store.delete(home, 0)
+        miss = reader.read(0)
+        assert miss.degraded and not miss.found and miss.missing == (home,)
+        stack.kill(home)
+        dead = reader.read(0)
+        assert dead.degraded and dead.dead == (home,)
+
+    def test_gate_reopens_full_read(self):
+        stack, _ = self.seeded()
+        quorum = {"ok": False}
+        reader = VersionedReader(
+            stack.store, stack.placer, gate=lambda: quorum["ok"]
+        )
+        assert reader.read(0).degraded
+        quorum["ok"] = True
+        outcome = reader.read(0)
+        assert not outcome.degraded
+        assert len(outcome.newest) == stack.placer.replication

@@ -1,0 +1,145 @@
+"""History checker: session guarantees, forged violations, counter-examples."""
+
+from __future__ import annotations
+
+from repro.consistency import (
+    CONVERGENCE,
+    MONOTONIC_READS,
+    READ_YOUR_WRITES,
+    HistoryRecorder,
+    Op,
+    check_history,
+)
+from repro.consistency.version import VersionStamp
+from repro.obs import MetricsRegistry
+
+
+def stamp(counter: int, *, epoch: int = 0, writer: int = 1) -> VersionStamp:
+    return VersionStamp(epoch=epoch, counter=counter, writer=writer)
+
+
+class TestRecorder:
+    def test_clock_is_monotone_and_ops_are_closed(self):
+        rec = HistoryRecorder()
+        w = rec.record_write("s", "k", ok=True, stamp=stamp(1))
+        r = rec.record_read("s", "k", ok=True, stamp=stamp(1))
+        assert w.invoked < w.completed < r.invoked < r.completed
+        assert [op.kind for op in rec.ops] == ["write", "read"]
+
+    def test_begin_complete_models_real_overlap(self):
+        rec = HistoryRecorder()
+        t1 = rec.begin("a", "write", "k")
+        t2 = rec.begin("b", "read", "k")
+        w = rec.complete(t1, ok=True, stamp=stamp(1))
+        r = rec.complete(t2, ok=True, stamp=None)
+        # overlapping: neither happens-before the other
+        assert not (w.completed <= r.invoked or r.completed <= w.invoked)
+
+    def test_metrics_count_ops(self):
+        registry = MetricsRegistry()
+        rec = HistoryRecorder(metrics=registry)
+        rec.record_write("s", "k", ok=True, stamp=stamp(1))
+        rec.record_read("s", "k", ok=False)
+        series = registry.snapshot()["rnb_history_ops_total"]["series"]
+        assert series['kind="write"'] == 1
+        assert series['kind="read"'] == 1
+
+
+class TestCheckHistory:
+    def consistent_history(self):
+        rec = HistoryRecorder()
+        rec.record_write("s1", "k", ok=True, stamp=stamp(1))
+        rec.record_read("s1", "k", ok=True, stamp=stamp(1))
+        rec.record_write("s1", "k", ok=True, stamp=stamp(2))
+        rec.record_read("s1", "k", ok=True, stamp=stamp(2), phase="final")
+        return rec.ops
+
+    def test_consistent_history_passes(self):
+        report = check_history(self.consistent_history())
+        assert report.consistent
+        assert report.n_writes_acked == 2
+        assert report.n_final_reads == 1
+        assert "consistent" in report.render()
+
+    def test_forged_stale_read_is_caught_with_counter_example(self):
+        # the acceptance forgery: a session reads an *older* stamp after
+        # its own acknowledged write completed
+        rec = HistoryRecorder()
+        rec.record_write("s1", "k", ok=True, stamp=stamp(1))
+        rec.record_write("s1", "k", ok=True, stamp=stamp(5))
+        rec.record_read("s1", "k", ok=True, stamp=stamp(1))  # forged stale
+        report = check_history(rec.ops)
+        assert not report.consistent
+        kinds = {v.kind for v in report.violations}
+        assert READ_YOUR_WRITES in kinds
+        rendered = report.render()
+        # the minimal counter-example names both ops of the broken pair
+        assert "read_your_writes" in rendered
+        assert "earlier:" in rendered and "later:" in rendered
+        assert "write('k')" in rendered and "read('k')" in rendered
+
+    def test_monotonic_reads_regression_is_caught(self):
+        rec = HistoryRecorder()
+        # a *different* session wrote; the reader never wrote at all
+        rec.record_write("writer", "k", ok=True, stamp=stamp(3))
+        rec.record_read("reader", "k", ok=True, stamp=stamp(3))
+        rec.record_read("reader", "k", ok=True, stamp=stamp(2))  # regression
+        report = check_history(rec.ops)
+        assert [v.kind for v in report.violations] == [MONOTONIC_READS]
+
+    def test_misses_are_exempt_cache_semantics(self):
+        rec = HistoryRecorder()
+        rec.record_write("s1", "k", ok=True, stamp=stamp(1))
+        rec.record_read("s1", "k", ok=False)  # evicted: a miss, not staleness
+        assert check_history(rec.ops).consistent
+
+    def test_rejected_writes_constrain_nothing(self):
+        rec = HistoryRecorder()
+        rec.record_write("s1", "k", ok=False)  # REJECTED / FAILED: no ack
+        rec.record_read("s1", "k", ok=False)
+        report = check_history(rec.ops)
+        assert report.consistent
+        assert report.n_writes_acked == 0
+
+    def test_convergence_missing_final_read(self):
+        rec = HistoryRecorder()
+        rec.record_write("s1", "k", ok=True, stamp=stamp(4))
+        rec.record_read("aud", "k", ok=False, phase="final")
+        report = check_history(rec.ops)
+        assert [v.kind for v in report.violations] == [CONVERGENCE]
+        assert "found nothing" in report.render()
+
+    def test_convergence_stale_final_read(self):
+        rec = HistoryRecorder()
+        rec.record_write("s1", "k", ok=True, stamp=stamp(4))
+        rec.record_read("aud", "k", ok=True, stamp=stamp(3), phase="final")
+        report = check_history(rec.ops)
+        assert [v.kind for v in report.violations] == [CONVERGENCE]
+
+    def test_final_read_of_never_written_key_is_fine(self):
+        rec = HistoryRecorder()
+        rec.record_read("aud", "ghost", ok=False, phase="final")
+        assert check_history(rec.ops).consistent
+
+    def test_overlapping_ops_constrain_nothing(self):
+        # write and read genuinely concurrent: either order is legal
+        ops = [
+            Op("s", "write", "k", invoked=1, completed=4, ok=True, stamp=stamp(9)),
+            Op("s", "read", "k", invoked=2, completed=3, ok=True, stamp=stamp(1)),
+        ]
+        assert check_history(ops).consistent
+
+    def test_epoch_dominates_counter_in_stamp_order(self):
+        rec = HistoryRecorder()
+        rec.record_write("s1", "k", ok=True, stamp=stamp(9, epoch=0))
+        rec.record_read("s1", "k", ok=True, stamp=stamp(1, epoch=1))
+        assert check_history(rec.ops).consistent  # newer epoch wins
+
+    def test_violations_counted_into_metrics(self):
+        registry = MetricsRegistry()
+        rec = HistoryRecorder()
+        rec.record_write("s1", "k", ok=True, stamp=stamp(5))
+        rec.record_read("s1", "k", ok=True, stamp=stamp(1))
+        check_history(rec.ops, metrics=registry)
+        series = registry.snapshot()["rnb_history_violations_total"]["series"]
+        assert series[f'kind="{READ_YOUR_WRITES}"'] == 1

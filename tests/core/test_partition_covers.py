@@ -1,0 +1,108 @@
+"""Exclusion-aware covers under partition: plan around an unreachable side.
+
+When a partition cuts a client off from a whole server group, the
+health/breaker layer feeds that group to ``Bundler.plan(exclude=...)``.
+The cover must route every item with a surviving replica onto the
+reachable side, drop items whose entire replica set is cut (a
+well-formed partial plan, not an error), and the distinguished-only
+ladder rung must keep covering everything it is asked to.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.bundling import Bundler
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.types import Request
+
+N_SERVERS = 8
+N_ITEMS = 300
+
+
+def make_bundler(replication=2):
+    return Bundler(
+        RangedConsistentHashPlacer(N_SERVERS, replication, seed=0, vnodes=32)
+    )
+
+
+def make_requests(n, size=8, seed=4):
+    rng = np.random.default_rng(seed)
+    return [
+        Request(
+            items=tuple(
+                sorted(int(i) for i in rng.choice(N_ITEMS, size, replace=False))
+            )
+        )
+        for _ in range(n)
+    ]
+
+
+class TestPartitionExclusions:
+    MINORITY = frozenset({1, 4, 6})
+
+    def test_transactions_never_touch_the_cut_side(self):
+        bundler = make_bundler()
+        for request in make_requests(50):
+            plan = bundler.plan(request, exclude=self.MINORITY)
+            for txn in plan.transactions:
+                assert txn.server not in self.MINORITY
+
+    def test_survivable_items_are_all_covered(self):
+        bundler = make_bundler()
+        placer = bundler.placer
+        for request in make_requests(50):
+            plan = bundler.plan(request, exclude=self.MINORITY)
+            planned = {i for t in plan.transactions for i in t.primary}
+            for item in request.items:
+                survivors = set(placer.servers_for(item)) - self.MINORITY
+                if survivors:
+                    assert item in planned
+                else:
+                    assert item not in planned
+
+    def test_fully_cut_items_yield_a_partial_plan_not_an_error(self):
+        bundler = make_bundler(replication=1)  # R=1: single copy per item
+        placer = bundler.placer
+        request = make_requests(1, size=12)[0]
+        cut = frozenset(placer.servers_for(request.items[0]))
+        plan = bundler.plan(request, exclude=cut)  # must not raise
+        planned = {i for t in plan.transactions for i in t.primary}
+        assert request.items[0] not in planned
+        assert planned <= set(request.items)
+
+    def test_majority_exclusion_converges_onto_the_minority(self):
+        # the minority-side client's mirror image: everything reachable
+        # lives on 3 servers, so every transaction lands there
+        bundler = make_bundler(replication=3)
+        majority = frozenset(range(N_SERVERS)) - self.MINORITY
+        for request in make_requests(20):
+            plan = bundler.plan(request, exclude=majority)
+            assert all(t.server in self.MINORITY for t in plan.transactions)
+
+    def test_exclusions_cost_extra_transactions_not_correctness(self):
+        bundler = make_bundler(replication=3)
+        requests = make_requests(50)
+        free = sum(len(bundler.plan(r).transactions) for r in requests)
+        cut = sum(
+            len(bundler.plan(r, exclude=self.MINORITY).transactions)
+            for r in requests
+        )
+        assert cut >= free  # fewer choices can only widen the cover
+
+
+class TestDistinguishedUnderPartition:
+    def test_distinguished_plan_always_covers_everything(self):
+        bundler = make_bundler(replication=3)
+        for request in make_requests(30):
+            plan = bundler.plan_distinguished(request)
+            planned = sorted(i for t in plan.transactions for i in t.primary)
+            assert planned == sorted(request.items)
+
+    def test_distinguished_routing_is_the_pinned_home(self):
+        bundler = make_bundler(replication=3)
+        placer = bundler.placer
+        request = make_requests(1)[0]
+        for txn in bundler.plan_distinguished(request).transactions:
+            for item in txn.primary:
+                assert placer.distinguished_for(item) == txn.server

@@ -1,0 +1,73 @@
+"""Nemesis wiring in the live load harness: seeded blackouts, safe default."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.loadgen.runner import (
+    LoadTestConfig,
+    nemesis_blackouts,
+    run_loadtest,
+)
+
+
+class TestBlackoutSchedule:
+    def test_empty_without_a_seed(self):
+        assert nemesis_blackouts(LoadTestConfig()) == []
+
+    def test_pure_function_of_the_config(self):
+        config = LoadTestConfig(nemesis_seed=9, duration=1.0, n_servers=4)
+        a = nemesis_blackouts(config)
+        assert a == nemesis_blackouts(config)
+        other = LoadTestConfig(nemesis_seed=10, duration=1.0, n_servers=4)
+        assert a != nemesis_blackouts(other)
+
+    def test_spans_fit_the_schedule_and_name_real_servers(self):
+        config = LoadTestConfig(nemesis_seed=9, duration=2.0, n_servers=4)
+        spans = nemesis_blackouts(config)
+        assert spans
+        for start, end, victim in spans:
+            assert 0.0 <= start < end <= config.duration
+            assert 0 <= victim < config.n_servers
+
+    def test_spans_scale_with_duration(self):
+        short = nemesis_blackouts(
+            LoadTestConfig(nemesis_seed=9, duration=1.0, n_servers=4)
+        )
+        long = nemesis_blackouts(
+            LoadTestConfig(nemesis_seed=9, duration=2.0, n_servers=4)
+        )
+        for (s1, e1, v1), (s2, e2, v2) in zip(short, long):
+            assert v1 == v2
+            assert s1 * 2 == pytest.approx(s2, rel=1e-9)
+            assert e1 * 2 == pytest.approx(e2, rel=1e-9)
+
+
+class TestLiveRun:
+    TINY = dict(
+        users=40,
+        duration=0.4,
+        n_servers=3,
+        replication=2,
+        n_items=200,
+        request_size=4,
+        pool_size=2,
+        seed=3,
+    )
+
+    def test_nemesis_run_reports_and_survives(self):
+        report = run_loadtest(LoadTestConfig(nemesis_seed=9, **self.TINY))
+        w, m = report.workload, report.measured
+        assert w["nemesis_seed"] == 9
+        assert len(w["nemesis_blackouts"]) >= 1
+        # the client rides failover through the cut: nothing fails
+        assert m["failed"] == 0
+        assert m["ok"] + m["degraded"] == self.TINY["users"]
+        assert m["connections_refused"] >= 0
+
+    def test_default_path_is_untouched(self):
+        report = run_loadtest(LoadTestConfig(**self.TINY))
+        assert report.workload["nemesis_seed"] is None
+        assert report.workload["nemesis_blackouts"] == []
+        assert report.measured["connections_refused"] == 0
+        assert report.measured["failed"] == 0

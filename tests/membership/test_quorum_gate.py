@@ -1,0 +1,101 @@
+"""Quorum-gated membership: no epoch can commit on both sides of a split."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NoQuorumError
+from repro.membership import EpochedPlacer, MembershipService
+
+
+def make_service(n=5, *, prober=None, confirm_after=1):
+    placer = EpochedPlacer("rch", n, 2, seed=0, vnodes=16)
+    return MembershipService(
+        placer,
+        range(30),
+        executor=None,
+        confirm_after=confirm_after,
+        quorum_prober=prober,
+    )
+
+
+def side_prober(reachable):
+    reachable = set(reachable)
+    return lambda server: server in reachable
+
+
+class TestHasQuorum:
+    def test_no_prober_means_always_quorate(self):
+        service = make_service()
+        assert service.has_quorum()
+
+    def test_majority_side_is_quorate(self):
+        service = make_service(5, prober=side_prober({0, 1, 2}))
+        assert service.has_quorum()
+
+    def test_minority_side_is_not(self):
+        service = make_service(5, prober=side_prober({3, 4}))
+        assert not service.has_quorum()
+
+    def test_exact_half_is_not_quorum(self):
+        service = make_service(4, prober=side_prober({0, 1}))
+        assert not service.has_quorum()
+
+    def test_dead_members_still_count_in_denominator(self):
+        # 5 members; one removed member leaves the view, but a *dead*
+        # (not yet removed) member still inflates the bar
+        service = make_service(5, prober=side_prober({0, 1, 2}))
+        assert service.propose_removal(3)
+        # view now has 4 members; reaching 3 of 4 still clears the bar
+        assert service.has_quorum()
+        service.quorum_prober = side_prober({0, 1})
+        assert not service.has_quorum()  # 2 of 4 does not
+
+
+class TestProposalGate:
+    def test_minority_removal_is_rejected_and_uncommitted(self):
+        service = make_service(5, prober=side_prober({3, 4}))
+        epoch = service.epoch
+        assert service.propose_removal(0) is False
+        assert service.epoch == epoch
+        assert service.events == []
+        assert service.quorum_rejections == 1
+
+    def test_rejected_proposal_needs_fresh_confirmation_after_heal(self):
+        service = make_service(5, prober=side_prober({3, 4}), confirm_after=2)
+        service.propose_removal(0, source="a")
+        assert service.propose_removal(0, source="b") is False  # rejected
+        service.quorum_prober = None  # healed: quorum regained
+        # confirmations were cleared at rejection — one source is not enough
+        assert service.propose_removal(0, source="a") is False
+        assert service.propose_removal(0, source="b") is True
+
+    def test_majority_removal_commits(self):
+        service = make_service(5, prober=side_prober({0, 1, 2}))
+        assert service.propose_removal(4) is True
+        assert service.events[-1].kind == "remove"
+        assert service.epoch == 1
+
+    def test_minority_recovery_and_join_raise(self):
+        service = make_service(5, prober=side_prober({3, 4}))
+        with pytest.raises(NoQuorumError):
+            service.announce_recovery(3)
+        with pytest.raises(NoQuorumError):
+            service.announce_join(99)
+        assert service.quorum_rejections == 2
+        assert service.epoch == 0
+
+    def test_disjoint_sides_cannot_both_commit(self):
+        placer_a = EpochedPlacer("rch", 5, 2, seed=0, vnodes=16)
+        placer_b = EpochedPlacer("rch", 5, 2, seed=0, vnodes=16)
+        majority = MembershipService(
+            placer_a, range(30), executor=None,
+            quorum_prober=side_prober({0, 1, 2}),
+        )
+        minority = MembershipService(
+            placer_b, range(30), executor=None,
+            quorum_prober=side_prober({3, 4}),
+        )
+        assert majority.propose_removal(4) is True
+        assert minority.propose_removal(0) is False
+        assert majority.epoch == 1 and minority.epoch == 0

@@ -1,0 +1,107 @@
+"""Regression: flap-damped recoveries must not force-close breakers.
+
+A flapping server restores "authoritatively" on every up-phase.  Before
+the damping fix, HealthTracker.record_recovery always notified
+``"recovery"``, so an observing BreakerBoard force-closed and forgave
+its escalated trip streak on every flap — the breaker could oscillate
+as fast as the link did, defeating the exponential backoff entirely.
+"""
+
+from __future__ import annotations
+
+from repro.faults.health import ALIVE, DEAD, HealthTracker
+from repro.overload.breaker import CLOSED, HALF_OPEN, OPEN, BreakerBoard
+
+
+def wired(flap_threshold=3):
+    health = HealthTracker(4, dead_after=2, flap_threshold=flap_threshold)
+    board = BreakerBoard(4, trip_after=2, window=4, open_ticks=10, seed=1)
+    health.add_observer(board)
+    return health, board
+
+
+def flap_once(health):
+    """One down/up cycle for server 0: die, then restore authoritatively."""
+    health.record_error(0)
+    health.record_error(0)  # dead_after=2 -> DEAD, breaker trips
+    health.record_recovery(0)
+
+
+class TestDampedRecovery:
+    def test_first_death_recovery_still_force_closes(self):
+        health, board = wired()
+        flap_once(health)
+        # one death is a crash, not a flap: recovery closes the breaker
+        assert health.state(0) == ALIVE
+        assert board.state(0) == CLOSED
+
+    def test_repeat_flapper_cannot_reset_the_breaker(self):
+        health, board = wired()
+        flap_once(health)
+        flap_once(health)  # second death: now a repeat offender
+        streak_after_two = board._breakers[0].trip_streak
+        flap_once(health)  # damped: notifies "success", not "recovery"
+        assert health.state(0) == ALIVE  # health itself resets (authoritative)
+        assert board.state(0) == OPEN  # but the breaker stays open
+        assert board._breakers[0].trip_streak >= streak_after_two
+
+    def test_backoff_keeps_escalating_across_flaps(self):
+        health, board = wired()
+        flap_once(health)
+        flap_once(health)  # repeat offender: recoveries damped from here
+        waits = []
+        for _ in range(3):
+            board.advance(board._breakers[0].retry_at - board.tick)
+            health.record_error(0)  # the half-open probe fails
+            health.record_recovery(0)  # up-phase: damped, stays OPEN
+            waits.append(board._breakers[0].retry_at - board.tick)
+        # each failed probe doubles the open period (2x per streak)
+        assert waits[0] < waits[1] < waits[2]
+
+    def test_half_open_probe_discipline_still_applies(self):
+        health, board = wired()
+        flap_once(health)
+        flap_once(health)
+        flap_once(health)  # damped; breaker OPEN with escalated backoff
+        b = board._breakers[0]
+        board.advance(b.retry_at - board.tick)
+        assert board.state(0) == HALF_OPEN
+        assert board.allow_probe(0)
+        assert not board.allow_probe(0)  # single probe slot
+        # the probe succeeding is what closes it — not the recovery signal
+        health.record_success(0)
+        assert board.state(0) == CLOSED
+
+    def test_oscillation_is_rate_limited_by_backoff(self):
+        health, board = wired()
+        flap_once(health)
+        flap_once(health)
+        flap_once(health)
+        # while the breaker waits out its backoff, further flaps cannot
+        # re-admit the server to routing
+        for _ in range(3):
+            flap_once(health)
+            assert 0 in board.tripped()
+
+    def test_damped_success_counts_toward_rehabilitation(self):
+        health, board = wired(flap_threshold=2)
+        flap_once(health)
+        flap_once(health)
+        health.record_error(0)
+        health.record_error(0)  # dead again (third death)
+        health.record_success(0)  # 1 of 2: still damped
+        assert health.state(0) == DEAD
+        health.record_success(0)  # 2 of 2: rehabilitated
+        assert health.state(0) == ALIVE
+
+
+class TestDefaultBehaviour:
+    def test_no_threshold_keeps_classic_force_close(self):
+        health = HealthTracker(4, dead_after=2)  # flap_threshold=None
+        board = BreakerBoard(4, trip_after=2, window=4, open_ticks=10, seed=1)
+        health.add_observer(board)
+        for _ in range(3):
+            flap_once(health)
+        # legacy semantics: every authoritative recovery force-closes
+        assert board.state(0) == CLOSED
+        assert board._breakers[0].trip_streak == 0

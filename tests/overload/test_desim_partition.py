@@ -1,0 +1,85 @@
+"""DES + partition oracle: unreachable servers are refused pre-admission."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.calibration import DEFAULT_MEMCACHED_MODEL
+from repro.core.bundling import Bundler
+from repro.hashing.rch import RangedConsistentHashPlacer
+from repro.obs import MetricsRegistry
+from repro.overload.desim import simulate_overload
+from repro.types import Request
+from repro.utils.rng import derive_rng
+
+N_SERVERS = 8
+N_ITEMS = 400
+COST = DEFAULT_MEMCACHED_MODEL
+
+
+def make_requests(n, size=8, seed=5):
+    rng = np.random.default_rng(seed)
+    return [
+        Request(
+            items=tuple(
+                sorted(int(i) for i in rng.choice(N_ITEMS, size, replace=False))
+            )
+        )
+        for _ in range(n)
+    ]
+
+
+def run(*, unreachable=None, metrics=None, seed=11):
+    bundler = Bundler(RangedConsistentHashPlacer(N_SERVERS, 2, seed=0, vnodes=32))
+    return simulate_overload(
+        make_requests(250),
+        bundler,
+        n_servers=N_SERVERS,
+        cost_model=COST,
+        arrival_rate=2000.0,
+        rng=derive_rng(seed, 1),
+        metrics=metrics,
+        unreachable=unreachable,
+    )
+
+
+def always_cut(sid, now):
+    return sid == 0
+
+
+class TestPartitionOracle:
+    def test_default_is_zero_blocked(self):
+        result = run()
+        assert result.partition_blocked == 0
+
+    def test_cut_server_is_refused_and_counted(self):
+        registry = MetricsRegistry()
+        result = run(unreachable=always_cut, metrics=registry)
+        assert result.partition_blocked > 0
+        snap = registry.snapshot()["rnb_partition_blocked_total"]["series"]
+        assert sum(snap.values()) == result.partition_blocked
+
+    def test_requests_still_complete_around_the_cut(self):
+        # R=2: every item on server 0 has a replica elsewhere, so the
+        # cover re-routes and the workload still makes progress
+        result = run(unreachable=always_cut)
+        assert result.served_fraction > 0.5
+
+    def test_windowed_cut_blocks_only_inside_the_window(self):
+        calls = []
+
+        def windowed(sid, now):
+            hit = sid == 0 and 0.02 <= now < 0.05
+            if hit:
+                calls.append(now)
+            return hit
+
+        run(unreachable=windowed)
+        assert calls  # the window really fired
+        assert all(0.02 <= now < 0.05 for now in calls)
+
+    def test_deterministic_under_the_oracle(self):
+        a = run(unreachable=always_cut)
+        b = run(unreachable=always_cut)
+        assert a.partition_blocked == b.partition_blocked
+        np.testing.assert_array_equal(a.latencies, b.latencies)
